@@ -1,0 +1,13 @@
+"""Bench ABL-Z — impedance strategy ablation (DESIGN.md).
+
+Theorem 6.1 makes every positive impedance convergent; this bench
+quantifies how much the choice matters: wave-operator spectral radius
+and simulated time-to-tolerance per strategy on the Fig 11 machine.
+"""
+
+from repro.experiments import run_ablation_impedance
+
+
+def test_impedance_strategies(record_experiment):
+    record = record_experiment(run_ablation_impedance, t_max=6000.0)
+    assert record.measurements["best_strategy"]

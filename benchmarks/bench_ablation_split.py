@@ -1,0 +1,12 @@
+"""Bench ABL-SPLIT — weight-split strategy ablation (DESIGN.md).
+
+EVS must keep every subgraph SNND (Theorem 6.1); this bench compares
+equal splitting against the dominance-preserving strategy on the paper
+workload: certification outcome, wave-operator radius and VTM sweeps.
+"""
+
+from repro.experiments import run_ablation_split
+
+
+def test_split_strategies(record_experiment):
+    record_experiment(run_ablation_split)

@@ -1,0 +1,12 @@
+"""Bench ABL-TWIN — twin-link topology ablation (DESIGN.md).
+
+At the grid's level-2 cross points four copies must be connected by
+DTLPs; the paper's Fig 6 suggests a binary tree.  This bench compares
+tree/chain/star/complete connection patterns.
+"""
+
+from repro.experiments import run_ablation_twin
+
+
+def test_twin_topologies(record_experiment):
+    record_experiment(run_ablation_twin)

@@ -1,0 +1,13 @@
+"""Bench ABL-BJ — DTM against the DDM baselines (paper §1).
+
+Runs DTM, synchronous/asynchronous block-Jacobi, block-Gauss–Seidel and
+the direct Schur-complement method on the same n=289 workload and
+partition (asynchronous methods on the same Fig 11 machine).
+"""
+
+from repro.experiments import run_baselines
+
+
+def test_dtm_vs_ddm_baselines(record_experiment):
+    record = record_experiment(run_baselines, t_max=6000.0)
+    assert record.measurements["schur_error"] < 1e-9

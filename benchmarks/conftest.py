@@ -1,0 +1,40 @@
+"""Shared bench fixtures: experiment records printed and saved.
+
+Every bench runs its experiment exactly once through
+``benchmark.pedantic`` (the experiments are deterministic, seeded,
+multi-second simulations — repeated timing rounds would only repeat
+identical work), prints the paper-style rows/series, writes the record
+under ``results/`` and asserts its shape checks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# make the repository root importable regardless of invocation directory
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.experiments.common import RESULTS_DIR  # noqa: E402
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment function once under the benchmark, then
+    print + persist + shape-check its record."""
+
+    def _run(fn, **kwargs):
+        record = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
+                                    iterations=1)
+        text = record.render()
+        print()
+        print(text)
+        path = record.save(RESULTS_DIR)
+        print(f"[saved to {path}]")
+        assert record.all_checks_pass, (
+            f"{record.experiment_id}: shape checks failed\n{text}")
+        return record
+
+    return _run

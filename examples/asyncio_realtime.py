@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Really asynchronous DTM: one asyncio task per subdomain.
+
+The other examples use the deterministic discrete-event simulator; this
+one executes DTM *concurrently* — each subdomain is an asyncio task
+with its own mailbox, link delays are real (scaled) sleeps, and no
+barrier exists anywhere in the program.  Scheduling jitter makes every
+run's trajectory different; Theorem 6.1 makes the destination the same.
+
+Run:  python examples/asyncio_realtime.py
+"""
+
+import numpy as np
+
+from repro.graph import DominancePreservingSplit, grid_block_partition, \
+    split_graph
+from repro.linalg import conjugate_gradient
+from repro.runtime import AsyncioDtmRunner
+from repro.sim import mesh_topology
+from repro.workloads import grid2d_random
+
+SIDE = 9
+
+graph = grid2d_random(SIDE, seed=1)
+partition = grid_block_partition(SIDE, SIDE, 2, 2)
+split = split_graph(graph, partition, strategy=DominancePreservingSplit())
+
+machine = mesh_topology(2, 2, delay_low=10.0, delay_high=90.0, seed=5)
+print(f"4 subdomains on a 2x2 mesh, delays "
+      f"{machine.delay_stats()['min']:.0f}..."
+      f"{machine.delay_stats()['max']:.0f} (scaled to wall-clock ms)")
+
+a, b = graph.to_system()
+reference = conjugate_gradient(a, b, tol=1e-12).x
+
+runner = AsyncioDtmRunner(split, machine, impedance=1.0,
+                          time_scale=2e-4)  # 1 sim-ms -> 0.2 wall-ms
+result = runner.run(duration=8.0, tol=1e-8, reference=reference)
+
+print(f"\nconverged: {result.converged} in "
+      f"{result.elapsed_wall:.2f} wall seconds")
+print(f"rms error: {result.final_error:.3e}")
+print(f"local solves: {result.n_solves}, waves sent: {result.n_messages}")
+print("\nNote: solve counts differ between runs - that's real "
+      "asynchrony, and the answer is the same every time.")
+assert result.final_error < 1e-6

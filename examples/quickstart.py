@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: solve an SPD system with asynchronous DTM in ~20 lines.
+
+Builds the paper's worked example (system (3.2)), lets the library
+partition it, simulates two processors with asymmetric communication
+delays, and compares against the direct solution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import solve_dtm
+from repro.sim import custom_topology
+from repro.workloads import paper_system_3_2
+
+system = paper_system_3_2()
+print("Solving the paper's system (3.2):")
+print(system.matrix.to_dense())
+print("rhs:", system.rhs)
+
+# Example 5.1's machine: processor A -> B takes 6.7 us, B -> A 2.9 us.
+machine = custom_topology({(0, 1): 6.7, (1, 0): 2.9}, name="two-procs")
+
+result = solve_dtm(system.matrix, system.rhs,
+                   n_subdomains=2, topology=machine,
+                   impedance=0.15,          # DTLP characteristic impedance
+                   t_max=500.0, tol=1e-9)   # simulated microseconds
+
+exact = system.exact_solution()
+print("\nDTM solution:   ", np.round(result.x, 8))
+print("direct solution:", np.round(exact, 8))
+print(f"rms error: {result.rms_error:.3e}")
+print(f"relative residual: {result.relative_residual:.3e}")
+print(f"converged: {result.converged} after {result.iterations} local "
+      f"solves ({result.sim_time:.1f} simulated us)")
+
+assert result.converged, "quickstart expected convergence"
+print("\nOK: asynchronous DTM reproduced the direct solution.")

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on minimal offline environments
+whose setuptools lacks the ``wheel`` package required by the PEP 517
+editable path (pip falls back to the legacy develop install with
+``--no-use-pep517``, and plain ``python setup.py develop`` also works).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a full reproduction of the Directed Transmission Method (DTM).
+
+DTM (Wei & Yang, SPAA 2008) is a fully asynchronous, continuous-time
+distributed algorithm for solving sparse symmetric-positive-definite
+linear systems.  This package implements the algorithm and every
+substrate it rests on:
+
+* :mod:`repro.linalg` — sparse/dense linear-algebra kernels;
+* :mod:`repro.graph` — electric graphs and Electric Vertex Splitting;
+* :mod:`repro.core` — DTLs, impedances, local systems, the DTM/VTM
+  solvers and sync/async hybrids;
+* :mod:`repro.sim` — a discrete-event simulator of heterogeneous
+  parallel machines (the paper's MATLAB/SIMULINK toolbox substitute);
+* :mod:`repro.runtime` — a real asyncio execution backend;
+* :mod:`repro.solvers` — domain-decomposition baselines;
+* :mod:`repro.workloads` — problem generators incl. the paper's examples;
+* :mod:`repro.analysis` — convergence-theory verification and reporting;
+* :mod:`repro.experiments` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro import solve_dtm
+    from repro.workloads import paper_system_3_2
+
+    system = paper_system_3_2()
+    result = solve_dtm(system.matrix, system.rhs, n_subdomains=2, seed=0)
+    print(result.x, result.rms_error)
+"""
+
+from .errors import (
+    ConfigurationError,
+    ConvergenceError,
+    NotSnndError,
+    NotSpdError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "ValidationError", "NotSpdError", "NotSnndError",
+    "SingularMatrixError", "PartitionError", "ConvergenceError",
+    "SimulationError", "ConfigurationError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API to keep import time low."""
+    if name.startswith("_"):
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    _api = importlib.import_module(".api", __name__)
+    if hasattr(_api, name):
+        return getattr(_api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,139 @@
+"""ASCII reporting: tables, series and experiment records.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output uniform and also write the ``results/*.txt``
+artefacts EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.timeseries import TimeSeries
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        v = float(value)
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(value)
+
+
+def format_series(series: TimeSeries, *, n_points: int = 16,
+                  label: str | None = None,
+                  time_label: str = "t") -> str:
+    """Downsampled (time, value) rows of a trace — a printable curve."""
+    if len(series) == 0:
+        return f"{label or series.name}: <empty>"
+    times = series.times
+    grid_idx = np.unique(np.linspace(0, times.size - 1, n_points)
+                         .astype(int))
+    rows = [(times[i], float(np.asarray(series.values)[i]))
+            for i in grid_idx]
+    return format_table([time_label, label or series.name], rows)
+
+
+def ascii_curve(series: TimeSeries, *, width: int = 60, height: int = 14,
+                logy: bool = True, title: str | None = None) -> str:
+    """Rough ASCII plot of a scalar trace (what the paper's figures show).
+
+    Intended for bench output: lets a human eyeball the convergence
+    curve without matplotlib (which is unavailable offline).
+    """
+    if len(series) < 2:
+        return f"{title or series.name}: <not enough samples>"
+    t = series.times
+    v = np.asarray(series.values, dtype=np.float64)
+    if logy:
+        positive = v[v > 0]
+        floor = positive.min() if positive.size else 1e-300
+        v = np.log10(np.clip(v, floor, None))
+    t_grid = np.linspace(t[0], t[-1], width)
+    v_grid = np.interp(t_grid, t, v)
+    vmin, vmax = float(v_grid.min()), float(v_grid.max())
+    span = (vmax - vmin) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for x, val in enumerate(v_grid):
+        y = int((vmax - val) / span * (height - 1))
+        canvas[y][x] = "*"
+    lines = [title or series.name] if title or series.name else []
+    unit = "log10" if logy else "value"
+    lines.append(f"{unit} range [{vmin:.2f}, {vmax:.2f}], "
+                 f"t in [{t[0]:g}, {t[-1]:g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity, shape expectations and measurements."""
+
+    experiment_id: str
+    description: str
+    parameters: dict = field(default_factory=dict)
+    measurements: dict = field(default_factory=dict)
+    shape_checks: dict = field(default_factory=dict)
+    body: list[str] = field(default_factory=list)
+
+    def add_table(self, headers, rows, title=None) -> None:
+        self.body.append(format_table(headers, rows, title=title))
+
+    def add_curve(self, series: TimeSeries, **kwargs) -> None:
+        self.body.append(ascii_curve(series, **kwargs))
+
+    def add_text(self, text: str) -> None:
+        self.body.append(text)
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.description} ==="]
+        if self.parameters:
+            lines.append("parameters: " + ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(self.parameters.items())))
+        lines.extend(self.body)
+        if self.measurements:
+            lines.append("measurements:")
+            lines.extend(f"  {k} = {_fmt(v)}"
+                         for k, v in sorted(self.measurements.items()))
+        if self.shape_checks:
+            lines.append("shape checks:")
+            lines.extend(f"  [{'PASS' if ok else 'FAIL'}] {name}"
+                         for name, ok in sorted(self.shape_checks.items()))
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.shape_checks.values())
+
+    def save(self, directory: str = "results") -> str:
+        """Write the rendered record to results/<id>.txt."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id.lower()}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render() + "\n")
+        return path

@@ -1,0 +1,128 @@
+"""High-level one-call API for solving SPD systems with DTM/VTM.
+
+These wrappers run the full pipeline — electric graph, partitioning,
+EVS, DTLP insertion, solve — with sensible defaults, for users who just
+want ``x = solve(...)``.  Everything they compose is available
+individually in the subpackages for fine-grained control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .core.convergence import relative_residual, rms_error
+from .core.vtm import VtmSolver
+from .errors import ConfigurationError
+from .graph.electric import ElectricGraph
+from .graph.evs import DominancePreservingSplit, SplitResult, split_graph
+from .graph.partitioners import greedy_grow_partition, grid_block_partition
+from .linalg.iterative import direct_reference_solution
+from .linalg.sparse import CsrMatrix
+from .sim.executor import DtmSimulator
+from .sim.network import Topology, complete_topology
+from .utils.timeseries import TimeSeries
+
+
+@dataclass
+class SolveResult:
+    """Solution plus diagnostics from the high-level entry points."""
+
+    x: np.ndarray
+    rms_error: float
+    relative_residual: float
+    converged: bool
+    iterations: int
+    sim_time: float
+    errors: Optional[TimeSeries] = None
+    split: Optional[SplitResult] = None
+
+
+def prepare_split(a, b, n_subdomains: int, *, seed: int = 0,
+                  grid_shape: Optional[tuple[int, int]] = None,
+                  parts_shape: Optional[tuple[int, int]] = None
+                  ) -> SplitResult:
+    """Electric graph → partition → EVS, with automatic partitioning.
+
+    If *grid_shape* (and optionally *parts_shape*) is given, the regular
+    block partitioner is used (paper §7); otherwise BFS region growing.
+    """
+    graph = a if isinstance(a, ElectricGraph) else ElectricGraph.from_system(
+        a if isinstance(a, CsrMatrix) else
+        CsrMatrix.from_dense(np.asarray(a, dtype=np.float64)),
+        np.asarray(b, dtype=np.float64))
+    if grid_shape is not None:
+        nx, ny = grid_shape
+        if parts_shape is None:
+            side = int(round(np.sqrt(n_subdomains)))
+            if side * side != n_subdomains:
+                raise ConfigurationError(
+                    f"n_subdomains={n_subdomains} is not square; pass "
+                    "parts_shape explicitly")
+            parts_shape = (side, side)
+        partition = grid_block_partition(nx, ny, *parts_shape)
+    else:
+        partition = greedy_grow_partition(graph, n_subdomains, seed=seed)
+    return split_graph(graph, partition,
+                       strategy=DominancePreservingSplit())
+
+
+def solve_dtm(a, b=None, *, n_subdomains: int = 4,
+              topology: Optional[Topology] = None,
+              impedance=1.0, t_max: float = 5000.0, tol: float = 1e-8,
+              seed: int = 0,
+              grid_shape: Optional[tuple[int, int]] = None,
+              parts_shape: Optional[tuple[int, int]] = None,
+              **sim_kwargs) -> SolveResult:
+    """Solve an SPD system with asynchronous DTM on a simulated machine.
+
+    Parameters mirror the pipeline: *a*/*b* (matrix+rhs or an
+    :class:`ElectricGraph`), the number of subdomains, the machine
+    *topology* (default: a mesh with delays in [10, 100]), the
+    impedance spec, and the simulation horizon/tolerance.
+    """
+    if isinstance(a, ElectricGraph) and b is None:
+        split = prepare_split(a, a.sources, n_subdomains, seed=seed,
+                              grid_shape=grid_shape,
+                              parts_shape=parts_shape)
+    else:
+        if b is None:
+            raise ConfigurationError("b is required unless a is an "
+                                     "ElectricGraph")
+        split = prepare_split(a, b, n_subdomains, seed=seed,
+                              grid_shape=grid_shape, parts_shape=parts_shape)
+    if topology is None:
+        # fully connected by default: an automatic partition's adjacency
+        # is not guaranteed to match any particular mesh
+        topology = complete_topology(split.n_parts, delay_low=10.0,
+                                     delay_high=100.0, seed=seed)
+    sim = DtmSimulator(split, topology, impedance=impedance, **sim_kwargs)
+    res = sim.run(t_max, tol=tol)
+    a_mat, b_vec = split.graph.to_system()
+    ref = direct_reference_solution(a_mat, b_vec)
+    return SolveResult(
+        x=res.x, rms_error=rms_error(res.x, ref),
+        relative_residual=relative_residual(a_mat, res.x, b_vec),
+        converged=res.converged, iterations=res.n_solves,
+        sim_time=res.t_end, errors=res.errors, split=split)
+
+
+def solve_vtm_system(a, b, *, n_subdomains: int = 4, impedance=1.0,
+                     tol: float = 1e-8, max_iterations: int = 10_000,
+                     seed: int = 0) -> SolveResult:
+    """Solve an SPD system with the synchronous VTM special case."""
+    split = prepare_split(a, b, n_subdomains, seed=seed)
+    solver = VtmSolver(split, impedance)
+    res = solver.run(tol=tol, max_iterations=max_iterations)
+    a_mat, b_vec = split.graph.to_system()
+    ref = direct_reference_solution(a_mat, b_vec)
+    series = TimeSeries("vtm_error")
+    for k, e in enumerate(res.error_history):
+        series.append(float(k), float(e))
+    return SolveResult(
+        x=res.x, rms_error=rms_error(res.x, ref),
+        relative_residual=relative_residual(a_mat, res.x, b_vec),
+        converged=res.converged, iterations=res.iterations,
+        sim_time=float(res.iterations), errors=series, split=split)

@@ -1,0 +1,47 @@
+"""DTM core: DTLs, impedances, local systems, kernels, VTM, hybrids."""
+
+from .convergence import (
+    ConvergenceTracker,
+    max_error,
+    relative_residual,
+    rms_error,
+)
+from .dtl import (
+    DtlEndpoint,
+    Dtlp,
+    DtlpNetwork,
+    build_dtlp_network,
+    delay_equation_residual,
+    outgoing_wave,
+    port_current,
+    reflected_wave,
+)
+from .impedance import (
+    DiagonalMeanImpedance,
+    FixedImpedance,
+    GeometricMeanImpedance,
+    ImpedanceStrategy,
+    PerVertexImpedance,
+    as_impedance_strategy,
+)
+from .kernel import DtmKernel, WaveMessage, build_kernels, gather_global_state
+from .local import (
+    LocalSystem,
+    build_all_local_systems,
+    build_local_system,
+    validate_local_system,
+)
+from .vtm import VtmResult, VtmSolver, solve_vtm
+
+__all__ = [
+    "ConvergenceTracker", "max_error", "relative_residual", "rms_error",
+    "DtlEndpoint", "Dtlp", "DtlpNetwork", "build_dtlp_network",
+    "delay_equation_residual", "outgoing_wave", "port_current",
+    "reflected_wave",
+    "DiagonalMeanImpedance", "FixedImpedance", "GeometricMeanImpedance",
+    "ImpedanceStrategy", "PerVertexImpedance", "as_impedance_strategy",
+    "DtmKernel", "WaveMessage", "build_kernels", "gather_global_state",
+    "LocalSystem", "build_all_local_systems", "build_local_system",
+    "validate_local_system",
+    "VtmResult", "VtmSolver", "solve_vtm",
+]

@@ -1,0 +1,123 @@
+"""Error metrics, stopping rules and convergence tracking.
+
+The paper reports RMS error against the direct solution (Figs 8, 9, 12,
+14).  :class:`ConvergenceTracker` bundles the reference solution, the
+metric and the tolerance/horizon stopping logic shared by the VTM loop,
+the discrete-event simulator and the asyncio runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.timeseries import TimeSeries
+
+
+def rms_error(x, reference) -> float:
+    """Root-mean-square deviation between *x* and *reference*."""
+    x = np.asarray(x, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if x.shape != reference.shape:
+        raise ValidationError(
+            f"shape mismatch in rms_error: {x.shape} vs {reference.shape}")
+    if x.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((x - reference) ** 2)))
+
+
+def max_error(x, reference) -> float:
+    """Maximum absolute deviation."""
+    x = np.asarray(x, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if x.shape != reference.shape:
+        raise ValidationError(
+            f"shape mismatch in max_error: {x.shape} vs {reference.shape}")
+    if x.size == 0:
+        return 0.0
+    return float(np.max(np.abs(x - reference)))
+
+
+def relative_residual(a, x, b) -> float:
+    """``‖b − A x‖₂ / ‖b‖₂`` (reference-free convergence measure)."""
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    r = b - (a.matvec(x) if hasattr(a, "matvec") else
+             np.asarray(a, dtype=np.float64) @ x)
+    denom = float(np.linalg.norm(b)) or 1.0
+    return float(np.linalg.norm(r)) / denom
+
+
+@dataclass
+class ConvergenceTracker:
+    """Accumulates an error trace and decides when to stop.
+
+    Parameters
+    ----------
+    reference:
+        The exact solution (``None`` → residual-based tracking must be
+        fed externally computed values via :meth:`record_value`).
+    tol:
+        Stop once the metric drops below this (``None`` → never).
+    metric:
+        ``rms`` (default) or ``max``, applied against *reference*.
+    """
+
+    reference: Optional[np.ndarray] = None
+    tol: Optional[float] = None
+    metric: str = "rms"
+    series: TimeSeries = field(default_factory=lambda: TimeSeries("error"))
+    _metric_fn: Callable = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.metric == "rms":
+            self._metric_fn = rms_error
+        elif self.metric == "max":
+            self._metric_fn = max_error
+        else:
+            raise ValidationError(f"unknown metric {self.metric!r}")
+        if self.reference is not None:
+            self.reference = np.asarray(self.reference, dtype=np.float64)
+        if self.tol is not None and self.tol <= 0:
+            raise ValidationError("tol must be positive when given")
+
+    def record(self, t: float, x) -> float:
+        """Record the error of state *x* at time *t*; returns the error."""
+        if self.reference is None:
+            raise ValidationError(
+                "tracker has no reference solution; use record_value")
+        err = self._metric_fn(x, self.reference)
+        self.series.append(t, err)
+        return err
+
+    def record_value(self, t: float, value: float) -> float:
+        """Record an externally computed error value."""
+        self.series.append(t, float(value))
+        return float(value)
+
+    @property
+    def converged(self) -> bool:
+        """True once the most recent recorded error is below tol."""
+        if self.tol is None or len(self.series) == 0:
+            return False
+        return float(self.series.final) < self.tol
+
+    @property
+    def final_error(self) -> float:
+        if len(self.series) == 0:
+            return np.inf
+        return float(self.series.final)
+
+    def time_to_tol(self, tol: Optional[float] = None) -> Optional[float]:
+        """First recorded time at which the error was below *tol*."""
+        threshold = self.tol if tol is None else tol
+        if threshold is None:
+            raise ValidationError("no tolerance given")
+        return self.series.first_time_below(threshold)
+
+    def decay_rate(self) -> float:
+        """log10 error decay per time unit over the trace tail."""
+        return self.series.tail_slope()

@@ -1,0 +1,241 @@
+"""Directed Transmission Lines and their pairs (paper §2 and §5).
+
+A DTL carries the *Directed Transmission Delay Equation* (2.1)
+
+.. math:: U_{out}(t) + Z\\,I_{out}(t) = U_{in}(t-τ) - Z\\,I_{in}(t-τ)
+
+with positive characteristic impedance Z and propagation delay τ.  Two
+DTLs of equal impedance pointing opposite ways form a DTLP (2.2); one
+DTLP is inserted between every pair of twin vertices produced by EVS.
+
+The quantity each DTL actually transports is the **wave**
+``a = u − Z ω`` evaluated at the sending port; the receiving port then
+obeys ``u + Z ω = a`` and answers with ``2u − a``.  The helpers here
+implement that scattering algebra, and :func:`build_dtlp_network`
+materialises the paper's *Algorithm-Architecture Delay Mapping*: each
+DTL's delay is set to the (asymmetric) communication delay of the link
+its subgraphs are mapped onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, ValidationError
+from ..graph.evs import SplitResult
+from ..utils.validation import require_positive
+
+
+# ----------------------------------------------------------------------
+# wave algebra (the scattering form of equations (2.1)/(2.2))
+# ----------------------------------------------------------------------
+def outgoing_wave(u: float, omega: float, z: float) -> float:
+    """Wave ``u − Z ω`` a port launches into its DTL."""
+    return u - z * omega
+
+
+def reflected_wave(u_port, incoming):
+    """Wave sent back on a DTLP: ``b = 2 u − a`` (scalar or arrays)."""
+    return 2.0 * np.asarray(u_port) - np.asarray(incoming)
+
+
+def port_current(incoming, u_port, z):
+    """Inflow current ``ω = (a − u)/Z`` implied by the received wave."""
+    return (np.asarray(incoming) - np.asarray(u_port)) / np.asarray(z)
+
+
+def delay_equation_residual(u_out: Sequence[float], i_out: Sequence[float],
+                            u_in: Sequence[float], i_in: Sequence[float],
+                            z: float) -> np.ndarray:
+    """Residual of (2.1) given already delay-aligned samples.
+
+    Callers align the input samples by the propagation delay (e.g. with
+    :class:`~repro.utils.timeseries.TimeSeries.at`); a correct DTM run
+    drives this residual to zero at steady state.
+    """
+    u_out = np.asarray(u_out, dtype=np.float64)
+    i_out = np.asarray(i_out, dtype=np.float64)
+    u_in = np.asarray(u_in, dtype=np.float64)
+    i_in = np.asarray(i_in, dtype=np.float64)
+    return (u_out + z * i_out) - (u_in - z * i_in)
+
+
+# ----------------------------------------------------------------------
+# DTLP network structures
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DtlEndpoint:
+    """One side of a DTLP: a local port of a subdomain.
+
+    ``slot`` is the index of this endpoint's incoming-wave storage in
+    its subdomain's kernel (assigned by :func:`build_dtlp_network`).
+    """
+
+    part: int
+    port: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class Dtlp:
+    """A directed-transmission-line pair between twin ports.
+
+    ``delay_ab`` is the propagation delay of the DTL from endpoint *a*
+    to endpoint *b* (and vice versa); per the paper the two may differ.
+    """
+
+    index: int
+    vertex: int
+    impedance: float
+    a: DtlEndpoint
+    b: DtlEndpoint
+    delay_ab: float
+    delay_ba: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.impedance, "impedance")
+        if self.delay_ab < 0 or self.delay_ba < 0:
+            raise ValidationError("propagation delays must be non-negative")
+
+    def other(self, part: int) -> DtlEndpoint:
+        """The endpoint on the other side from *part*."""
+        if part == self.a.part and part == self.b.part:
+            raise ConfigurationError(
+                f"DTLP {self.index} joins two ports of the same part; use "
+                "endpoint objects directly")
+        if part == self.a.part:
+            return self.b
+        if part == self.b.part:
+            return self.a
+        raise ValidationError(f"part {part} is not an endpoint of DTLP "
+                              f"{self.index}")
+
+    def delay_from(self, part: int) -> float:
+        """Propagation delay of the DTL leaving *part*."""
+        if part == self.a.part:
+            return self.delay_ab
+        if part == self.b.part:
+            return self.delay_ba
+        raise ValidationError(f"part {part} is not an endpoint of DTLP "
+                              f"{self.index}")
+
+
+@dataclass
+class DtlpNetwork:
+    """All DTLPs of a split system plus per-subdomain slot tables.
+
+    ``attachments[q]`` lists, for subdomain *q* in slot order, tuples
+    ``(dtlp_index, local_port, impedance)`` — everything the local
+    system needs to add the ``+1/Z`` diagonal terms and to scale the
+    incoming waves.
+    """
+
+    dtlps: list[Dtlp]
+    attachments: list[list[tuple[int, int, float]]]
+
+    @property
+    def n_parts(self) -> int:
+        return len(self.attachments)
+
+    def n_slots(self, part: int) -> int:
+        """Number of incoming DTLs (wave slots) of subdomain *part*."""
+        return len(self.attachments[part])
+
+    def endpoint(self, part: int, slot: int) -> DtlEndpoint:
+        """The endpoint object stored at (part, slot)."""
+        dtlp_idx, port, _ = self.attachments[part][slot]
+        d = self.dtlps[dtlp_idx]
+        for ep in (d.a, d.b):
+            if ep.part == part and ep.slot == slot:
+                return ep
+        raise ValidationError(  # pragma: no cover - structural invariant
+            f"slot table corrupt at part {part} slot {slot}")
+
+    def routes_from(self, part: int) -> list[tuple[int, int, int, float]]:
+        """Outgoing routing for *part* in slot order.
+
+        For each local slot: ``(dest_part, dest_slot, dtlp_index,
+        delay)`` — the wave computed against slot *l* is sent to the
+        twin endpoint of the same DTLP.
+        """
+        out = []
+        for dtlp_idx, _port, _z in self.attachments[part]:
+            d = self.dtlps[dtlp_idx]
+            dest = d.other(part)
+            out.append((dest.part, dest.slot, dtlp_idx, d.delay_from(part)))
+        return out
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used in experiment reports."""
+        delays = [x for d in self.dtlps for x in (d.delay_ab, d.delay_ba)]
+        imps = [d.impedance for d in self.dtlps]
+        return {
+            "n_dtlps": float(len(self.dtlps)),
+            "min_delay": float(np.min(delays)) if delays else 0.0,
+            "max_delay": float(np.max(delays)) if delays else 0.0,
+            "min_impedance": float(np.min(imps)) if imps else 0.0,
+            "max_impedance": float(np.max(imps)) if imps else 0.0,
+        }
+
+
+DelayFn = Callable[[int, int], float]
+
+
+def build_dtlp_network(split: SplitResult,
+                       impedances: Sequence[float] | Mapping[int, float] | float,
+                       delay_of: DelayFn | float) -> DtlpNetwork:
+    """Insert one DTLP per twin link (paper §5, Fig 7/10).
+
+    Parameters
+    ----------
+    split:
+        The EVS result whose ``twin_links`` locate the DTLPs.
+    impedances:
+        Either a scalar (same Z everywhere), a sequence aligned with
+        ``split.twin_links``, or a mapping from split vertex id to Z
+        (the Example 5.1 style: Z per torn vertex).
+    delay_of:
+        ``delay_of(src_part, dst_part)`` gives the propagation delay of
+        the DTL in that direction — the algorithm-architecture delay
+        mapping.  A scalar means a uniform delay (VTM-like).
+    """
+    links = split.twin_links
+    if isinstance(impedances, (int, float)):
+        z_list = [float(impedances)] * len(links)
+    elif isinstance(impedances, Mapping):
+        z_list = []
+        for link in links:
+            if link.vertex not in impedances:
+                raise ConfigurationError(
+                    f"no impedance given for split vertex {link.vertex}")
+            z_list.append(float(impedances[link.vertex]))
+    else:
+        z_list = [float(z) for z in impedances]
+        if len(z_list) != len(links):
+            raise ConfigurationError(
+                f"{len(z_list)} impedances for {len(links)} twin links")
+    if callable(delay_of):
+        delay_fn = delay_of
+    else:
+        const = float(delay_of)
+        delay_fn = lambda _s, _d: const  # noqa: E731 - tiny closure
+
+    attachments: list[list[tuple[int, int, float]]] = [
+        [] for _ in range(split.n_parts)]
+    dtlps: list[Dtlp] = []
+    for idx, (link, z) in enumerate(zip(links, z_list)):
+        slot_a = len(attachments[link.part_a])
+        slot_b = len(attachments[link.part_b])
+        ep_a = DtlEndpoint(part=link.part_a, port=link.port_a, slot=slot_a)
+        ep_b = DtlEndpoint(part=link.part_b, port=link.port_b, slot=slot_b)
+        dtlp = Dtlp(index=idx, vertex=link.vertex, impedance=z,
+                    a=ep_a, b=ep_b,
+                    delay_ab=float(delay_fn(link.part_a, link.part_b)),
+                    delay_ba=float(delay_fn(link.part_b, link.part_a)))
+        dtlps.append(dtlp)
+        attachments[link.part_a].append((idx, link.port_a, z))
+        attachments[link.part_b].append((idx, link.port_b, z))
+    return DtlpNetwork(dtlps=dtlps, attachments=attachments)

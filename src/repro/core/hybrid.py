@@ -1,0 +1,257 @@
+"""Sync/async hybrid solvers — the paper's §8 future-work proposals.
+
+The conclusion observes VTM (synchronous) converges faster per exchange
+than DTM and asks for "some sync-async-mixed approach in the physical
+domain (e.g. global-async-local-sync) or time domain (e.g.
+async-sync-async-sync)".  Both are implemented here:
+
+* :class:`ClusteredDtmSimulator` — *global-async-local-sync*: subdomains
+  are grouped into clusters; inside a cluster waves are exchanged
+  synchronously (several VTM sweeps per activation, zero intra-cluster
+  delay — one multicore node), while clusters communicate
+  asynchronously over the heterogeneous network;
+* :class:`PeriodicResyncDtmSimulator` — *async-sync-async*: plain DTM
+  interleaved with periodic global re-synchronisations whose cost is
+  the slowest link's round delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graph.evs import SplitResult
+from ..sim.executor import DtmRunResult, DtmSimulator
+from ..sim.network import Topology
+from ..sim.processor import ComputeModel, Processor
+from ..utils.validation import require
+from .convergence import ConvergenceTracker
+from .dtl import build_dtlp_network
+from .impedance import as_impedance_strategy
+from .kernel import WaveMessage, build_kernels
+from .local import build_all_local_systems
+
+
+class ClusterKernel:
+    """Synchronous sweep over a cluster of DTM kernels.
+
+    Presents the Processor-facing protocol (receive / solve / dirty);
+    one ``solve()`` runs *local_sweeps* synchronous rounds among its
+    members and returns only the waves that leave the cluster.
+    """
+
+    def __init__(self, cluster_id: int, members: Sequence[int],
+                 kernels, cluster_of: Sequence[int],
+                 local_sweeps: int = 2) -> None:
+        require(local_sweeps >= 1, "local_sweeps must be >= 1")
+        self.cluster_id = cluster_id
+        self.members = list(members)
+        self.kernels = kernels
+        self.cluster_of = list(cluster_of)
+        self.local_sweeps = int(local_sweeps)
+        self.dirty = True
+        self.n_solves = 0
+        self.n_received = 0
+        # external inbox slots: (member_part, member_slot) -> ext slot
+        self.ext_in: list[tuple[int, int]] = []
+        self._ext_index: dict[tuple[int, int], int] = {}
+        for part in self.members:
+            kernel = kernels[part]
+            for slot, (src_dest) in enumerate(kernel.routes):
+                # slot receives from the twin; twin's part:
+                dest_part = src_dest[0]
+                if self.cluster_of[dest_part] != cluster_id:
+                    idx = len(self.ext_in)
+                    self.ext_in.append((part, slot))
+                    self._ext_index[(part, slot)] = idx
+
+        n_slots = len(self.ext_in)
+        n_local = sum(kernels[p].local.n_local for p in self.members)
+
+        class _L:
+            pass
+
+        self.local = _L()
+        self.local.n_slots = n_slots
+        self.local.n_local = n_local
+
+    def ext_slot_of(self, part: int, slot: int) -> int:
+        """External slot index for a member's (part, slot) inbox."""
+        return self._ext_index[(part, slot)]
+
+    def receive(self, ext_slot: int, value: float) -> None:
+        part, slot = self.ext_in[ext_slot]
+        self.kernels[part].receive(slot, value)
+        self.n_received += 1
+        self.dirty = True
+
+    def solve(self) -> list[WaveMessage]:
+        outbound: dict[tuple[int, int], WaveMessage] = {}
+        for _ in range(self.local_sweeps):
+            internal: list[WaveMessage] = []
+            for part in self.members:
+                for msg in self.kernels[part].solve():
+                    if self.cluster_of[msg.dest_part] == self.cluster_id:
+                        internal.append(msg)
+                    else:
+                        # latest value wins on re-sweeps
+                        outbound[(msg.dest_part, msg.dest_slot)] = msg
+            for msg in internal:
+                self.kernels[msg.dest_part].receive(msg.dest_slot, msg.value)
+        self.dirty = False
+        self.n_solves += 1
+        return list(outbound.values())
+
+    def full_state(self):  # pragma: no cover - parity with DtmKernel
+        raise NotImplementedError("query member kernels directly")
+
+
+class ClusteredDtmSimulator:
+    """Global-async-local-sync DTM (paper §8, "physical domain" hybrid).
+
+    Parameters
+    ----------
+    clusters:
+        Partition of subdomain indices into processor groups; cluster
+        *i* runs on processor *i* of *topology*.
+    local_sweeps:
+        Synchronous VTM sweeps a cluster performs per activation.
+    """
+
+    def __init__(self, split: SplitResult, topology: Topology,
+                 clusters: Sequence[Sequence[int]], *,
+                 impedance=1.0, local_sweeps: int = 2,
+                 compute: Optional[ComputeModel] = None,
+                 min_solve_interval: Optional[float] = None) -> None:
+        self.split = split
+        self.topology = topology
+        self.clusters = [list(c) for c in clusters]
+        seen = sorted(q for c in self.clusters for q in c)
+        if seen != list(range(split.n_parts)):
+            raise ConfigurationError(
+                "clusters must partition the subdomain indices exactly")
+        if len(self.clusters) > topology.n_procs:
+            raise ConfigurationError(
+                f"{len(self.clusters)} clusters but only "
+                f"{topology.n_procs} processors")
+        self.cluster_of = [0] * split.n_parts
+        for cid, members in enumerate(self.clusters):
+            for q in members:
+                self.cluster_of[q] = cid
+
+        z_list = as_impedance_strategy(impedance).assign(split)
+
+        def delay_of(qa: int, qb: int) -> float:
+            ca, cb = self.cluster_of[qa], self.cluster_of[qb]
+            if ca == cb:
+                return 0.0
+            return topology.nominal_delay(ca, cb)
+
+        self.network = build_dtlp_network(split, z_list, delay_of)
+        self.locals = build_all_local_systems(split, self.network)
+        self.kernels = build_kernels(split, self.network, self.locals)
+        self.cluster_kernels = [
+            ClusterKernel(cid, members, self.kernels, self.cluster_of,
+                          local_sweeps)
+            for cid, members in enumerate(self.clusters)]
+
+        from ..sim.engine import Engine
+
+        self.engine = Engine()
+        if min_solve_interval is None:
+            delays = [m.nominal() for m in topology.links.values()]
+            min_solve_interval = (min(delays) / 10.0) if delays else 0.0
+        self.min_solve_interval = float(min_solve_interval)
+        self._n_messages = 0
+        self.processors = [
+            Processor(self.engine, cid, ck, self._route, compute=compute,
+                      min_solve_interval=self.min_solve_interval)
+            for cid, ck in enumerate(self.cluster_kernels)]
+
+    def _route(self, src_cluster: int, messages, t_ready: float) -> None:
+        for msg in messages:
+            dest_cluster = self.cluster_of[msg.dest_part]
+            latency = self.topology.sample_delay(src_cluster, dest_cluster)
+            ext_slot = self.cluster_kernels[dest_cluster].ext_slot_of(
+                msg.dest_part, msg.dest_slot)
+            self._n_messages += 1
+            self.engine.schedule_at(
+                t_ready + latency,
+                self.processors[dest_cluster].deliver, ext_slot, msg.value)
+
+    def current_solution(self) -> np.ndarray:
+        return self.split.gather([k.full_state() for k in self.kernels])
+
+    def run(self, t_max: float, *, tol: Optional[float] = None,
+            reference: Optional[np.ndarray] = None,
+            sample_interval: Optional[float] = None) -> DtmRunResult:
+        if t_max <= 0:
+            raise ConfigurationError("t_max must be positive")
+        if reference is None:
+            a, b = self.split.graph.to_system()
+            from ..linalg.iterative import direct_reference_solution
+
+            reference = direct_reference_solution(a, b)
+        if sample_interval is None:
+            sample_interval = t_max / 256.0
+        tracker = ConvergenceTracker(reference=np.asarray(reference), tol=tol)
+
+        from ..sim.trace import ErrorObserver
+
+        observer = ErrorObserver(self.engine, self.split, self.kernels,
+                                 tracker, sample_interval)
+        observer.install()
+        for p in self.processors:
+            p.start()
+        t_end = self.engine.run(until=t_max, max_events=20_000_000)
+        tracker.record(max(t_end, tracker.series.times[-1]),
+                       self.current_solution())
+        return DtmRunResult(
+            x=self.current_solution(), errors=tracker.series,
+            converged=tracker.converged, t_end=t_end,
+            time_to_tol=tracker.time_to_tol() if tol else None,
+            n_solves=sum(p.n_solves for p in self.processors),
+            n_messages=self._n_messages,
+            n_events=self.engine.n_events_processed,
+            stats={"n_clusters": len(self.clusters),
+                   "local_sweeps": self.cluster_kernels[0].local_sweeps
+                   if self.cluster_kernels else 0,
+                   "quiescent": observer.stopped_quiescent})
+
+
+class PeriodicResyncDtmSimulator(DtmSimulator):
+    """DTM with periodic global re-synchronisation (§8 "time domain").
+
+    Every ``resync_period``, all subdomains' freshest boundary
+    conditions are redistributed after ``resync_latency`` (default: the
+    slowest link delay — the price of the global exchange).
+    """
+
+    def __init__(self, split: SplitResult, topology: Topology, *,
+                 resync_period: float, resync_latency: float | None = None,
+                 **kwargs) -> None:
+        super().__init__(split, topology, **kwargs)
+        if resync_period <= 0:
+            raise ConfigurationError("resync_period must be positive")
+        self.resync_period = float(resync_period)
+        if resync_latency is None:
+            resync_latency = self.topology.delay_stats()["max"]
+        self.resync_latency = float(resync_latency)
+        self.n_resyncs = 0
+
+    def _install_extras(self) -> None:
+        self.engine.schedule_at(self.resync_period, self._resync)
+
+    def _resync(self) -> None:
+        """Global exchange: everyone's current waves delivered together."""
+        self.n_resyncs += 1
+        t_arrive = self.engine.now + self.resync_latency
+        for kernel in self.kernels:
+            for msg in kernel.solve():
+                self._n_messages += 1
+                self.engine.schedule_at(
+                    t_arrive, self.processors[msg.dest_part].deliver,
+                    msg.dest_slot, msg.value)
+        self.engine.schedule_after(self.resync_period, self._resync)

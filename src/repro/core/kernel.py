@@ -1,0 +1,170 @@
+"""The per-subdomain DTM state machine (paper Table 1, steps 3-3.3).
+
+:class:`DtmKernel` is deliberately backend-agnostic: it knows nothing
+about clocks, processors or sockets.  It holds the latest incoming wave
+per slot and, when asked to solve, produces the outgoing wave messages.
+Three executors drive it:
+
+* :class:`repro.sim.executor.DtmSimulator` — discrete-event simulation
+  with the algorithm-architecture delay mapping;
+* :class:`repro.core.vtm.VtmSolver` — the synchronous special case;
+* :class:`repro.runtime.asyncio_backend.AsyncioDtmRunner` — real
+  concurrent execution.
+
+Messages are ``(dest_part, dest_slot, wave_value)`` triples; transport
+and delay are the executor's business (that *is* the delay mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from .local import LocalSystem
+
+
+@dataclass
+class WaveMessage:
+    """One wave in flight on a DTL."""
+
+    dest_part: int
+    dest_slot: int
+    value: float
+    dtlp_index: int
+    src_part: int
+
+
+@dataclass
+class DtmKernel:
+    """Table 1's per-subgraph loop body, as a passive state machine.
+
+    Parameters
+    ----------
+    local:
+        The factored local system (5.9).
+    routes:
+        Outgoing routing per slot: ``(dest_part, dest_slot, dtlp_index,
+        delay)`` — produced by
+        :meth:`repro.core.dtl.DtlpNetwork.routes_from`.  The delay
+        element is carried for the executor's convenience.
+    """
+
+    local: LocalSystem
+    routes: Sequence[tuple[int, int, int, float]]
+    #: send only waves that changed by more than this (0 = always send)
+    send_threshold: float = 0.0
+
+    waves: np.ndarray = field(init=False)
+    u_ports: np.ndarray = field(init=False)
+    last_sent: np.ndarray = field(init=False)
+    n_solves: int = field(init=False, default=0)
+    n_received: int = field(init=False, default=0)
+    dirty: bool = field(init=False, default=True)
+
+    def __post_init__(self) -> None:
+        if len(self.routes) != self.local.n_slots:
+            raise ValidationError(
+                f"kernel of part {self.local.part} has {self.local.n_slots} "
+                f"slots but {len(self.routes)} routes")
+        if self.send_threshold < 0:
+            raise ValidationError("send_threshold must be >= 0")
+        # zero initial boundary conditions: u(0) = ω(0) = 0 ⇒ waves 0
+        self.waves = np.zeros(self.local.n_slots)
+        self.u_ports = np.zeros(self.local.n_ports)
+        self.last_sent = np.full(self.local.n_slots, np.nan)
+
+    @property
+    def part(self) -> int:
+        return self.local.part
+
+    # ------------------------------------------------------------------
+    # Table 1 step 3: receive remote boundary conditions
+    # ------------------------------------------------------------------
+    def receive(self, slot: int, value: float) -> None:
+        """Store the wave received on *slot* (latest-wins semantics)."""
+        if not 0 <= slot < self.local.n_slots:
+            raise ValidationError(
+                f"part {self.part}: slot {slot} out of range "
+                f"[0, {self.local.n_slots})")
+        self.waves[slot] = value
+        self.n_received += 1
+        self.dirty = True
+
+    # ------------------------------------------------------------------
+    # Table 1 steps 3.1-3.2: solve and emit new boundary conditions
+    # ------------------------------------------------------------------
+    def solve(self) -> list[WaveMessage]:
+        """Resolve the local system against the stored waves.
+
+        Returns the outgoing wave messages (all slots, unless
+        ``send_threshold`` suppresses unchanged ones).  The paper's
+        step 3.2 sends the new local boundary condition to every
+        adjacent subgraph; with the scattering form that is exactly one
+        scalar per DTL.
+        """
+        self.u_ports = self.local.solve_ports(self.waves)
+        self.n_solves += 1
+        self.dirty = False
+        outgoing = self.local.outgoing_waves(self.waves, self.u_ports)
+        messages: list[WaveMessage] = []
+        for slot, (dest_part, dest_slot, dtlp_idx, _delay) in enumerate(
+                self.routes):
+            value = float(outgoing[slot])
+            prev = self.last_sent[slot]
+            if (self.send_threshold > 0.0 and np.isfinite(prev)
+                    and abs(value - prev) <= self.send_threshold):
+                continue
+            self.last_sent[slot] = value
+            messages.append(WaveMessage(dest_part=dest_part,
+                                        dest_slot=dest_slot, value=value,
+                                        dtlp_index=dtlp_idx,
+                                        src_part=self.part))
+        return messages
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def full_state(self) -> np.ndarray:
+        """Current full local state ``[u; y]`` (materialises interiors)."""
+        return self.local.full_state(self.waves)
+
+    def port_potentials(self) -> np.ndarray:
+        """Latest computed port potentials u_j(t)."""
+        return self.u_ports.copy()
+
+    def port_currents(self) -> np.ndarray:
+        """Latest inflow currents ω_j(t) (per port, summed over DTLs)."""
+        return self.local.port_currents(self.waves, self.u_ports)
+
+    def boundary_change(self) -> float:
+        """Max |u − u_prev_solve| proxy: distance of waves to quiescence.
+
+        At a fixed point every outgoing wave equals what the twin will
+        echo back; we measure ``max |2u − a − last_sent|`` which is zero
+        exactly at quiescence.
+        """
+        if self.local.n_slots == 0:
+            return 0.0
+        out = self.local.outgoing_waves(self.waves, self.u_ports)
+        prev = np.where(np.isfinite(self.last_sent), self.last_sent, 0.0)
+        return float(np.max(np.abs(out - prev)))
+
+
+def build_kernels(split, network, locals_: Sequence[LocalSystem], *,
+                  send_threshold: float = 0.0) -> list[DtmKernel]:
+    """One kernel per subdomain, wired to the DTLP network's routes."""
+    kernels = []
+    for sub, local in zip(split.subdomains, locals_):
+        kernels.append(DtmKernel(
+            local=local,
+            routes=network.routes_from(sub.part),
+            send_threshold=send_threshold))
+    return kernels
+
+
+def gather_global_state(split, kernels: Sequence[DtmKernel]) -> np.ndarray:
+    """Average copies of the kernels' full states into a global vector."""
+    return split.gather([k.full_state() for k in kernels])

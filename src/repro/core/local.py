@@ -1,0 +1,221 @@
+"""The constant local system each subdomain solves (paper (5.8)/(5.9)).
+
+After EVS and DTLP insertion, subdomain *j* must repeatedly solve
+
+.. math:: \\begin{bmatrix} C_j + Z_j^{-1} & E_j \\\\ F_j & D_j
+          \\end{bmatrix}
+          \\begin{bmatrix} u_j(t) \\\\ y_j(t) \\end{bmatrix} =
+          \\begin{bmatrix} f_j + Z_j^{-1} a_j(t) \\\\ g_j \\end{bmatrix}
+
+where ``a_j`` collects the most recently *received* incoming waves
+``u_twin(t−τ) − Z ω_twin(t−τ)``.  The coefficient matrix is constant —
+the paper's key speed observation — so we factor once and, going one
+step further, precompute the affine response
+
+.. math:: u_{ports}(a) = u_0 + W\\,a, \\qquad x_{full}(a) = x_0 + X\\,a
+
+turning every asynchronous resolve into one small dense mat-vec.
+
+A port may carry several DTLs (multilevel tearing): each attachment
+adds its own ``1/Z`` to that port's diagonal and its own wave column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotSpdError, ValidationError
+from ..graph.partition import Subdomain
+from ..linalg.cholesky import SymFactor, factor_spd, factor_symmetric
+from ..utils.validation import require
+
+
+@dataclass
+class LocalSystem:
+    """Factored local system of one subdomain with wave-response maps.
+
+    Build with :func:`build_local_system`.  The hot-path API is
+    :meth:`solve_ports` (ports only, r×s mat-vec) plus
+    :meth:`full_state` when interiors are needed (observers and final
+    reconstruction).
+    """
+
+    part: int
+    n_local: int
+    n_ports: int
+    #: (dtlp_index, local_port, impedance) per wave slot, in slot order.
+    attachments: list[tuple[int, int, float]]
+    #: port row of each slot (len = n_slots)
+    slot_ports: np.ndarray
+    #: 1/Z of each slot
+    slot_inv_z: np.ndarray
+    #: x_full(a) = x0 + X @ a
+    x0: np.ndarray
+    X: np.ndarray
+    _logdet: float = field(default=np.nan, repr=False)
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.slot_ports.size)
+
+    @property
+    def u0(self) -> np.ndarray:
+        """Port potentials under zero incoming waves."""
+        return self.x0[: self.n_ports]
+
+    @property
+    def W(self) -> np.ndarray:
+        """Port block of the wave-response matrix."""
+        return self.X[: self.n_ports, :]
+
+    def solve_ports(self, waves: np.ndarray) -> np.ndarray:
+        """Port potentials ``u`` for the given incoming waves."""
+        if self.n_slots == 0:
+            return self.u0.copy()
+        return self.u0 + self.W @ waves
+
+    def full_state(self, waves: np.ndarray) -> np.ndarray:
+        """Full local state ``[u; y]`` for the given incoming waves."""
+        if self.n_slots == 0:
+            return self.x0.copy()
+        return self.x0 + self.X @ waves
+
+    def slot_currents(self, waves: np.ndarray,
+                      u_ports: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-DTL inflow currents ``ω_l = (a_l − u_{p(l)}) / Z_l``."""
+        if u_ports is None:
+            u_ports = self.solve_ports(waves)
+        return (waves - u_ports[self.slot_ports]) * self.slot_inv_z
+
+    def port_currents(self, waves: np.ndarray,
+                      u_ports: Optional[np.ndarray] = None) -> np.ndarray:
+        """Total inflow current per port (sums multi-DTL attachments)."""
+        cur = self.slot_currents(waves, u_ports)
+        out = np.zeros(self.n_ports)
+        np.add.at(out, self.slot_ports, cur)
+        return out
+
+    def outgoing_waves(self, waves: np.ndarray,
+                       u_ports: Optional[np.ndarray] = None) -> np.ndarray:
+        """Waves launched back on every slot's DTLP: ``b = 2u − a``."""
+        if u_ports is None:
+            u_ports = self.solve_ports(waves)
+        return 2.0 * u_ports[self.slot_ports] - waves
+
+    def residual(self, waves: np.ndarray, matrix, rhs: np.ndarray
+                 ) -> np.ndarray:
+        """Residual of the *original* subdomain equations (4.3).
+
+        ``A_loc x − rhs − [ω; 0]`` must vanish for the state implied by
+        any wave vector — this is the defining property of (5.9) and a
+        cheap self-check used by the tests.
+        """
+        x = self.full_state(waves)
+        omega = np.zeros(self.n_local)
+        omega[: self.n_ports] = self.port_currents(
+            waves, x[: self.n_ports])
+        return matrix.matvec(x) - rhs - omega
+
+
+def build_local_system(sub: Subdomain,
+                       attachments: Sequence[tuple[int, int, float]],
+                       *, allow_indefinite: bool = False) -> LocalSystem:
+    """Assemble and factor the local system (5.9) for one subdomain.
+
+    Parameters
+    ----------
+    sub:
+        The EVS subdomain (ports-first local ordering).
+    attachments:
+        ``(dtlp_index, local_port, impedance)`` per incoming wave slot.
+    allow_indefinite:
+        The merged matrix ``C + Z^{-1}`` of an SNND subgraph with at
+        least one attached DTL is SPD in all ordinary cases; set this
+        to fall back to an LDLᵀ factorization when a deliberately
+        indefinite subgraph must still be handled.
+    """
+    n = sub.n_local
+    for _idx, port, z in attachments:
+        require(0 <= port < sub.n_ports,
+                f"attachment references port {port} outside "
+                f"[0, {sub.n_ports})")
+        require(z > 0, "impedances must be positive")
+    k = sub.matrix.to_dense()
+    slot_ports = np.asarray([port for _i, port, _z in attachments],
+                            dtype=np.int64)
+    slot_inv_z = np.asarray([1.0 / z for _i, _p, z in attachments])
+    for port, inv_z in zip(slot_ports, slot_inv_z):
+        k[port, port] += inv_z
+
+    if n == 0:
+        return LocalSystem(part=sub.part, n_local=0, n_ports=0,
+                           attachments=list(attachments),
+                           slot_ports=slot_ports, slot_inv_z=slot_inv_z,
+                           x0=np.zeros(0), X=np.zeros((0, 0)))
+
+    # right-hand sides: base f, plus one column e_p / z per slot
+    cols = np.zeros((n, len(attachments)))
+    for l, (port, inv_z) in enumerate(zip(slot_ports, slot_inv_z)):
+        cols[port, l] = inv_z
+    rhs_block = np.concatenate([sub.rhs[:, None], cols], axis=1)
+
+    logdet = np.nan
+    try:
+        factor = factor_spd(k, check_symmetry=False)
+        logdet = factor.logdet()
+        solution = factor.solve(rhs_block)
+    except NotSpdError:
+        if not allow_indefinite:
+            raise NotSpdError(
+                f"local system of subdomain {sub.part} is not SPD; the "
+                "subgraph violates the SNND hypothesis of Theorem 6.1 "
+                "(pass allow_indefinite=True to force an LDL^T factor)")
+        sym: SymFactor = factor_symmetric(k)
+        solution = sym.solve(rhs_block)
+
+    x0 = solution[:, 0].copy()
+    X = solution[:, 1:].copy()
+    local = LocalSystem(part=sub.part, n_local=n, n_ports=sub.n_ports,
+                        attachments=list(attachments),
+                        slot_ports=slot_ports, slot_inv_z=slot_inv_z,
+                        x0=x0, X=X, _logdet=logdet)
+    return local
+
+
+def build_all_local_systems(split, network, *,
+                            allow_indefinite: bool = False
+                            ) -> list[LocalSystem]:
+    """Build the factored local system of every subdomain of a split.
+
+    *network* is the :class:`~repro.core.dtl.DtlpNetwork` whose
+    attachment tables define the wave slots.
+    """
+    systems = []
+    for sub in split.subdomains:
+        systems.append(build_local_system(
+            sub, network.attachments[sub.part],
+            allow_indefinite=allow_indefinite))
+    return systems
+
+
+def validate_local_system(local: LocalSystem, sub: Subdomain,
+                          n_probe: int = 3, seed: int = 0,
+                          atol: float = 1e-8) -> None:
+    """Probe the (5.9) ⇔ (4.3) equivalence with random wave vectors.
+
+    Raises :class:`ValidationError` if the implied state/current pair
+    fails the original block equations — a construction self-check used
+    by the test-suite and by :mod:`repro.experiments.table1`.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(n_probe):
+        waves = rng.standard_normal(local.n_slots)
+        res = local.residual(waves, sub.matrix, sub.rhs)
+        dev = float(np.max(np.abs(res))) if res.size else 0.0
+        if dev > atol:
+            raise ValidationError(
+                f"local system of subdomain {local.part} violates (4.3): "
+                f"max residual {dev:.3e}")

@@ -1,0 +1,172 @@
+"""Virtual Transmission Method — the synchronous special case (§5, (5.10)).
+
+Setting every DTL propagation delay to one time unit turns DTM's
+continuous-time iteration into the discrete-time iteration the authors
+call VTM (their earlier NCM 2008 paper): all subdomains solve against
+the waves of step k−1, exchange, and advance together.  The fixed-point
+map in wave space is *affine*,
+
+.. math:: a^{k+1} = S a^k + c,
+
+so VTM doubles as the analysis vehicle: :meth:`VtmSolver.wave_operator`
+materialises S by probing, and its spectral radius is the synchronous
+convergence rate (used by the Fig 9 / ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..graph.evs import SplitResult
+from ..linalg.iterative import direct_reference_solution
+from ..utils.timeseries import TimeSeries
+from .convergence import ConvergenceTracker
+from .dtl import DtlpNetwork, build_dtlp_network
+from .impedance import as_impedance_strategy
+from .kernel import DtmKernel, build_kernels
+from .local import build_all_local_systems
+
+
+@dataclass
+class VtmResult:
+    """Outcome of a synchronous VTM run."""
+
+    x: np.ndarray
+    iterations: int
+    error_history: np.ndarray
+    converged: bool
+    spectral_radius: Optional[float] = None
+
+    @property
+    def final_error(self) -> float:
+        return float(self.error_history[-1]) if self.error_history.size \
+            else np.inf
+
+
+class VtmSolver:
+    """Synchronous wave iteration over an EVS split.
+
+    Parameters
+    ----------
+    split:
+        EVS result (subdomains + twin links).
+    impedance:
+        Scalar, per-vertex mapping, or
+        :class:`~repro.core.impedance.ImpedanceStrategy`.
+    """
+
+    def __init__(self, split: SplitResult, impedance=1.0, *,
+                 allow_indefinite: bool = False) -> None:
+        self.split = split
+        strategy = as_impedance_strategy(impedance)
+        z_list = strategy.assign(split)
+        self.network: DtlpNetwork = build_dtlp_network(split, z_list, 1.0)
+        self.locals = build_all_local_systems(
+            split, self.network, allow_indefinite=allow_indefinite)
+        self.kernels: list[DtmKernel] = build_kernels(
+            split, self.network, self.locals)
+        self._offsets = np.cumsum(
+            [0] + [k.local.n_slots for k in self.kernels])
+
+    # ------------------------------------------------------------------
+    # wave-space view
+    # ------------------------------------------------------------------
+    @property
+    def n_waves(self) -> int:
+        """Total number of wave slots across subdomains."""
+        return int(self._offsets[-1])
+
+    def get_waves(self) -> np.ndarray:
+        """Concatenated wave state (part-major, slot order)."""
+        return np.concatenate([k.waves for k in self.kernels]) \
+            if self.kernels else np.zeros(0)
+
+    def set_waves(self, w: np.ndarray) -> None:
+        """Overwrite the global wave state."""
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != (self.n_waves,):
+            raise ValidationError(
+                f"wave vector must have shape ({self.n_waves},)")
+        for q, k in enumerate(self.kernels):
+            k.waves[:] = w[self._offsets[q]:self._offsets[q + 1]]
+
+    def sweep(self) -> None:
+        """One synchronous step: all solve, then all messages deliver."""
+        all_messages = []
+        for kernel in self.kernels:
+            all_messages.extend(kernel.solve())
+        for msg in all_messages:
+            self.kernels[msg.dest_part].receive(msg.dest_slot, msg.value)
+
+    def wave_map(self, w: np.ndarray) -> np.ndarray:
+        """Evaluate the affine iteration map ``a ↦ S a + c`` once."""
+        saved = self.get_waves()
+        self.set_waves(w)
+        self.sweep()
+        out = self.get_waves()
+        self.set_waves(saved)
+        return out
+
+    def wave_operator(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise (S, c) by probing with unit vectors."""
+        m = self.n_waves
+        c = self.wave_map(np.zeros(m))
+        S = np.empty((m, m))
+        eye = np.eye(m)
+        for j in range(m):
+            S[:, j] = self.wave_map(eye[j]) - c
+        return S, c
+
+    def spectral_radius(self) -> float:
+        """ρ(S) of the synchronous wave operator (<1 ⇒ VTM converges)."""
+        if self.n_waves == 0:
+            return 0.0
+        S, _ = self.wave_operator()
+        return float(np.max(np.abs(np.linalg.eigvals(S))))
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def current_solution(self) -> np.ndarray:
+        """Global solution estimate from the kernels' current waves."""
+        return self.split.gather([k.full_state() for k in self.kernels])
+
+    def run(self, *, tol: float = 1e-8, max_iterations: int = 10_000,
+            reference: Optional[np.ndarray] = None,
+            raise_on_fail: bool = False,
+            record_history: bool = True) -> VtmResult:
+        """Iterate to tolerance against the (direct) reference solution."""
+        if reference is None:
+            a, b = self.split.graph.to_system()
+            reference = direct_reference_solution(a, b)
+        tracker = ConvergenceTracker(reference=reference, tol=tol)
+        history = TimeSeries("vtm_error")
+        it = 0
+        err = tracker.record(0.0, self.current_solution())
+        history.append(0.0, err)
+        while it < max_iterations and not tracker.converged:
+            self.sweep()
+            it += 1
+            if record_history or it == max_iterations:
+                err = tracker.record(float(it), self.current_solution())
+                history.append(float(it), err)
+        converged = tracker.converged
+        if not converged and raise_on_fail:
+            raise ConvergenceError(
+                f"VTM failed to reach tol={tol:g} within {max_iterations} "
+                f"iterations (error {tracker.final_error:.3e})")
+        return VtmResult(x=self.current_solution(), iterations=it,
+                         error_history=history.values,
+                         converged=converged)
+
+
+def solve_vtm(split: SplitResult, impedance=1.0, *, tol: float = 1e-8,
+              max_iterations: int = 10_000,
+              reference: Optional[np.ndarray] = None) -> VtmResult:
+    """One-shot VTM convenience wrapper."""
+    return VtmSolver(split, impedance).run(
+        tol=tol, max_iterations=max_iterations, reference=reference)

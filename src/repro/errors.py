@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch everything produced by this package with one clause while
+still distinguishing the common failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, consistency)."""
+
+
+class NotSymmetricError(ValidationError):
+    """A matrix that must be symmetric is not (beyond tolerance)."""
+
+
+class NotSpdError(ReproError):
+    """A matrix that must be symmetric positive definite is not."""
+
+
+class NotSnndError(ReproError):
+    """A matrix that must be symmetric non-negative definite is not.
+
+    The paper calls this property SNND (symmetric-non-negative-definite);
+    it is the hypothesis Theorem 6.1 places on all but one subgraph.
+    """
+
+
+class SingularMatrixError(ReproError):
+    """A factorization or solve encountered a (numerically) singular matrix."""
+
+
+class PartitionError(ReproError):
+    """A partition or split plan is malformed or inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A solver/executor was configured with incompatible options."""

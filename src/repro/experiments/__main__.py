@@ -1,0 +1,97 @@
+"""Command-line experiment runner: regenerate every paper artefact.
+
+Usage::
+
+    python -m repro.experiments                # everything
+    python -m repro.experiments fig8 fig12     # a subset
+    python -m repro.experiments --list         # available experiments
+
+Each experiment prints its record (tables, ASCII curves, measurements,
+shape checks) and writes it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    run_ablation_impedance,
+    run_ablation_split,
+    run_ablation_twin,
+    run_baselines,
+    run_fig8,
+    run_fig9,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_hybrid,
+    run_table1,
+    run_vtm_vs_dtm,
+)
+from .common import RESULTS_DIR
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "abl-z": run_ablation_impedance,
+    "abl-split": run_ablation_split,
+    "abl-twin": run_ablation_twin,
+    "abl-vtm": run_vtm_vs_dtm,
+    "abl-bj": run_baselines,
+    "abl-hyb": run_hybrid,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables/figures and ablations.")
+    parser.add_argument("names", nargs="*",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--results-dir", default=RESULTS_DIR,
+                        help="where to write the rendered records")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} "
+                     f"(use --list)")
+
+    failures = []
+    for name in names:
+        fn = EXPERIMENTS[name]
+        print(f"\n##### running {name} ...", flush=True)
+        t0 = time.perf_counter()
+        record = fn()
+        elapsed = time.perf_counter() - t0
+        print(record.render())
+        path = record.save(args.results_dir)
+        print(f"[{name}: {elapsed:.1f}s, saved to {path}]")
+        if not record.all_checks_pass:
+            failures.append(name)
+    if failures:
+        print(f"\nSHAPE CHECKS FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(names)} experiments passed their shape checks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

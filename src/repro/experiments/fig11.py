@@ -1,0 +1,60 @@
+"""EXP-F11 — paper Figure 11: the 16-processor heterogeneous mesh.
+
+Fig 11A shows a 4×4 processor mesh with per-direction delays between
+10 ms and 99 ms ("the maximum delay is about 9 times larger than the
+minimum", and "the delay from Pk to Pj is quite different from the
+delay from Pj to Pk"); Fig 11B is the bar chart of those delays.
+
+Expected shape: min = 10 ms, max = 99 ms, ratio ≈ 9.9, clearly
+asymmetric per direction, mesh N2N structure (2-4 neighbours each).
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import ExperimentRecord
+from ..sim.network import paper_fig11_topology
+from .common import DEFAULT_SEED
+
+
+def run_fig11(seed: int = DEFAULT_SEED) -> ExperimentRecord:
+    """Generate the Fig 11 topology and report its delay data."""
+    topo = paper_fig11_topology(seed=seed)
+    stats = topo.delay_stats()
+    table = topo.delay_table()
+
+    record = ExperimentRecord(
+        experiment_id="EXP-F11",
+        description="Fig 11: 4x4 mesh of 16 processors with asymmetric "
+                    "N2N delays (ms)",
+        parameters={"seed": seed, "n_procs": topo.n_procs,
+                    "n_links": len(table)},
+    )
+    record.add_table(["src", "dst", "delay (ms)"], table,
+                     title="Fig 11B bar-chart data (per-direction delays)")
+    asym_rows = []
+    for (src, dst, d) in table:
+        if src < dst:
+            back = topo.nominal_delay(dst, src)
+            asym_rows.append((f"P{src}<->P{dst}", d, back,
+                              abs(d - back)))
+    record.add_table(["pair", "fwd (ms)", "back (ms)", "|diff|"],
+                     asym_rows[:16], title="Per-direction asymmetry "
+                                           "(first 16 pairs)")
+    record.measurements.update({
+        "min_delay_ms": stats["min"], "max_delay_ms": stats["max"],
+        "mean_delay_ms": stats["mean"], "max_over_min": stats["ratio"],
+        "asymmetry_index": topo.asymmetry(),
+    })
+    degree = [len(topo.neighbors(p)) for p in range(topo.n_procs)]
+    record.shape_checks.update({
+        "minimum delay is 10 ms": stats["min"] == 10.0,
+        "maximum delay is 99 ms": stats["max"] == 99.0,
+        "max/min ratio ~ 9x (paper: 'about 9 times')":
+            9.0 <= stats["ratio"] <= 10.0,
+        "delays are direction-asymmetric": topo.asymmetry() > 0.05,
+        "4x4 mesh N2N structure (degrees 2..4)":
+            min(degree) == 2 and max(degree) == 4,
+        "whole-millisecond delays": all(
+            float(d).is_integer() for _, _, d in table),
+    })
+    return record

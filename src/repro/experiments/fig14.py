@@ -1,0 +1,59 @@
+"""EXP-F14 — paper Figure 14: DTM convergence on 64 processors.
+
+The paper's largest runs: systems with 1089 and 4225 unknowns on the
+Fig 13 machine (8×8 mesh, delays ~ U[10, 100] ms), error vs time.
+
+Expected shape: geometric decay for both sizes on 64 fully
+asynchronous processors; n = 4225 decays more slowly than n = 1089.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import ExperimentRecord
+from ..linalg.iterative import direct_reference_solution
+from ..sim.network import paper_fig13_topology
+from .common import (
+    DEFAULT_SEED,
+    geometric_decay_ok,
+    paper_split_for,
+    run_paper_dtm,
+)
+
+
+def run_fig14(*, sizes=(1089, 4225), t_max: float = 4000.0,
+              tol: float = 1e-8,
+              seed: int = DEFAULT_SEED) -> ExperimentRecord:
+    """Convergence curves of DTM on the 64-processor Fig 13 machine."""
+    topo = paper_fig13_topology(seed=seed)
+    record = ExperimentRecord(
+        experiment_id="EXP-F14",
+        description="Fig 14: RMS error vs time, 64 processors (8x8 mesh)",
+        parameters={"sizes": str(tuple(sizes)), "t_max_ms": t_max,
+                    "seed": seed, "topology": topo.name},
+    )
+    curves = {}
+    for n in sizes:
+        split = paper_split_for(n, 64, seed=seed)
+        a, b = split.graph.to_system()
+        reference = direct_reference_solution(a, b)
+        res = run_paper_dtm(split, topo, t_max=t_max, tol=tol,
+                            reference=reference, sample_interval=t_max / 128,
+                            min_solve_interval=10.0)
+        curves[n] = res
+        record.add_curve(res.errors, title=f"n={n}: RMS error vs t (ms)")
+        record.measurements.update({
+            f"n{n}_final_error": res.final_error,
+            f"n{n}_time_to_1e-2": res.errors.first_time_below(1e-2),
+            f"n{n}_n_solves": res.n_solves,
+            f"n{n}_n_messages": res.n_messages,
+            f"n{n}_n_dtlps": res.stats["n_dtlps"],
+        })
+        record.shape_checks[f"n={n}: geometric decay"] = \
+            geometric_decay_ok(res.errors, 30.0)
+    if len(sizes) >= 2:
+        record.shape_checks["every size converges to 1e-2"] = all(
+            curves[n].errors.first_time_below(1e-2) is not None
+            for n in sizes)
+        record.shape_checks["all 64 subdomains active"] = all(
+            curves[n].n_solves >= 64 for n in sizes)
+    return record

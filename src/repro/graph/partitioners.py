@@ -1,0 +1,335 @@
+"""Graph partitioners producing EVS-ready (labels, separator) pairs.
+
+Three families, matching the paper's usage:
+
+* :func:`grid_block_partition` — the "regular partitioning" of §7: a
+  2-D grid is cut by separator rows/columns into ``px × py`` blocks.
+  Vertices on one separator line are shared by two blocks (level-one
+  split); line crossings are shared by four (level-two) — exactly the
+  paper's *level-one and level-two mixed EVS*.
+* :func:`greedy_grow_partition` — BFS region growing for irregular
+  graphs (the irregular N2N topology of paper Fig 1B).
+* :func:`multilevel_partition` — heavy-edge-matching coarsening with
+  Kernighan–Lin-style boundary refinement, the standard multilevel
+  scheme, for high-quality cuts on general graphs.
+
+The label-only partitioners are completed into vertex separators with
+:func:`vertex_cover_separator` (greedy cut-edge cover).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..utils.rng import SeedLike, as_generator
+from .electric import ElectricGraph
+from .partition import Partition
+
+
+# ----------------------------------------------------------------------
+# regular grid blocks
+# ----------------------------------------------------------------------
+def _axis_cuts(n: int, p: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split *n* indices into *p* blocks separated by single lines.
+
+    Returns ``(block, sep)``: block id per index (separator indices get
+    the id of the preceding block) and the separator mask.
+    """
+    if p < 1:
+        raise PartitionError(f"number of blocks must be >= 1, got {p}")
+    block = np.zeros(n, dtype=np.int64)
+    sep = np.zeros(n, dtype=bool)
+    if p == 1:
+        return block, sep
+    n_interior = n - (p - 1)
+    if n_interior < p:
+        raise PartitionError(
+            f"axis of length {n} is too short for {p} blocks with "
+            "single-line separators")
+    base, extra = divmod(n_interior, p)
+    pos = 0
+    for k in range(p):
+        size = base + (1 if k < extra else 0)
+        block[pos:pos + size] = k
+        pos += size
+        if k < p - 1:
+            sep[pos] = True
+            block[pos] = k  # home: block just before the line
+            pos += 1
+    return block, sep
+
+
+def grid_block_partition(nx: int, ny: int, px: int, py: int) -> Partition:
+    """Partition an ``nx × ny`` grid (row-major ids) into ``px × py`` blocks.
+
+    Vertex ``(i, j)`` has id ``i * ny + j``.  Separator lines are single
+    rows/columns between blocks; their vertices are marked for EVS.
+    """
+    row_block, row_sep = _axis_cuts(nx, px)
+    col_block, col_sep = _axis_cuts(ny, py)
+    labels = (row_block[:, None] * py + col_block[None, :]).reshape(-1)
+    separator = (row_sep[:, None] | col_sep[None, :]).reshape(-1)
+    return Partition(labels, separator, n_parts=px * py)
+
+
+# ----------------------------------------------------------------------
+# separator completion for label-only partitions
+# ----------------------------------------------------------------------
+def vertex_cover_separator(graph: ElectricGraph, labels) -> np.ndarray:
+    """Greedy vertex cover of the cut edges → separator mask.
+
+    Repeatedly picks the vertex covering the most yet-uncovered cut
+    edges (ties broken by vertex id), so interface *lines* collapse to
+    single rows of split vertices rather than doubled layers.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    eu, ev = graph.edge_u, graph.edge_v
+    cut = np.nonzero(labels[eu] != labels[ev])[0]
+    separator = np.zeros(graph.n, dtype=bool)
+    if cut.size == 0:
+        return separator
+    # incidence of cut edges per vertex
+    incident: dict[int, set[int]] = {}
+    for k in cut:
+        for v in (int(eu[k]), int(ev[k])):
+            incident.setdefault(v, set()).add(int(k))
+    uncovered = set(int(k) for k in cut)
+    while uncovered:
+        v_best, gain_best = -1, -1
+        for v, edges in incident.items():
+            gain = len(edges & uncovered)
+            if gain > gain_best or (gain == gain_best and v < v_best):
+                v_best, gain_best = v, gain
+        if gain_best <= 0:  # pragma: no cover - defensive
+            raise PartitionError("separator cover failed to progress")
+        separator[v_best] = True
+        uncovered -= incident.pop(v_best)
+    return separator
+
+
+# ----------------------------------------------------------------------
+# BFS region growing
+# ----------------------------------------------------------------------
+def greedy_grow_partition(graph: ElectricGraph, n_parts: int,
+                          seed: SeedLike = 0) -> Partition:
+    """Grow *n_parts* regions breadth-first from spread-out seeds.
+
+    Regions take turns claiming frontier vertices, which keeps interior
+    sizes balanced; the separator is completed with
+    :func:`vertex_cover_separator`.
+    """
+    n = graph.n
+    if n_parts < 1 or n_parts > n:
+        raise PartitionError(f"n_parts must be in [1, {n}], got {n_parts}")
+    adj = graph.adjacency()
+    rng = as_generator(seed)
+    seeds = _spread_seeds(adj, n, n_parts, rng)
+    labels = np.full(n, -1, dtype=np.int64)
+    frontiers: list[deque[int]] = []
+    for q, s in enumerate(seeds):
+        labels[s] = q
+        frontiers.append(deque([s]))
+    sizes = np.ones(n_parts, dtype=np.int64)
+    assigned = n_parts
+    while assigned < n:
+        progressed = False
+        order = np.argsort(sizes, kind="stable")
+        for q in order:
+            fr = frontiers[q]
+            while fr:
+                v = fr.popleft()
+                free = [int(u) for u in adj[v] if labels[u] < 0]
+                if not free:
+                    continue
+                for u in free:
+                    labels[u] = q
+                    fr.append(u)
+                sizes[q] += len(free)
+                assigned += len(free)
+                progressed = True
+                break
+        if not progressed:
+            # disconnected leftovers: hand them to the smallest part
+            rest = np.nonzero(labels < 0)[0]
+            q = int(np.argmin(sizes))
+            labels[rest] = q
+            for v in rest:
+                frontiers[q].append(int(v))
+            sizes[q] += rest.size
+            assigned += rest.size
+    separator = vertex_cover_separator(graph, labels)
+    return Partition(labels, separator, n_parts=n_parts)
+
+
+def _spread_seeds(adj: list[np.ndarray], n: int, n_parts: int,
+                  rng: np.random.Generator) -> list[int]:
+    """k-center style farthest-point seeds via BFS distances."""
+    seeds = [int(rng.integers(n))]
+    dist = _bfs_distance(adj, n, seeds[0])
+    while len(seeds) < n_parts:
+        far = int(np.argmax(np.where(np.isfinite(dist), dist, -1.0)))
+        if far in seeds:  # graph smaller than requested spread
+            remaining = [v for v in range(n) if v not in seeds]
+            far = int(rng.choice(remaining))
+        seeds.append(far)
+        dist = np.minimum(dist, _bfs_distance(adj, n, far))
+    return seeds
+
+
+def _bfs_distance(adj: list[np.ndarray], n: int, src: int) -> np.ndarray:
+    dist = np.full(n, np.inf)
+    dist[src] = 0.0
+    queue = deque([src])
+    while queue:
+        v = queue.popleft()
+        for u in adj[v]:
+            if not np.isfinite(dist[u]):
+                dist[u] = dist[v] + 1.0
+                queue.append(int(u))
+    return dist
+
+
+# ----------------------------------------------------------------------
+# multilevel heavy-edge matching + KL refinement
+# ----------------------------------------------------------------------
+def multilevel_partition(graph: ElectricGraph, n_parts: int,
+                         seed: SeedLike = 0, *,
+                         coarsen_to: int | None = None,
+                         refine_passes: int = 4) -> Partition:
+    """Multilevel graph partitioning (coarsen → partition → refine).
+
+    Classic scheme: heavy-edge matching halves the graph until it is
+    small, the coarsest graph is partitioned by BFS growing, and the
+    labels are projected back with a Kernighan–Lin-style boundary
+    refinement pass at every level.  Edge weights are |a_uv|.
+    """
+    if coarsen_to is None:
+        coarsen_to = max(20 * n_parts, 64)
+    rng = as_generator(seed)
+
+    levels: list[tuple[ElectricGraph, np.ndarray]] = []
+    g = graph
+    while g.n > coarsen_to:
+        coarse, mapping = _heavy_edge_coarsen(g, rng)
+        if coarse.n >= g.n:  # matching stalled
+            break
+        levels.append((g, mapping))
+        g = coarse
+
+    labels = greedy_grow_partition(g, n_parts, seed=rng).labels
+    labels = _kl_refine(g, labels, n_parts, refine_passes, rng)
+    for fine, mapping in reversed(levels):
+        labels = labels[mapping]
+        labels = _kl_refine(fine, labels, n_parts, refine_passes, rng)
+    separator = vertex_cover_separator(graph, labels)
+    return Partition(labels, separator, n_parts=n_parts)
+
+
+def _heavy_edge_coarsen(graph: ElectricGraph, rng: np.random.Generator
+                        ) -> tuple[ElectricGraph, np.ndarray]:
+    """One heavy-edge-matching coarsening step.
+
+    Returns the coarse graph and the fine→coarse vertex mapping.
+    """
+    n = graph.n
+    order = rng.permutation(n)
+    match = np.full(n, -1, dtype=np.int64)
+    adj = graph.adjacency()
+    weights = {}
+    for u, v, w in zip(graph.edge_u, graph.edge_v, graph.edge_weights):
+        weights[(int(u), int(v))] = abs(float(w))
+    for v in order:
+        if match[v] >= 0:
+            continue
+        best, best_w = -1, -1.0
+        for u in adj[v]:
+            if match[u] < 0 and u != v:
+                w = weights.get((min(int(u), int(v)), max(int(u), int(v))), 0.0)
+                if w > best_w:
+                    best, best_w = int(u), w
+        if best >= 0:
+            match[v] = best
+            match[best] = int(v)
+        else:
+            match[v] = int(v)
+    # assign coarse ids
+    mapping = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if mapping[v] < 0:
+            mapping[v] = next_id
+            partner = match[v]
+            if partner != v and mapping[partner] < 0:
+                mapping[partner] = next_id
+            next_id += 1
+    # build coarse electric graph (weights summed; vertex data summed)
+    cw = np.zeros(next_id)
+    cs = np.zeros(next_id)
+    np.add.at(cw, mapping, graph.vertex_weights)
+    np.add.at(cs, mapping, graph.sources)
+    cu = mapping[graph.edge_u]
+    cv = mapping[graph.edge_v]
+    keep = cu != cv
+    lo = np.minimum(cu[keep], cv[keep])
+    hi = np.maximum(cu[keep], cv[keep])
+    # merge parallel edges
+    key = lo * next_id + hi
+    uniq, inverse = np.unique(key, return_inverse=True)
+    ew = np.zeros(uniq.size)
+    np.add.at(ew, inverse, graph.edge_weights[keep])
+    coarse = ElectricGraph(cw, cs, uniq // next_id, uniq % next_id, ew)
+    return coarse, mapping
+
+
+def _kl_refine(graph: ElectricGraph, labels: np.ndarray, n_parts: int,
+               passes: int, rng: np.random.Generator) -> np.ndarray:
+    """Greedy KL/FM-style boundary refinement with a balance guard."""
+    labels = labels.copy()
+    n = graph.n
+    adj = graph.adjacency()
+    wmap: dict[tuple[int, int], float] = {}
+    for u, v, w in zip(graph.edge_u, graph.edge_v, graph.edge_weights):
+        wmap[(int(u), int(v))] = abs(float(w))
+        wmap[(int(v), int(u))] = abs(float(w))
+    sizes = np.bincount(labels, minlength=n_parts).astype(np.int64)
+    max_size = int(np.ceil(1.1 * n / n_parts)) + 1
+    for _ in range(passes):
+        moved = 0
+        for v in rng.permutation(n):
+            here = int(labels[v])
+            if sizes[here] <= 1:
+                continue
+            gain_by_part: dict[int, float] = {}
+            internal = 0.0
+            for u in adj[v]:
+                w = wmap[(int(v), int(u))]
+                lu = int(labels[u])
+                if lu == here:
+                    internal += w
+                else:
+                    gain_by_part[lu] = gain_by_part.get(lu, 0.0) + w
+            best_part, best_gain = here, 0.0
+            for q, external in gain_by_part.items():
+                if sizes[q] >= max_size:
+                    continue
+                gain = external - internal
+                if gain > best_gain:
+                    best_part, best_gain = q, gain
+            if best_part != here:
+                labels[v] = best_part
+                sizes[here] -= 1
+                sizes[best_part] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return labels
+
+
+def edge_cut_weight(graph: ElectricGraph, labels) -> float:
+    """Total |a_uv| over edges between different parts (quality metric)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    cut = labels[graph.edge_u] != labels[graph.edge_v]
+    return float(np.sum(np.abs(graph.edge_weights[cut])))

@@ -1,0 +1,45 @@
+"""Linear-algebra substrate: sparse storage, factorizations, solvers."""
+
+from .cholesky import SpdFactor, SymFactor, factor_spd, factor_symmetric, try_factor_spd
+from .dense import (
+    cholesky_factor,
+    cholesky_solve,
+    invert_lower,
+    ldlt_factor,
+    ldlt_solve,
+    solve_lower,
+    solve_upper,
+    spd_inverse,
+)
+from .iterative import (
+    IterativeResult,
+    conjugate_gradient,
+    direct_reference_solution,
+    gauss_seidel,
+    jacobi,
+    sor,
+)
+from .ordering import bandwidth, minimum_degree, reverse_cuthill_mckee
+from .sparse import CsrMatrix, laplacian_like
+from .spd import (
+    DefinitenessReport,
+    assert_snnd,
+    assert_spd,
+    definiteness_report,
+    is_diagonally_dominant,
+    is_snnd,
+    is_spd,
+    min_eigenvalue,
+)
+
+__all__ = [
+    "SpdFactor", "SymFactor", "factor_spd", "factor_symmetric", "try_factor_spd",
+    "cholesky_factor", "cholesky_solve", "invert_lower", "ldlt_factor",
+    "ldlt_solve", "solve_lower", "solve_upper", "spd_inverse",
+    "IterativeResult", "conjugate_gradient", "direct_reference_solution",
+    "gauss_seidel", "jacobi", "sor",
+    "bandwidth", "minimum_degree", "reverse_cuthill_mckee",
+    "CsrMatrix", "laplacian_like",
+    "DefinitenessReport", "assert_snnd", "assert_spd", "definiteness_report",
+    "is_diagonally_dominant", "is_snnd", "is_spd", "min_eigenvalue",
+]

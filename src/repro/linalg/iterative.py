@@ -1,0 +1,173 @@
+"""Classic iterative solvers used as references and baselines.
+
+The paper positions DTM against the standard stationary and Krylov
+methods (Gauss–Jacobi is its explicit foil in §1/§5).  We provide:
+
+* :func:`conjugate_gradient` — the library's high-accuracy reference
+  solver (also how experiments compute the "exact" solution on large n);
+* :func:`jacobi`, :func:`gauss_seidel`, :func:`sor` — the discrete-time
+  stationary iterations DTM generalises away from.
+
+All take either a :class:`~repro.linalg.sparse.CsrMatrix` or a dense
+array; convergence histories are returned for plotting/benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..utils.validation import as_float_vector
+from .sparse import CsrMatrix
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norms: np.ndarray
+    converged: bool
+
+    @property
+    def final_residual(self) -> float:
+        return float(self.residual_norms[-1]) if self.residual_norms.size else np.inf
+
+
+def _as_matvec(a):
+    if isinstance(a, CsrMatrix):
+        return a.matvec, a.nrows
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError("matrix must be square")
+    return (lambda x: arr @ x), arr.shape[0]
+
+
+def conjugate_gradient(a, b, *, x0=None, tol: float = 1e-10,
+                       maxiter: int | None = None,
+                       raise_on_fail: bool = False) -> IterativeResult:
+    """Conjugate gradients for SPD systems (relative-residual stopping)."""
+    matvec, n = _as_matvec(a)
+    bv = as_float_vector(b, "b", n)
+    x = np.zeros(n) if x0 is None else as_float_vector(x0, "x0", n).copy()
+    maxiter = 10 * n if maxiter is None else int(maxiter)
+    r = bv - matvec(x)
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    history = [np.sqrt(rs)]
+    converged = np.sqrt(rs) <= tol * bnorm
+    it = 0
+    while not converged and it < maxiter:
+        ap = matvec(p)
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            if raise_on_fail:
+                raise ConvergenceError(
+                    "CG detected a non-positive curvature direction; the "
+                    "operator is not SPD")
+            break
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        history.append(np.sqrt(rs_new))
+        it += 1
+        if np.sqrt(rs_new) <= tol * bnorm:
+            converged = True
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    if not converged and raise_on_fail:
+        raise ConvergenceError(
+            f"CG failed to reach tol={tol:g} in {maxiter} iterations "
+            f"(final relative residual {history[-1] / bnorm:.3e})")
+    return IterativeResult(x, it, np.asarray(history), converged)
+
+
+def jacobi(a, b, *, x0=None, tol: float = 1e-10, maxiter: int = 10_000,
+           damping: float = 1.0) -> IterativeResult:
+    """(Damped) point-Jacobi iteration — the paper's discrete-time foil."""
+    matvec, n = _as_matvec(a)
+    diag = a.diagonal() if isinstance(a, CsrMatrix) else np.diag(
+        np.asarray(a, dtype=np.float64))
+    if np.any(diag == 0.0):
+        raise ValidationError("Jacobi requires a nonzero diagonal")
+    bv = as_float_vector(b, "b", n)
+    x = np.zeros(n) if x0 is None else as_float_vector(x0, "x0", n).copy()
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    history = []
+    converged = False
+    it = 0
+    for it in range(1, maxiter + 1):
+        r = bv - matvec(x)
+        history.append(float(np.linalg.norm(r)))
+        if history[-1] <= tol * bnorm:
+            converged = True
+            it -= 1
+            break
+        x = x + damping * (r / diag)
+    if not history:
+        history = [float(np.linalg.norm(bv - matvec(x)))]
+    return IterativeResult(x, it, np.asarray(history), converged)
+
+
+def gauss_seidel(a, b, *, x0=None, tol: float = 1e-10,
+                 maxiter: int = 10_000) -> IterativeResult:
+    """Forward Gauss–Seidel sweeps (row-wise, CSR-aware)."""
+    return sor(a, b, omega=1.0, x0=x0, tol=tol, maxiter=maxiter)
+
+
+def sor(a, b, *, omega: float = 1.0, x0=None, tol: float = 1e-10,
+        maxiter: int = 10_000) -> IterativeResult:
+    """Successive over-relaxation (omega=1 reduces to Gauss–Seidel)."""
+    if not 0.0 < omega < 2.0:
+        raise ValidationError(f"SOR requires 0 < omega < 2, got {omega}")
+    if isinstance(a, CsrMatrix):
+        mat = a
+    else:
+        mat = CsrMatrix.from_dense(np.asarray(a, dtype=np.float64))
+    n = mat.nrows
+    diag = mat.diagonal()
+    if np.any(diag == 0.0):
+        raise ValidationError("SOR requires a nonzero diagonal")
+    bv = as_float_vector(b, "b", n)
+    x = np.zeros(n) if x0 is None else as_float_vector(x0, "x0", n).copy()
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    history = []
+    converged = False
+    it = 0
+    for it in range(1, maxiter + 1):
+        for i in range(n):
+            cols, vals = mat.row(i)
+            sigma = vals @ x[cols] - diag[i] * x[i]
+            x[i] = (1.0 - omega) * x[i] + omega * (bv[i] - sigma) / diag[i]
+        r = bv - mat.matvec(x)
+        history.append(float(np.linalg.norm(r)))
+        if history[-1] <= tol * bnorm:
+            converged = True
+            break
+    if not history:
+        history = [float(np.linalg.norm(bv - mat.matvec(x)))]
+    return IterativeResult(x, it, np.asarray(history), converged)
+
+
+def direct_reference_solution(a, b, *, tol: float = 1e-13) -> np.ndarray:
+    """High-accuracy reference solution used by the experiments.
+
+    Dense Cholesky for small systems; CG pushed to near machine
+    precision for larger sparse ones (the systems in this package are
+    SPD by construction).
+    """
+    from .cholesky import factor_spd
+
+    if isinstance(a, CsrMatrix) and a.nrows > 600:
+        res = conjugate_gradient(a, b, tol=tol, maxiter=20 * a.nrows,
+                                 raise_on_fail=True)
+        return res.x
+    dense = a.to_dense() if isinstance(a, CsrMatrix) else np.asarray(
+        a, dtype=np.float64)
+    return factor_spd(dense).solve(np.asarray(b, dtype=np.float64))

@@ -1,0 +1,5 @@
+"""Real execution backends (asyncio) for genuinely asynchronous DTM."""
+
+from .asyncio_backend import AsyncioDtmRunner, AsyncRunResult, solve_dtm_asyncio
+
+__all__ = ["AsyncioDtmRunner", "AsyncRunResult", "solve_dtm_asyncio"]

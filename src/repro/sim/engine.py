@@ -1,0 +1,99 @@
+"""The discrete-event simulation engine.
+
+This is the substitute for the paper's MATLAB/SIMULINK "DTM toolbox":
+a deterministic clock that fires scheduled callbacks in time order.
+DTM's state only changes when messages arrive, so event-driven
+simulation reproduces the continuous-time trajectory exactly (the
+inter-event state is piecewise constant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .events import EventQueue
+
+
+class Engine:
+    """Deterministic event-driven simulation clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.n_events_processed: int = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable[..., None],
+                    *args) -> None:
+        """Schedule *fn* at absolute simulation time *time*."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}")
+        self.queue.push(time, fn, args)
+
+    def schedule_after(self, delay: float, fn: Callable[..., None],
+                       *args) -> None:
+        """Schedule *fn* after *delay* time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.queue.push(self.now + delay, fn, args)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Process events in order until the horizon/quiescence/stop.
+
+        Parameters
+        ----------
+        until:
+            Absolute horizon: events strictly after it stay queued and
+            the clock is advanced to the horizon.  ``None`` runs to
+            quiescence (empty queue).
+        max_events:
+            Safety budget; exceeding it raises :class:`SimulationError`
+            (an unbounded event cascade is a bug, not a result).
+
+        Returns the simulation time when the loop exited.
+        """
+        self._stopped = False
+        budget = float("inf") if max_events is None else int(max_events)
+        processed = 0
+        while not self._stopped:
+            t_next = self.queue.peek_time()
+            if t_next is None:
+                break
+            if until is not None and t_next > until:
+                self.now = float(until)
+                break
+            if processed >= budget:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self.now}; "
+                    "the configuration generates events faster than expected "
+                    "(check min_solve_interval / compute model)")
+            ev = self.queue.pop()
+            self.now = ev.time
+            ev.fire()
+            processed += 1
+        else:
+            # stopped explicitly: advance no further
+            pass
+        if until is not None and self.queue.peek_time() is None \
+                and not self._stopped and self.now < until:
+            self.now = float(until)
+        self.n_events_processed += processed
+        return self.now
+
+    @property
+    def idle(self) -> bool:
+        """True when no events remain."""
+        return len(self.queue) == 0

@@ -1,0 +1,61 @@
+"""Event queue for the discrete-event simulator.
+
+A thin binary-heap priority queue ordered by ``(time, seq)`` where the
+monotonically increasing sequence number makes same-instant events FIFO
+and keeps comparisons away from the (arbitrary) callback payloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+    def fire(self) -> None:
+        self.fn(*self.args)
+
+
+class EventQueue:
+    """Min-heap of events keyed by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, fn: Callable[..., None],
+             args: tuple = ()) -> Event:
+        """Schedule *fn(*args)* at *time*; returns the event object."""
+        if not (time == time):  # NaN guard
+            raise SimulationError("event time is NaN")
+        ev = Event(float(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,251 @@
+"""DTM on the simulated parallel machine (paper Fig 10's full pipeline).
+
+:class:`DtmSimulator` wires the pieces together exactly as §5 describes:
+
+1. EVS has produced subdomains and twin links (input ``split``);
+2. one DTLP per twin link, with the *algorithm-architecture delay
+   mapping*: each DTL's propagation delay is the nominal communication
+   delay of the directed processor link it rides on;
+3. each subdomain becomes a :class:`~repro.sim.processor.Processor`
+   owning a factored local system;
+4. processors exchange waves through the topology; no barrier, no
+   broadcast — the engine just plays messages in time order.
+
+``run()`` returns a :class:`DtmRunResult` carrying the error trace, the
+final gathered solution, counters, and any probes that were attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.convergence import ConvergenceTracker
+from ..core.dtl import DtlpNetwork, build_dtlp_network
+from ..core.impedance import as_impedance_strategy
+from ..core.kernel import build_kernels
+from ..core.local import build_all_local_systems
+from ..errors import ConfigurationError
+from ..graph.evs import SplitResult
+from ..linalg.iterative import direct_reference_solution
+from ..utils.timeseries import TimeSeries
+from .engine import Engine
+from .network import Topology
+from .processor import ComputeModel, Processor
+from .trace import ErrorObserver, MessageLog, MessageRecord, PortProbe, SolveLog
+
+
+@dataclass
+class DtmRunResult:
+    """Outcome of one simulated DTM run."""
+
+    x: np.ndarray
+    errors: TimeSeries
+    converged: bool
+    t_end: float
+    time_to_tol: Optional[float]
+    n_solves: int
+    n_messages: int
+    n_events: int
+    stats: dict = field(default_factory=dict)
+    port_probe: Optional[PortProbe] = None
+    message_log: Optional[MessageLog] = None
+    solve_log: Optional[SolveLog] = None
+
+    @property
+    def final_error(self) -> float:
+        return float(self.errors.final) if len(self.errors) else np.inf
+
+    def summary(self) -> str:
+        return (f"DTM run: t_end={self.t_end:g}, error={self.final_error:.3e}"
+                f", solves={self.n_solves}, messages={self.n_messages}, "
+                f"converged={self.converged}")
+
+
+class DtmSimulator:
+    """Asynchronous DTM on a simulated heterogeneous machine.
+
+    Parameters
+    ----------
+    split:
+        EVS result to solve.
+    topology:
+        The machine; subdomain *q* runs on processor ``placement[q]``
+        (identity by default).
+    impedance:
+        Scalar / per-vertex mapping / ImpedanceStrategy.
+    compute:
+        Per-solve latency model (default: zero-latency solves).
+    min_solve_interval:
+        Re-solve throttle; default is ``min link delay / 10``, which
+        coalesces near-simultaneous arrivals without affecting the
+        trajectory at delay scale (see DESIGN.md §5).
+    send_threshold:
+        Suppress re-sending waves that changed less than this
+        (0 = always send, the paper's behaviour).
+    log_messages:
+        Keep a full message log (Table 1 compliance evidence).
+    """
+
+    def __init__(self, split: SplitResult, topology: Topology, *,
+                 impedance=1.0,
+                 placement: Optional[Sequence[int]] = None,
+                 compute: Optional[ComputeModel] = None,
+                 min_solve_interval: Optional[float] = None,
+                 send_threshold: float = 0.0,
+                 allow_indefinite: bool = False,
+                 log_messages: bool = False,
+                 probe_ports: Optional[Sequence[tuple[int, int]]] = None
+                 ) -> None:
+        self.split = split
+        self.topology = topology
+        n_parts = split.n_parts
+        if placement is None:
+            placement = list(range(n_parts))
+        if len(placement) != n_parts:
+            raise ConfigurationError(
+                f"placement must map all {n_parts} subdomains")
+        if n_parts > topology.n_procs:
+            raise ConfigurationError(
+                f"{n_parts} subdomains but only {topology.n_procs} "
+                "processors")
+        self.placement = [int(p) for p in placement]
+
+        z_list = as_impedance_strategy(impedance).assign(split)
+        self.network: DtlpNetwork = build_dtlp_network(
+            split, z_list,
+            lambda qa, qb: topology.nominal_delay(self.placement[qa],
+                                                  self.placement[qb]))
+        self.locals = build_all_local_systems(
+            split, self.network, allow_indefinite=allow_indefinite)
+        self.kernels = build_kernels(split, self.network, self.locals,
+                                     send_threshold=send_threshold)
+
+        self.engine = Engine()
+        self.message_log = MessageLog() if log_messages else None
+        self.solve_log = SolveLog() if log_messages else None
+        self.port_probe = PortProbe(split, probe_ports) if probe_ports \
+            else None
+
+        if min_solve_interval is None:
+            used = self._used_delays()
+            min_solve_interval = (min(used) / 10.0) if used else 0.0
+        self.min_solve_interval = float(min_solve_interval)
+
+        hooks = [h for h in (self.port_probe, self.solve_log) if h]
+
+        def solve_hook(part: int, t: float, kernel) -> None:
+            for h in hooks:
+                h.on_solve(part, t, kernel)
+
+        self.processors: list[Processor] = []
+        self._n_messages = 0
+        for q, kernel in enumerate(self.kernels):
+            self.processors.append(Processor(
+                self.engine, self.placement[q], kernel, self._route,
+                compute=compute, min_solve_interval=self.min_solve_interval,
+                solve_hook=solve_hook if hooks else None))
+
+    # ------------------------------------------------------------------
+    def _used_delays(self) -> list[float]:
+        out = []
+        for d in self.network.dtlps:
+            out.extend([d.delay_ab, d.delay_ba])
+        return [x for x in out if x > 0]
+
+    def _route(self, src_part_proc: int, messages, t_ready: float) -> None:
+        """Send the solve's outgoing waves through the network."""
+        for msg in messages:
+            dst_proc = self.placement[msg.dest_part]
+            latency = self.topology.sample_delay(src_part_proc, dst_proc)
+            t_arrive = t_ready + latency
+            self._n_messages += 1
+            if self.message_log is not None:
+                self.message_log.record(MessageRecord(
+                    t_send=t_ready, t_arrive=t_arrive,
+                    src_proc=src_part_proc, dst_proc=dst_proc,
+                    dtlp_index=msg.dtlp_index, value=msg.value))
+            self.engine.schedule_at(
+                t_arrive, self.processors[msg.dest_part].deliver,
+                msg.dest_slot, msg.value)
+
+    # ------------------------------------------------------------------
+    def _install_extras(self) -> None:
+        """Hook for subclasses to schedule extra behaviour before a run
+        (e.g. the periodic re-synchronisations of the §8 hybrid)."""
+
+    def current_solution(self) -> np.ndarray:
+        """Global solution estimate from the kernels' current state."""
+        return self.split.gather([k.full_state() for k in self.kernels])
+
+    def run(self, t_max: float, *, tol: Optional[float] = None,
+            reference: Optional[np.ndarray] = None,
+            sample_interval: Optional[float] = None,
+            max_events: Optional[int] = None) -> DtmRunResult:
+        """Simulate until *t_max*, the tolerance, or quiescence.
+
+        ``reference`` defaults to the direct solution of the original
+        system; ``sample_interval`` to ``t_max / 256``.
+        """
+        if t_max <= 0:
+            raise ConfigurationError("t_max must be positive")
+        if reference is None:
+            a, b = self.split.graph.to_system()
+            reference = direct_reference_solution(a, b)
+        if sample_interval is None:
+            sample_interval = t_max / 256.0
+        tracker = ConvergenceTracker(reference=np.asarray(reference),
+                                     tol=tol)
+        observer = ErrorObserver(self.engine, self.split, self.kernels,
+                                 tracker, sample_interval)
+        observer.install()
+        self._install_extras()
+        for proc in self.processors:
+            proc.start()
+        if max_events is None:
+            # generous runaway guard: solves + per-slot messages if every
+            # processor solved at the throttle rate for the whole horizon
+            horizon_solves = (t_max / self.min_solve_interval
+                              if self.min_solve_interval > 0 else 1e6)
+            per_round = self.split.n_parts + 2 * len(self.network.dtlps)
+            max_events = int(4 * min(horizon_solves, 1e6) * per_round
+                             + 200_000)
+        t_end = self.engine.run(until=t_max, max_events=max_events)
+        # final sample at the stop time
+        tracker.record(max(t_end, tracker.series.times[-1]
+                           if len(tracker.series) else t_end),
+                       self.current_solution())
+        return DtmRunResult(
+            x=self.current_solution(),
+            errors=tracker.series,
+            converged=tracker.converged,
+            t_end=t_end,
+            time_to_tol=(tracker.time_to_tol() if tol else None),
+            n_solves=sum(p.n_solves for p in self.processors),
+            n_messages=self._n_messages,
+            n_events=self.engine.n_events_processed,
+            stats={
+                "n_parts": self.split.n_parts,
+                "n_dtlps": len(self.network.dtlps),
+                "min_solve_interval": self.min_solve_interval,
+                "topology": self.topology.name,
+                "quiescent": observer.stopped_quiescent,
+                **self.topology.delay_stats(),
+            },
+            port_probe=self.port_probe,
+            message_log=self.message_log,
+            solve_log=self.solve_log,
+        )
+
+
+def solve_dtm_simulated(split: SplitResult, topology: Topology, *,
+                        impedance=1.0, t_max: float,
+                        tol: Optional[float] = None,
+                        **kwargs) -> DtmRunResult:
+    """One-shot convenience wrapper around :class:`DtmSimulator`."""
+    run_keys = {"reference", "sample_interval", "max_events"}
+    run_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in run_keys}
+    sim = DtmSimulator(split, topology, impedance=impedance, **kwargs)
+    return sim.run(t_max, tol=tol, **run_kwargs)

@@ -1,0 +1,17 @@
+"""Domain-decomposition baselines: Schwarz methods and Schur complement."""
+
+from .base import BaselineResult, BlockStructure, build_block_structure
+from .block_gs import solve_block_gauss_seidel
+from .block_jacobi import (
+    AsyncBlockJacobiSimulator,
+    BlockJacobiKernel,
+    solve_block_jacobi,
+)
+from .schur import SchurResult, solve_schur
+
+__all__ = [
+    "BaselineResult", "BlockStructure", "build_block_structure",
+    "solve_block_gauss_seidel",
+    "AsyncBlockJacobiSimulator", "BlockJacobiKernel", "solve_block_jacobi",
+    "SchurResult", "solve_schur",
+]

@@ -1,0 +1,57 @@
+"""Block Gauss–Seidel (multiplicative Schwarz) — a sequential baseline.
+
+The multiplicative variant sweeps the subdomains in order, each solve
+using the *freshest* neighbour values.  It is inherently sequential —
+exactly the kind of synchronisation-heavy method whose parallel
+awkwardness motivates DTM — and serves here as the convergence-quality
+yardstick (fewer iterations than block-Jacobi on the same partition).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.convergence import ConvergenceTracker
+from ..graph.electric import ElectricGraph
+from ..graph.partition import Partition
+from .base import BaselineResult, build_block_structure, reference_for
+
+
+def solve_block_gauss_seidel(graph: ElectricGraph, partition: Partition, *,
+                             tol: float = 1e-8, max_iterations: int = 5000,
+                             reference: Optional[np.ndarray] = None,
+                             reverse: bool = False) -> BaselineResult:
+    """Multiplicative Schwarz sweeps to tolerance.
+
+    ``reverse=True`` alternates forward/backward sweeps (symmetric
+    multiplicative Schwarz), which is noticeably faster on elongated
+    partitions.
+    """
+    structure = build_block_structure(graph, partition)
+    n_parts = structure.n_parts
+    x = np.zeros(graph.n)
+    if reference is None:
+        reference = reference_for(graph)
+    tracker = ConvergenceTracker(reference=reference, tol=tol)
+    tracker.record(0.0, x)
+    it = 0
+    n_solves = 0
+    order_fwd = list(range(n_parts))
+    while it < max_iterations and not tracker.converged:
+        order = order_fwd if (not reverse or it % 2 == 0) \
+            else order_fwd[::-1]
+        for q in order:
+            ext = structure.ext_vertices[q]
+            x_ext = x[ext] if ext.size else np.zeros(0)
+            x[structure.owned[q]] = structure.x0[q] - (
+                structure.M[q] @ x_ext if ext.size else 0.0)
+            n_solves += 1
+        it += 1
+        tracker.record(float(it), x)
+    return BaselineResult(x=x, errors=tracker.series,
+                          converged=tracker.converged, iterations=it,
+                          t_end=float(it),
+                          time_to_tol=tracker.time_to_tol() if tol else None,
+                          n_solves=n_solves)

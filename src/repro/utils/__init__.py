@@ -1,0 +1,30 @@
+"""Shared utilities: RNG coercion, validation helpers, time series."""
+
+from .rng import as_generator, derive_seed, spawn
+from .timeseries import TimeSeries, merge_series
+from .validation import (
+    as_float_vector,
+    as_square_matrix,
+    check_disjoint,
+    check_symmetric,
+    require,
+    require_index_array,
+    require_positive,
+    unique_everseen,
+)
+
+__all__ = [
+    "as_generator",
+    "derive_seed",
+    "spawn",
+    "TimeSeries",
+    "merge_series",
+    "as_float_vector",
+    "as_square_matrix",
+    "check_disjoint",
+    "check_symmetric",
+    "require",
+    "require_index_array",
+    "require_positive",
+    "unique_everseen",
+]

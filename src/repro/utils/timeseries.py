@@ -1,0 +1,144 @@
+"""Time-series containers used by the simulator's observers.
+
+A :class:`TimeSeries` is an append-only sequence of ``(t, value)`` samples
+with *piecewise-constant* semantics: the value recorded at time ``t``
+holds until the next sample.  That matches DTM's state, which only
+changes at message-arrival events.  Values may be scalars or fixed-shape
+numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+
+class TimeSeries:
+    """Append-only piecewise-constant time series.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports (e.g. ``"rms_error"`` or ``"x_2a"``).
+    """
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = f"[{self._times[0]:g}, {self._times[-1]:g}]" if self._times else "[]"
+        return f"TimeSeries({self.name!r}, n={len(self)}, t={span})"
+
+    def append(self, t: float, value) -> None:
+        """Record *value* at time *t*; times must be non-decreasing."""
+        t = float(t)
+        if self._times and t < self._times[-1]:
+            raise ValidationError(
+                f"TimeSeries {self.name!r}: time {t} precedes last "
+                f"recorded time {self._times[-1]}"
+            )
+        if self._times and t == self._times[-1]:
+            # Same-instant update: keep the latest value (events at one
+            # simulation timestamp are processed in sequence order).
+            self._values[-1] = value
+            return
+        self._times.append(t)
+        self._values.append(value)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a 1-D float array."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array (2-D if the samples are vectors)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    @property
+    def final(self):
+        """The most recent value."""
+        if not self._values:
+            raise ValidationError(f"TimeSeries {self.name!r} is empty")
+        return self._values[-1]
+
+    def at(self, t: float):
+        """Value in effect at time *t* (piecewise-constant interpolation)."""
+        if not self._times:
+            raise ValidationError(f"TimeSeries {self.name!r} is empty")
+        times = self.times
+        idx = int(np.searchsorted(times, float(t), side="right")) - 1
+        if idx < 0:
+            raise ValidationError(
+                f"TimeSeries {self.name!r}: time {t} precedes first sample "
+                f"{times[0]}"
+            )
+        return self._values[idx]
+
+    def resample(self, grid: Sequence[float]) -> np.ndarray:
+        """Evaluate the series on *grid* (each point ≥ the first sample)."""
+        return np.asarray([self.at(t) for t in grid])
+
+    def first_time_below(self, threshold: float) -> float | None:
+        """First sample time whose scalar value drops below *threshold*.
+
+        Returns ``None`` if the series never goes below the threshold.
+        Used to report "time to tolerance" in the experiments.
+        """
+        for t, v in zip(self._times, self._values):
+            if float(v) < threshold:
+                return t
+        return None
+
+    def tail_slope(self, fraction: float = 0.5) -> float:
+        """Least-squares slope of log10(value) over the last *fraction*.
+
+        A negative slope certifies geometric decay of the error trace;
+        the magnitude is the decay rate per time unit.  Non-positive
+        values in the tail are clipped to the smallest positive sample.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValidationError("fraction must lie in (0, 1]")
+        n = len(self._times)
+        if n < 3:
+            raise ValidationError("need at least 3 samples for a slope")
+        start = max(0, int(n * (1.0 - fraction)))
+        t = self.times[start:]
+        v = np.asarray(self._values[start:], dtype=np.float64)
+        positive = v[v > 0]
+        floor = positive.min() if positive.size else 1e-300
+        v = np.clip(v, floor, None)
+        if np.ptp(t) == 0.0:
+            raise ValidationError("tail window has zero time span")
+        slope, _ = np.polyfit(t, np.log10(v), 1)
+        return float(slope)
+
+
+def merge_series(series: Sequence[TimeSeries]) -> tuple[np.ndarray, np.ndarray]:
+    """Resample several scalar series onto their union time grid.
+
+    Returns ``(times, matrix)`` where ``matrix[i, j]`` is series *j*
+    evaluated at union time *i*.  Each series must already have a sample
+    at or before the earliest union time it is evaluated on, so the union
+    grid is clipped to start at the latest first-sample time.
+    """
+    if not series:
+        raise ValidationError("merge_series needs at least one series")
+    starts = [s.times[0] for s in series if len(s)]
+    if len(starts) != len(series):
+        raise ValidationError("merge_series: all series must be non-empty")
+    t0 = max(starts)
+    union = np.unique(np.concatenate([s.times for s in series]))
+    union = union[union >= t0]
+    mat = np.empty((union.size, len(series)), dtype=np.float64)
+    for j, s in enumerate(series):
+        mat[:, j] = s.resample(union)
+    return union, mat

@@ -1,0 +1,122 @@
+"""Resistor-network workloads — the paper's motivating domain.
+
+DTM grew out of circuit simulation (the paper repeatedly leans on
+transmission lines, Kirchhoff's current law and "wire tearing" from the
+node-tearing literature).  These generators build nodal-analysis
+systems ``G v = i`` of resistive circuits:
+
+* :func:`resistor_grid` — a sheet of resistors with ground leaks and
+  current injections (power-grid style);
+* :func:`resistor_ladder` — the classic R-2R ladder;
+* :func:`clustered_circuit` — weakly coupled resistive blocks, the kind
+  of structure wire tearing targets.
+
+Nodal conductance matrices with at least one ground path are strictly
+SPD, so every generator returns a valid DTM workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..graph.electric import ElectricGraph
+from ..utils.rng import SeedLike, as_generator
+
+
+def resistor_grid(rows: int, cols: int, *,
+                  resistance_range: tuple[float, float] = (0.5, 2.0),
+                  ground_conductance: float = 0.1,
+                  n_injections: int | None = None,
+                  injection_current: float = 1.0,
+                  seed: SeedLike = 0) -> ElectricGraph:
+    """Rectangular resistor sheet with ground leaks and current sources.
+
+    Every grid edge is a resistor with resistance drawn from
+    *resistance_range*; every node leaks to ground; *n_injections*
+    random nodes (default: one per ~25 nodes) inject current.
+    """
+    if rows < 1 or cols < 1:
+        raise ValidationError("grid dimensions must be positive")
+    if ground_conductance <= 0:
+        raise ValidationError("ground conductance must be positive for SPD")
+    rng = as_generator(seed)
+    n = rows * cols
+    ids = np.arange(n).reshape(rows, cols)
+    eu = np.concatenate([ids[:, :-1].ravel(), ids[:-1, :].ravel()])
+    ev = np.concatenate([ids[:, 1:].ravel(), ids[1:, :].ravel()])
+    rlo, rhi = resistance_range
+    if not 0 < rlo <= rhi:
+        raise ValidationError("resistances must be positive")
+    g_edge = 1.0 / rng.uniform(rlo, rhi, size=eu.size)
+    vertex = np.full(n, float(ground_conductance))
+    np.add.at(vertex, eu, g_edge)
+    np.add.at(vertex, ev, g_edge)
+    sources = np.zeros(n)
+    k = n_injections if n_injections is not None else max(1, n // 25)
+    if k > n:
+        raise ValidationError("more injections than nodes")
+    nodes = rng.choice(n, size=k, replace=False)
+    sources[nodes] = injection_current
+    return ElectricGraph(vertex, sources, eu, ev, -g_edge)
+
+
+def resistor_ladder(n_sections: int, *, series_r: float = 1.0,
+                    shunt_r: float = 2.0,
+                    drive_current: float = 1.0) -> ElectricGraph:
+    """R-2R ladder driven by a current source at the first node."""
+    if n_sections < 1:
+        raise ValidationError("need at least one ladder section")
+    if series_r <= 0 or shunt_r <= 0:
+        raise ValidationError("resistances must be positive")
+    n = n_sections + 1
+    eu = np.arange(n - 1, dtype=np.int64)
+    ev = eu + 1
+    g_series = np.full(n - 1, 1.0 / series_r)
+    g_shunt = 1.0 / shunt_r
+    vertex = np.full(n, g_shunt)
+    np.add.at(vertex, eu, g_series)
+    np.add.at(vertex, ev, g_series)
+    sources = np.zeros(n)
+    sources[0] = float(drive_current)
+    return ElectricGraph(vertex, sources, eu, ev, -g_series)
+
+
+def clustered_circuit(n_blocks: int, block_size: int, *,
+                      intra_conductance: float = 1.0,
+                      coupling_conductance: float = 0.05,
+                      ground_conductance: float = 0.1,
+                      seed: SeedLike = 0) -> ElectricGraph:
+    """Weakly coupled resistive blocks (ideal wire-tearing structure).
+
+    Each block is a dense-ish resistive cluster; consecutive blocks are
+    joined by a single weak resistor — the interface a tearing-based
+    method wants to cut.
+    """
+    if n_blocks < 1 or block_size < 2:
+        raise ValidationError("need >=1 blocks of size >=2")
+    rng = as_generator(seed)
+    n = n_blocks * block_size
+    eu_list: list[int] = []
+    ev_list: list[int] = []
+    w_list: list[float] = []
+    for b in range(n_blocks):
+        base = b * block_size
+        for i in range(block_size):
+            for j in range(i + 1, block_size):
+                if rng.random() < 0.6:
+                    eu_list.append(base + i)
+                    ev_list.append(base + j)
+                    w_list.append(intra_conductance * rng.uniform(0.5, 1.5))
+        if b + 1 < n_blocks:
+            eu_list.append(base + block_size - 1)
+            ev_list.append(base + block_size)
+            w_list.append(float(coupling_conductance))
+    eu = np.asarray(eu_list, dtype=np.int64)
+    ev = np.asarray(ev_list, dtype=np.int64)
+    g = np.asarray(w_list)
+    vertex = np.full(n, float(ground_conductance))
+    np.add.at(vertex, eu, g)
+    np.add.at(vertex, ev, g)
+    sources = rng.standard_normal(n)
+    return ElectricGraph(vertex, sources, eu, ev, -g)

@@ -1,0 +1,126 @@
+"""The paper's worked example: system (3.2) and its EVS split (4.1)/(4.2).
+
+Everything in §3-§5 of the paper revolves around one 4-unknown SPD
+system.  This module reproduces it exactly — including the *specific*
+weight/source split fractions of Example 4.1 and the impedances/delays
+of Example 5.1 — so the test-suite can check our EVS and DTM against the
+numbers printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.electric import ElectricGraph
+from ..graph.evs import ExplicitSplit, SplitResult, split_graph
+from ..graph.partition import Partition
+from ..linalg.sparse import CsrMatrix
+
+#: Coefficient matrix of paper equation (3.2).
+MATRIX_3_2 = np.array([
+    [5.0, -1.0, -1.0, 0.0],
+    [-1.0, 6.0, -2.0, -1.0],
+    [-1.0, -2.0, 7.0, -2.0],
+    [0.0, -1.0, -2.0, 8.0],
+])
+
+#: Right-hand side of paper equation (3.2).
+RHS_3_2 = np.array([1.0, 2.0, 3.0, 4.0])
+
+#: Example 5.1 delays (μs): processor A → B and B → A.
+DELAY_A_TO_B = 6.7
+DELAY_B_TO_A = 2.9
+
+#: Example 5.1 characteristic impedances: Z₂ between the copies of
+#: vertex 2 (0-based vertex 1), Z₃ between the copies of vertex 3.
+IMPEDANCE_V2 = 0.2
+IMPEDANCE_V3 = 0.1
+
+
+@dataclass
+class PaperSystem:
+    """System (3.2) with its electric graph and exact solution."""
+
+    matrix: CsrMatrix
+    rhs: np.ndarray
+    graph: ElectricGraph
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def exact_solution(self) -> np.ndarray:
+        """Direct solution of (3.2) (dense, to machine precision)."""
+        return np.linalg.solve(self.matrix.to_dense(), self.rhs)
+
+
+def paper_system_3_2() -> PaperSystem:
+    """The 4-unknown SPD system of paper equation (3.2)."""
+    matrix = CsrMatrix.from_dense(MATRIX_3_2)
+    graph = ElectricGraph.from_system(matrix, RHS_3_2)
+    return PaperSystem(matrix=matrix, rhs=RHS_3_2.copy(), graph=graph)
+
+
+def paper_partition() -> Partition:
+    """Example 4.1's partition: boundary {V2, V3}, interiors {V1}, {V4}.
+
+    0-based: vertices 1 and 2 form the separator; vertex 0 is the
+    interior of subdomain 0, vertex 3 the interior of subdomain 1.
+    """
+    return Partition(labels=np.array([0, 0, 1, 1]),
+                     separator=np.array([False, True, True, False]),
+                     n_parts=2)
+
+
+def paper_split_strategy() -> ExplicitSplit:
+    """The exact split fractions used in Example 4.1.
+
+    The paper splits (0-based vertex ids in brackets):
+
+    * weight of V2 [1]: 6 → 2.5 + 3.5, source 2 → 0.8 + 1.2;
+    * weight of V3 [2]: 7 → 3.3 + 3.7, source 3 → 1.6 + 1.4;
+    * edge weight (V2, V3) [(1, 2)]: −2 → −0.9 + −1.1.
+    """
+    return ExplicitSplit(
+        vertex={1: {0: 2.5 / 6.0, 1: 3.5 / 6.0},
+                2: {0: 3.3 / 7.0, 1: 3.7 / 7.0}},
+        source={1: {0: 0.8 / 2.0, 1: 1.2 / 2.0},
+                2: {0: 1.6 / 3.0, 1: 1.4 / 3.0}},
+        edge={(1, 2): {0: 0.9 / 2.0, 1: 1.1 / 2.0}},
+    )
+
+
+def paper_split() -> SplitResult:
+    """EVS of system (3.2) per Example 4.1 (two subdomains)."""
+    system = paper_system_3_2()
+    return split_graph(system.graph, paper_partition(),
+                       strategy=paper_split_strategy())
+
+
+#: Expected subsystem (4.1): ports (V2a, V3a) first, then inner V1.
+EXPECTED_SUB0_MATRIX = np.array([
+    [2.5, -0.9, -1.0],
+    [-0.9, 3.3, -1.0],
+    [-1.0, -1.0, 5.0],
+])
+EXPECTED_SUB0_RHS = np.array([0.8, 1.6, 1.0])
+
+#: Expected subsystem (4.2): ports (V2b, V3b) first, then inner V4.
+EXPECTED_SUB1_MATRIX = np.array([
+    [3.5, -1.1, -1.0],
+    [-1.1, 3.7, -2.0],
+    [-1.0, -2.0, 8.0],
+])
+EXPECTED_SUB1_RHS = np.array([1.2, 1.4, 4.0])
+
+
+def example_5_1_impedances() -> dict[int, float]:
+    """Characteristic impedance per split vertex (0-based ids)."""
+    return {1: IMPEDANCE_V2, 2: IMPEDANCE_V3}
+
+
+def example_5_1_delays() -> dict[tuple[int, int], float]:
+    """Directed communication delays (μs) between the two processors."""
+    return {(0, 1): DELAY_A_TO_B, (1, 0): DELAY_B_TO_A}

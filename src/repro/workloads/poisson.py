@@ -1,0 +1,153 @@
+"""Grid workloads: Poisson problems and random-conductance grids.
+
+The paper's §7 experiments solve "randomly generated" sparse SPD
+systems with n = 289, 1089 and 4225 unknowns — all perfect squares of
+grid sides 17, 33 and 65 — partitioned "regularly" with mixed level-1/
+level-2 EVS.  We generate them as 2-D grid electric graphs:
+
+* :func:`grid2d_poisson` — the 5-point Laplacian with a uniform ground
+  leak (the classic model problem);
+* :func:`grid2d_random` — random edge conductances and random ground
+  leaks, the "randomly generated sparse SPD" family;
+* :func:`grid3d_poisson` — 7-point 3-D variant (extension);
+* :func:`grid2d_anisotropic` — direction-biased conductances for
+  stress-testing impedance selection.
+
+All generators return :class:`~repro.graph.electric.ElectricGraph`
+objects whose matrices are strictly diagonally dominant (hence SPD, and
+every EVS subgraph SNND under the dominance-preserving split — the
+hypotheses of Theorem 6.1 hold by construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..graph.electric import ElectricGraph
+from ..utils.rng import SeedLike, as_generator
+
+
+def _grid_edges(nx: int, ny: int) -> tuple[np.ndarray, np.ndarray]:
+    """Horizontal+vertical neighbour pairs of an nx×ny grid (row-major)."""
+    ids = np.arange(nx * ny).reshape(nx, ny)
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    both = np.concatenate([right, down], axis=1)
+    return both[0], both[1]
+
+
+def grid2d_poisson(nx: int, ny: int | None = None, *,
+                   ground: float = 0.05,
+                   source_value: float = 1.0) -> ElectricGraph:
+    """5-point Laplacian on an nx×ny grid with a uniform ground leak.
+
+    ``ground > 0`` adds to every diagonal entry, modelling a conductance
+    to ground; it makes the matrix strictly SPD (the pure Laplacian is
+    only SNND).  Sources default to a uniform unit injection.
+    """
+    ny = nx if ny is None else ny
+    if nx < 1 or ny < 1:
+        raise ValidationError("grid dimensions must be positive")
+    if ground < 0:
+        raise ValidationError("ground conductance must be non-negative")
+    n = nx * ny
+    eu, ev = _grid_edges(nx, ny)
+    weights = -np.ones(eu.size)
+    vertex = np.full(n, ground)
+    deg = np.zeros(n)
+    np.add.at(deg, eu, 1.0)
+    np.add.at(deg, ev, 1.0)
+    vertex += deg
+    sources = np.full(n, float(source_value))
+    return ElectricGraph(vertex, sources, eu, ev, weights)
+
+
+def grid2d_random(nx: int, ny: int | None = None, *,
+                  seed: SeedLike = 0,
+                  conductance_range: tuple[float, float] = (0.5, 2.0),
+                  ground_range: tuple[float, float] = (0.02, 0.2),
+                  source_scale: float = 1.0) -> ElectricGraph:
+    """Randomly generated sparse SPD grid system (the §7 workload).
+
+    Edge conductances are drawn uniformly from *conductance_range*,
+    ground leaks from *ground_range*, and sources are standard normal
+    times *source_scale*.  Strict diagonal dominance (by the positive
+    ground leak) guarantees SPD.
+    """
+    ny = nx if ny is None else ny
+    rng = as_generator(seed)
+    lo, hi = conductance_range
+    glo, ghi = ground_range
+    if not (0 < lo <= hi) or not (0 < glo <= ghi):
+        raise ValidationError("conductance and ground ranges must be positive")
+    n = nx * ny
+    eu, ev = _grid_edges(nx, ny)
+    cond = rng.uniform(lo, hi, size=eu.size)
+    vertex = rng.uniform(glo, ghi, size=n)
+    np.add.at(vertex, eu, cond)
+    np.add.at(vertex, ev, cond)
+    sources = source_scale * rng.standard_normal(n)
+    return ElectricGraph(vertex, sources, eu, ev, -cond)
+
+
+def grid2d_anisotropic(nx: int, ny: int | None = None, *,
+                       epsilon: float = 0.01, ground: float = 0.05,
+                       seed: SeedLike = 0) -> ElectricGraph:
+    """Anisotropic grid: horizontal couplings scaled by *epsilon*.
+
+    Strongly anisotropic problems are the classic stress test for
+    domain-decomposition methods; used by the impedance ablation.
+    """
+    ny = nx if ny is None else ny
+    if epsilon <= 0:
+        raise ValidationError("epsilon must be positive")
+    n = nx * ny
+    ids = np.arange(n).reshape(nx, ny)
+    h_u, h_v = ids[:, :-1].ravel(), ids[:, 1:].ravel()
+    v_u, v_v = ids[:-1, :].ravel(), ids[1:, :].ravel()
+    eu = np.concatenate([h_u, v_u])
+    ev = np.concatenate([h_v, v_v])
+    cond = np.concatenate([np.full(h_u.size, float(epsilon)),
+                           np.ones(v_u.size)])
+    vertex = np.full(n, float(ground))
+    np.add.at(vertex, eu, cond)
+    np.add.at(vertex, ev, cond)
+    rng = as_generator(seed)
+    sources = rng.standard_normal(n)
+    return ElectricGraph(vertex, sources, eu, ev, -cond)
+
+
+def grid3d_poisson(nx: int, ny: int | None = None, nz: int | None = None, *,
+                   ground: float = 0.05) -> ElectricGraph:
+    """7-point Laplacian on an nx×ny×nz grid with ground leak."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if min(nx, ny, nz) < 1:
+        raise ValidationError("grid dimensions must be positive")
+    n = nx * ny * nz
+    ids = np.arange(n).reshape(nx, ny, nz)
+    pairs = []
+    pairs.append((ids[:-1, :, :].ravel(), ids[1:, :, :].ravel()))
+    pairs.append((ids[:, :-1, :].ravel(), ids[:, 1:, :].ravel()))
+    pairs.append((ids[:, :, :-1].ravel(), ids[:, :, 1:].ravel()))
+    eu = np.concatenate([p[0] for p in pairs])
+    ev = np.concatenate([p[1] for p in pairs])
+    weights = -np.ones(eu.size)
+    vertex = np.full(n, float(ground))
+    deg = np.zeros(n)
+    np.add.at(deg, eu, 1.0)
+    np.add.at(deg, ev, 1.0)
+    vertex += deg
+    sources = np.ones(n)
+    return ElectricGraph(vertex, sources, eu, ev, weights)
+
+
+def paper_grid_side(n_unknowns: int) -> int:
+    """Grid side for the paper's sizes (289→17, 1089→33, 4225→65)."""
+    side = int(round(np.sqrt(n_unknowns)))
+    if side * side != n_unknowns:
+        raise ValidationError(
+            f"{n_unknowns} is not a perfect square; the paper's test sizes "
+            "are 289, 1089 and 4225")
+    return side

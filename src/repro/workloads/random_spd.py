@@ -1,0 +1,85 @@
+"""Random sparse SPD generators beyond grids.
+
+Used by property-based tests and the irregular-topology experiments:
+
+* :func:`random_spd_graph` — Erdős–Rényi-style electric graphs with
+  strictly dominant diagonals (SPD by Gershgorin);
+* :func:`random_connected_spd_graph` — same, with a spanning-tree
+  backbone guaranteeing connectivity;
+* :func:`random_dense_spd` — dense SPD matrices with controlled
+  condition number (linear-algebra tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..graph.electric import ElectricGraph
+from ..utils.rng import SeedLike, as_generator
+
+
+def random_dense_spd(n: int, *, cond: float = 100.0,
+                     seed: SeedLike = 0) -> np.ndarray:
+    """Dense SPD matrix with eigenvalues geometrically spread to *cond*."""
+    if n < 1:
+        raise ValidationError("n must be positive")
+    if cond < 1.0:
+        raise ValidationError("condition number must be >= 1")
+    rng = as_generator(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return (q * eigs) @ q.T
+
+
+def random_spd_graph(n: int, *, density: float = 0.1, seed: SeedLike = 0,
+                     conductance_range: tuple[float, float] = (0.5, 2.0),
+                     ground_range: tuple[float, float] = (0.05, 0.3)
+                     ) -> ElectricGraph:
+    """Random electric graph with ~density·n(n−1)/2 edges, strictly SPD."""
+    if n < 1:
+        raise ValidationError("n must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise ValidationError("density must lie in [0, 1]")
+    rng = as_generator(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < density
+    eu, ev = iu[keep], ju[keep]
+    return _assemble(n, eu, ev, rng, conductance_range, ground_range)
+
+
+def random_connected_spd_graph(n: int, *, extra_density: float = 0.05,
+                               seed: SeedLike = 0,
+                               conductance_range: tuple[float, float] = (0.5, 2.0),
+                               ground_range: tuple[float, float] = (0.05, 0.3)
+                               ) -> ElectricGraph:
+    """Connected random SPD electric graph (random spanning tree + extras)."""
+    if n < 1:
+        raise ValidationError("n must be positive")
+    rng = as_generator(seed)
+    # random spanning tree: attach each vertex to a random earlier vertex
+    tree_v = np.arange(1, n)
+    tree_u = np.array([int(rng.integers(v)) for v in tree_v], dtype=np.int64)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < extra_density
+    eu = np.concatenate([np.minimum(tree_u, tree_v), iu[keep]])
+    ev = np.concatenate([np.maximum(tree_u, tree_v), ju[keep]])
+    # de-duplicate
+    key = eu * n + ev
+    _, unique_idx = np.unique(key, return_index=True)
+    return _assemble(n, eu[unique_idx], ev[unique_idx], rng,
+                     conductance_range, ground_range)
+
+
+def _assemble(n, eu, ev, rng, conductance_range, ground_range) -> ElectricGraph:
+    lo, hi = conductance_range
+    glo, ghi = ground_range
+    if not (0 < lo <= hi) or not (0 < glo <= ghi):
+        raise ValidationError("conductance and ground ranges must be positive")
+    cond = rng.uniform(lo, hi, size=eu.size)
+    vertex = rng.uniform(glo, ghi, size=n)
+    np.add.at(vertex, eu, cond)
+    np.add.at(vertex, ev, cond)
+    sources = rng.standard_normal(n)
+    order = np.argsort(eu * n + ev)
+    return ElectricGraph(vertex, sources, eu[order], ev[order], -cond[order])

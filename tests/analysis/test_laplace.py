@@ -1,0 +1,125 @@
+"""Tests for the Laplace-domain theorem verification (paper appendix)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.laplace import (
+    port_operator,
+    port_source,
+    two_domain_model,
+    verify_theorem_6_1,
+)
+from repro.errors import ValidationError
+from repro.graph.evs import DominancePreservingSplit, split_graph
+from repro.graph.partitioners import grid_block_partition
+from repro.workloads.paper import (
+    example_5_1_impedances,
+    paper_split,
+    paper_system_3_2,
+)
+from repro.workloads.poisson import grid2d_random
+
+
+@pytest.fixture(scope="module")
+def model():
+    return two_domain_model(paper_split(), example_5_1_impedances(),
+                            delays=(6.7, 2.9))
+
+
+def test_port_operator_is_schur_complement():
+    split = paper_split()
+    sub = split.subdomains[0]
+    m = sub.matrix.to_dense()
+    expected = m[:2, :2] - np.outer(m[:2, 2], m[2, :2]) / m[2, 2]
+    assert np.allclose(port_operator(sub), expected)
+
+
+def test_port_source_reduction():
+    split = paper_split()
+    sub = split.subdomains[0]
+    m = sub.matrix.to_dense()
+    expected = sub.rhs[:2] - m[:2, 2] * (sub.rhs[2] / m[2, 2])
+    assert np.allclose(port_source(sub), expected)
+
+
+def test_scattering_spectrum_inside_unit_disc(model):
+    """Lemma A.2: SPD subgraphs give |λ| < 1."""
+    for side in (1, 2):
+        lam = model.scattering_spectrum(side)
+        assert np.all(np.abs(lam) < 1.0)
+
+
+def test_scattering_matrix_consistent_with_spectrum(model):
+    """Eigenvalues of R in the √Z-weighted similarity match the formula."""
+    for side in (1, 2):
+        r = model.scattering(side)
+        eigs = np.sort(np.abs(np.linalg.eigvals(r)))
+        lam = np.sort(np.abs(model.scattering_spectrum(side)))
+        assert np.allclose(eigs, lam, atol=1e-10)
+
+
+def test_loop_gain_below_one_on_imaginary_axis(model):
+    for omega in (0.0, 0.5, 3.0, 17.0):
+        assert model.loop_spectral_radius(1j * omega) < 1.0
+
+
+def test_loop_gain_decays_into_right_half_plane(model):
+    rho_axis = model.loop_spectral_radius(0.0)
+    rho_deep = model.loop_spectral_radius(1.0)
+    assert rho_deep <= rho_axis + 1e-12
+
+
+def test_rhp_scan(model):
+    assert model.rhp_scan() < 1.0
+
+
+def test_steady_state_matches_direct_solution(model):
+    exact = paper_system_3_2().exact_solution()
+    u1, u2 = model.steady_state_ports()
+    assert np.allclose(u1, exact[[1, 2]], atol=1e-12)
+    assert np.allclose(u2, exact[[1, 2]], atol=1e-12)
+
+
+def test_verify_theorem_on_paper_example():
+    cert = verify_theorem_6_1(paper_split(), example_5_1_impedances(),
+                              delays=(6.7, 2.9))
+    assert cert.holds
+    assert cert.final_value_error < 1e-10
+
+
+def test_verify_theorem_random_impedances_and_delays():
+    """Theorem 6.1: arbitrary Z > 0, arbitrary positive delays."""
+    rng = np.random.default_rng(0)
+    split = paper_split()
+    for _ in range(5):
+        z = {1: float(rng.uniform(0.01, 10)),
+             2: float(rng.uniform(0.01, 10))}
+        delays = (float(rng.uniform(0.1, 50)), float(rng.uniform(0.1, 50)))
+        cert = verify_theorem_6_1(split, z, delays=delays)
+        assert cert.holds, f"failed for z={z}, delays={delays}"
+
+
+def test_verify_theorem_on_grid_two_domain():
+    g = grid2d_random(8, seed=9)
+    p = grid_block_partition(8, 8, 1, 2)
+    split = split_graph(g, p, strategy=DominancePreservingSplit())
+    cert = verify_theorem_6_1(split, 1.0)
+    assert cert.holds
+
+
+def test_two_domain_model_rejects_more_parts():
+    g = grid2d_random(9, seed=1)
+    p = grid_block_partition(9, 9, 2, 2)
+    split = split_graph(g, p)
+    with pytest.raises(Exception):
+        two_domain_model(split, 1.0)
+
+
+def test_two_domain_model_rejects_multiway_copies():
+    # build an artificial 2-part split with a 3-copy vertex by using a
+    # 1x3 grid of blocks collapsed to 2 parts is not possible; instead
+    # check the validation branch via a crafted copies dict
+    split = paper_split()
+    split.copies[1] = [0, 1, 2]
+    with pytest.raises(ValidationError):
+        two_domain_model(split, example_5_1_impedances())

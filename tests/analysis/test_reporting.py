@@ -1,0 +1,97 @@
+"""Tests for ASCII reporting helpers and experiment records."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    ExperimentRecord,
+    ascii_curve,
+    format_series,
+    format_table,
+)
+from repro.utils.timeseries import TimeSeries
+
+
+def decay_series(n=20):
+    ts = TimeSeries("err")
+    for k in range(n):
+        ts.append(float(k), 10.0 ** (-0.3 * k))
+    return ts
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+    # columns aligned: separator row has consistent width
+    assert len(lines[2]) == len(lines[1])
+
+
+def test_format_table_float_formats():
+    out = format_table(["x"], [[1e-7], [123456.0], [0.0], [3.25]])
+    assert "1.000e-07" in out
+    assert "1.235e+05" in out
+    assert "0" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["a"], [])
+    assert "a" in out
+
+
+def test_format_series_downsamples():
+    out = format_series(decay_series(100), n_points=5)
+    # header + separator + <=5 rows
+    assert len(out.splitlines()) <= 8
+
+
+def test_format_series_empty():
+    assert "<empty>" in format_series(TimeSeries("e"))
+
+
+def test_ascii_curve_renders():
+    out = ascii_curve(decay_series(), title="decay")
+    assert out.startswith("decay")
+    assert "*" in out
+    assert "log10" in out
+
+
+def test_ascii_curve_linear_mode():
+    out = ascii_curve(decay_series(), logy=False)
+    assert "value range" in out
+
+
+def test_ascii_curve_too_short():
+    ts = TimeSeries("x")
+    ts.append(0.0, 1.0)
+    assert "not enough" in ascii_curve(ts)
+
+
+def test_experiment_record_render_and_checks():
+    rec = ExperimentRecord("EXP-X", "demo", parameters={"n": 4})
+    rec.add_table(["k", "v"], [[1, 2.0]])
+    rec.add_curve(decay_series())
+    rec.add_text("note")
+    rec.measurements["err"] = 1e-9
+    rec.shape_checks["works"] = True
+    out = rec.render()
+    assert "EXP-X" in out and "demo" in out
+    assert "[PASS] works" in out
+    assert rec.all_checks_pass
+    rec.shape_checks["broken"] = False
+    assert not rec.all_checks_pass
+    assert "[FAIL] broken" in rec.render()
+
+
+def test_experiment_record_save(tmp_path):
+    rec = ExperimentRecord("EXP-SAVE", "demo")
+    rec.shape_checks["ok"] = True
+    path = rec.save(str(tmp_path))
+    assert os.path.exists(path)
+    assert path.endswith("exp-save.txt")
+    with open(path) as fh:
+        assert "EXP-SAVE" in fh.read()

@@ -1,0 +1,65 @@
+"""Tests for wave-operator spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    impedance_sweep_spectral,
+    observed_contraction_rate,
+    wave_spectral_report,
+)
+from repro.core.impedance import FixedImpedance
+from repro.graph.evs import split_graph
+from repro.graph.partition import Partition
+from repro.utils.timeseries import TimeSeries
+from repro.workloads.paper import example_5_1_impedances, paper_split
+from repro.workloads.poisson import grid2d_poisson
+
+
+def test_report_on_paper_split():
+    rep = wave_spectral_report(paper_split(), example_5_1_impedances())
+    assert rep.n_waves == 4
+    assert 0.0 < rep.spectral_radius < 1.0
+    assert rep.converges
+    assert rep.eigenvalues.shape == (4,)
+
+
+def test_iterations_to_estimate():
+    rep = wave_spectral_report(paper_split(), 1.0)
+    est = rep.iterations_to(1e-8)
+    assert 1.0 < est < 10_000
+
+
+def test_iterations_to_divergent_is_inf():
+    from repro.analysis.spectral import SpectralReport
+
+    rep = SpectralReport(1.2, np.array([1.2]), 1)
+    assert rep.iterations_to() == np.inf
+    assert not rep.converges
+
+
+def test_zero_wave_split():
+    g = grid2d_poisson(3)
+    p = Partition(labels=np.zeros(9, dtype=int),
+                  separator=np.zeros(9, dtype=bool), n_parts=1)
+    rep = wave_spectral_report(split_graph(g, p), 1.0)
+    assert rep.n_waves == 0
+    assert rep.spectral_radius == 0.0
+
+
+def test_impedance_sweep_matches_individual_reports():
+    split = paper_split()
+    pairs = impedance_sweep_spectral(
+        split, [0.5, 1.0], lambda a: FixedImpedance(a))
+    assert len(pairs) == 2
+    for alpha, rho in pairs:
+        direct = wave_spectral_report(split, FixedImpedance(alpha))
+        assert rho == pytest.approx(direct.spectral_radius)
+
+
+def test_observed_contraction_rate():
+    ts = TimeSeries()
+    for k in range(30):
+        ts.append(float(k), 0.5 ** k)
+    rate = observed_contraction_rate(ts)
+    assert rate == pytest.approx(0.5, abs=1e-6)

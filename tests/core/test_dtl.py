@@ -1,0 +1,161 @@
+"""Tests for DTL/DTLP structures and the wave (scattering) algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtl import (
+    Dtlp,
+    DtlEndpoint,
+    build_dtlp_network,
+    delay_equation_residual,
+    outgoing_wave,
+    port_current,
+    reflected_wave,
+)
+from repro.errors import ConfigurationError, ValidationError
+from repro.workloads.paper import example_5_1_impedances, paper_split
+
+
+# ----------------------------------------------------------------------
+# wave algebra
+# ----------------------------------------------------------------------
+def test_wave_round_trip_identities():
+    """u + Zω = a  and  b = u − Zω = 2u − a must be consistent."""
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        u, a = rng.standard_normal(2)
+        z = float(rng.uniform(0.1, 5.0))
+        omega = port_current(a, u, z)
+        assert u + z * omega == pytest.approx(a, abs=1e-12)
+        b = reflected_wave(u, a)
+        assert b == pytest.approx(outgoing_wave(u, omega, z), abs=1e-12)
+
+
+def test_wave_algebra_vectorised():
+    u = np.array([1.0, 2.0])
+    a = np.array([0.5, 3.0])
+    z = np.array([0.2, 0.1])
+    omega = port_current(a, u, z)
+    assert np.allclose(u + z * omega, a)
+    assert np.allclose(reflected_wave(u, a), 2 * u - a)
+
+
+def test_delay_equation_residual_zero_at_consistency():
+    """Aligned samples satisfying (2.1) give zero residual."""
+    z = 0.4
+    u_in = np.array([1.0, 2.0, 3.0])
+    i_in = np.array([0.1, -0.2, 0.3])
+    # choose output side to satisfy the delay equation exactly
+    rhs = u_in - z * i_in
+    u_out = rhs * 0.25
+    i_out = (rhs - u_out) / z
+    res = delay_equation_residual(u_out, i_out, u_in, i_in, z)
+    assert np.allclose(res, 0.0, atol=1e-12)
+
+
+def test_delay_equation_residual_detects_violation():
+    res = delay_equation_residual([1.0], [0.0], [0.0], [0.0], 1.0)
+    assert abs(res[0]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Dtlp structure
+# ----------------------------------------------------------------------
+def make_dtlp(z=0.5, dab=2.0, dba=3.0):
+    return Dtlp(index=0, vertex=7, impedance=z,
+                a=DtlEndpoint(part=0, port=1, slot=0),
+                b=DtlEndpoint(part=1, port=0, slot=2),
+                delay_ab=dab, delay_ba=dba)
+
+
+def test_dtlp_validation():
+    with pytest.raises(ValidationError):
+        make_dtlp(z=0.0)
+    with pytest.raises(ValidationError):
+        make_dtlp(z=-1.0)
+    with pytest.raises(ValidationError):
+        make_dtlp(dab=-0.1)
+
+
+def test_dtlp_other_and_delay_from():
+    d = make_dtlp()
+    assert d.other(0).part == 1
+    assert d.other(1).part == 0
+    assert d.delay_from(0) == 2.0
+    assert d.delay_from(1) == 3.0
+    with pytest.raises(ValidationError):
+        d.other(5)
+    with pytest.raises(ValidationError):
+        d.delay_from(5)
+
+
+# ----------------------------------------------------------------------
+# network construction (Example 5.1 delay mapping)
+# ----------------------------------------------------------------------
+def test_build_network_example_5_1():
+    split = paper_split()
+    delays = {(0, 1): 6.7, (1, 0): 2.9}
+    net = build_dtlp_network(split, example_5_1_impedances(),
+                             lambda a, b: delays[(a, b)])
+    assert len(net.dtlps) == 2
+    assert net.n_parts == 2
+    assert net.n_slots(0) == 2 and net.n_slots(1) == 2
+    by_vertex = {d.vertex: d for d in net.dtlps}
+    assert by_vertex[1].impedance == 0.2   # Z2
+    assert by_vertex[2].impedance == 0.1   # Z3
+    for d in net.dtlps:
+        # algorithm-architecture delay mapping: DTL delay == link delay
+        assert d.delay_from(0) == 6.7
+        assert d.delay_from(1) == 2.9
+
+
+def test_routes_from_are_symmetric():
+    split = paper_split()
+    net = build_dtlp_network(split, 1.0, 1.0)
+    routes0 = net.routes_from(0)
+    for slot, (dest_part, dest_slot, dtlp_idx, delay) in enumerate(routes0):
+        assert dest_part == 1
+        assert delay == 1.0
+        # the destination slot must route back to us
+        back = net.routes_from(dest_part)[dest_slot]
+        assert back[0] == 0 and back[1] == slot and back[2] == dtlp_idx
+
+
+def test_endpoint_lookup():
+    split = paper_split()
+    net = build_dtlp_network(split, 1.0, 1.0)
+    ep = net.endpoint(0, 0)
+    assert ep.part == 0 and ep.slot == 0
+
+
+def test_scalar_impedance_and_delay():
+    split = paper_split()
+    net = build_dtlp_network(split, 2.5, 4.0)
+    assert all(d.impedance == 2.5 for d in net.dtlps)
+    assert all(d.delay_ab == 4.0 and d.delay_ba == 4.0 for d in net.dtlps)
+
+
+def test_sequence_impedances():
+    split = paper_split()
+    net = build_dtlp_network(split, [0.3, 0.7], 1.0)
+    assert sorted(d.impedance for d in net.dtlps) == [0.3, 0.7]
+    with pytest.raises(ConfigurationError):
+        build_dtlp_network(split, [0.3], 1.0)
+
+
+def test_mapping_impedance_missing_vertex():
+    split = paper_split()
+    with pytest.raises(ConfigurationError):
+        build_dtlp_network(split, {1: 0.2}, 1.0)  # vertex 2 missing
+
+
+def test_network_stats():
+    split = paper_split()
+    net = build_dtlp_network(split, example_5_1_impedances(),
+                             lambda a, b: {(0, 1): 6.7, (1, 0): 2.9}[(a, b)])
+    s = net.stats()
+    assert s["n_dtlps"] == 2
+    assert s["min_delay"] == 2.9
+    assert s["max_delay"] == 6.7
+    assert s["min_impedance"] == 0.1
+    assert s["max_impedance"] == 0.2

@@ -1,0 +1,115 @@
+"""Tests for the §8 sync/async hybrid solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import (
+    ClusteredDtmSimulator,
+    ClusterKernel,
+    PeriodicResyncDtmSimulator,
+)
+from repro.errors import ConfigurationError
+from repro.graph.evs import DominancePreservingSplit, split_graph
+from repro.graph.partitioners import grid_block_partition
+from repro.linalg.iterative import direct_reference_solution
+from repro.sim.network import custom_topology, mesh_topology
+from repro.workloads.paper import (
+    example_5_1_delays,
+    example_5_1_impedances,
+    paper_split,
+    paper_system_3_2,
+)
+from repro.workloads.poisson import grid2d_random
+
+
+@pytest.fixture(scope="module")
+def grid_setup():
+    g = grid2d_random(9, seed=2)
+    p = grid_block_partition(9, 9, 2, 2)
+    split = split_graph(g, p, strategy=DominancePreservingSplit())
+    a, b = g.to_system()
+    return split, direct_reference_solution(a, b)
+
+
+# ----------------------------------------------------------------------
+# clustered (global-async-local-sync)
+# ----------------------------------------------------------------------
+def test_clustered_converges(grid_setup):
+    split, ref = grid_setup
+    topo = custom_topology({(0, 1): 20.0, (1, 0): 30.0})
+    sim = ClusteredDtmSimulator(split, topo, [[0, 1], [2, 3]],
+                                local_sweeps=3)
+    res = sim.run(t_max=5000.0, tol=1e-7, reference=ref)
+    assert res.converged
+    assert np.allclose(res.x, ref, atol=1e-5)
+    assert res.stats["n_clusters"] == 2
+
+
+def test_clustered_single_cluster_is_pure_vtm(grid_setup):
+    """One cluster holding everything = repeated local sweeps only."""
+    split, ref = grid_setup
+    topo = custom_topology({(0, 1): 1.0, (1, 0): 1.0})
+    sim = ClusteredDtmSimulator(split, topo, [[0, 1, 2, 3], []],
+                                local_sweeps=50)
+    # single activation performs 50 sweeps; initial start is enough
+    sim.run(t_max=10.0, reference=ref)
+    err = float(np.sqrt(np.mean((sim.current_solution() - ref) ** 2)))
+    assert err < 1e-2  # 50 synchronous sweeps contract substantially
+
+
+def test_cluster_kernel_external_slots(grid_setup):
+    split, _ = grid_setup
+    topo = custom_topology({(0, 1): 5.0, (1, 0): 5.0})
+    sim = ClusteredDtmSimulator(split, topo, [[0, 1], [2, 3]])
+    ck = sim.cluster_kernels[0]
+    # every external slot references a member kernel's inbox
+    for part, slot in ck.ext_in:
+        assert part in (0, 1)
+        assert 0 <= slot < sim.kernels[part].local.n_slots
+    # messages produced leave the cluster only
+    msgs = ck.solve()
+    assert all(sim.cluster_of[m.dest_part] == 1 for m in msgs)
+
+
+def test_clustered_validation(grid_setup):
+    split, _ = grid_setup
+    topo = custom_topology({(0, 1): 5.0, (1, 0): 5.0})
+    with pytest.raises(ConfigurationError):
+        ClusteredDtmSimulator(split, topo, [[0, 1], [2]])  # missing 3
+    with pytest.raises(ConfigurationError):
+        ClusteredDtmSimulator(split, topo, [[0], [1], [2, 3]])  # 3 > procs
+    with pytest.raises(Exception):
+        ClusteredDtmSimulator(split, topo, [[0, 1], [2, 3]],
+                              local_sweeps=0)
+    sim = ClusteredDtmSimulator(split, topo, [[0, 1], [2, 3]])
+    with pytest.raises(ConfigurationError):
+        sim.run(t_max=0.0)
+
+
+# ----------------------------------------------------------------------
+# periodic resync
+# ----------------------------------------------------------------------
+def test_periodic_resync_converges():
+    split = paper_split()
+    topo = custom_topology(example_5_1_delays())
+    sim = PeriodicResyncDtmSimulator(split, topo, resync_period=25.0,
+                                     impedance=example_5_1_impedances())
+    res = sim.run(t_max=400.0, tol=1e-8)
+    exact = paper_system_3_2().exact_solution()
+    assert res.converged
+    assert np.allclose(res.x, exact, atol=1e-6)
+    assert sim.n_resyncs >= 2
+
+
+def test_periodic_resync_validation():
+    split = paper_split()
+    topo = custom_topology(example_5_1_delays())
+    with pytest.raises(ConfigurationError):
+        PeriodicResyncDtmSimulator(split, topo, resync_period=0.0)
+
+
+def test_periodic_resync_default_latency_is_max_delay():
+    split = paper_split()
+    topo = custom_topology(example_5_1_delays())
+    sim = PeriodicResyncDtmSimulator(split, topo, resync_period=10.0)
+    assert sim.resync_latency == 6.7

@@ -1,0 +1,83 @@
+"""Tests for impedance-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.impedance import (
+    DiagonalMeanImpedance,
+    FixedImpedance,
+    GeometricMeanImpedance,
+    PerVertexImpedance,
+    as_impedance_strategy,
+)
+from repro.errors import ConfigurationError, ValidationError
+from repro.workloads.paper import paper_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return paper_split()
+
+
+def test_fixed(split):
+    z = FixedImpedance(0.7).assign(split)
+    assert z == [0.7, 0.7]
+    with pytest.raises(ValidationError):
+        FixedImpedance(0.0)
+    with pytest.raises(ValidationError):
+        FixedImpedance(-1.0)
+
+
+def test_per_vertex(split):
+    z = PerVertexImpedance({1: 0.2, 2: 0.1}).assign(split)
+    by_vertex = dict(zip([l.vertex for l in split.twin_links], z))
+    assert by_vertex == {1: 0.2, 2: 0.1}
+
+
+def test_per_vertex_default(split):
+    z = PerVertexImpedance({1: 0.2}, default=0.9).assign(split)
+    by_vertex = dict(zip([l.vertex for l in split.twin_links], z))
+    assert by_vertex[2] == 0.9
+
+
+def test_per_vertex_missing_raises(split):
+    with pytest.raises(ConfigurationError):
+        PerVertexImpedance({1: 0.2}).assign(split)
+
+
+def test_per_vertex_rejects_nonpositive():
+    with pytest.raises(ValidationError):
+        PerVertexImpedance({0: 0.0})
+
+
+def test_geometric_mean(split):
+    z = GeometricMeanImpedance().assign(split)
+    # vertex 1 copies have weights 2.5 and 3.5; vertex 2: 3.3 and 3.7
+    by_vertex = dict(zip([l.vertex for l in split.twin_links], z))
+    assert by_vertex[1] == pytest.approx(1.0 / np.sqrt(2.5 * 3.5))
+    assert by_vertex[2] == pytest.approx(1.0 / np.sqrt(3.3 * 3.7))
+    z2 = GeometricMeanImpedance(alpha=3.0).assign(split)
+    assert np.allclose(np.asarray(z2), 3.0 * np.asarray(z))
+
+
+def test_diagonal_mean(split):
+    z = DiagonalMeanImpedance().assign(split)
+    by_vertex = dict(zip([l.vertex for l in split.twin_links], z))
+    assert by_vertex[1] == pytest.approx(2.0 / (2.5 + 3.5))
+    assert by_vertex[2] == pytest.approx(2.0 / (3.3 + 3.7))
+
+
+def test_strategies_always_positive(split):
+    for strat in (FixedImpedance(1.0), GeometricMeanImpedance(),
+                  DiagonalMeanImpedance()):
+        assert all(z > 0 for z in strat.assign(split))
+
+
+def test_as_impedance_strategy_coercions(split):
+    assert isinstance(as_impedance_strategy(0.5), FixedImpedance)
+    assert isinstance(as_impedance_strategy({1: 0.2, 2: 0.1}),
+                      PerVertexImpedance)
+    strat = GeometricMeanImpedance()
+    assert as_impedance_strategy(strat) is strat
+    with pytest.raises(ConfigurationError):
+        as_impedance_strategy("big")

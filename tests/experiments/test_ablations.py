@@ -1,0 +1,67 @@
+"""Smoke tests for the ablation experiments (reduced horizons)."""
+
+import pytest
+
+from repro.experiments import (
+    run_ablation_split,
+    run_ablation_twin,
+    run_baselines,
+    run_hybrid,
+    run_vtm_vs_dtm,
+)
+
+
+def test_ablation_split_record():
+    rec = run_ablation_split()
+    assert rec.all_checks_pass, rec.render()
+    assert "dominance-preserving" in rec.render()
+
+
+def test_ablation_twin_record():
+    rec = run_ablation_twin()
+    assert rec.all_checks_pass, rec.render()
+    # table lists all four topologies
+    out = rec.render()
+    for name in ("tree", "chain", "star", "complete"):
+        assert name in out
+
+
+def test_vtm_vs_dtm_record():
+    rec = run_vtm_vs_dtm(t_max=6000.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["slowdown_factor"] > 1.0
+
+
+def test_baselines_record():
+    rec = run_baselines(t_max=6000.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["schur_error"] < 1e-9
+
+
+def test_hybrid_record():
+    rec = run_hybrid(t_max=6000.0)
+    assert rec.all_checks_pass, rec.render()
+
+
+def test_cli_list_and_subset(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "abl-hyb" in out
+
+
+def test_cli_runs_experiment(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig11", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "EXP-F11" in out
+    assert (tmp_path / "exp-f11.txt").exists()
+
+
+def test_cli_unknown_experiment():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["no-such-figure"])

@@ -1,0 +1,105 @@
+"""Smoke tests for the experiment modules (small parameters).
+
+The benches run the full paper-scale configurations; these tests run
+each experiment with reduced horizons/sizes so the suite stays fast
+while still exercising every code path and shape check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    paper_split_for,
+    paper_workload,
+    run_fig8,
+    run_fig9,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_table1,
+)
+from repro.experiments.common import geometric_decay_ok
+from repro.utils.timeseries import TimeSeries
+
+
+# ----------------------------------------------------------------------
+# common helpers
+# ----------------------------------------------------------------------
+def test_paper_workload_sizes():
+    g = paper_workload(289)
+    assert g.n == 289
+    with pytest.raises(Exception):
+        paper_workload(300)
+
+
+def test_paper_split_for_shapes():
+    split = paper_split_for(289, 16)
+    assert split.n_parts == 16
+    levels = split.levels()
+    assert sum(1 for l in levels.values() if l == 2) == 9
+    with pytest.raises(ValueError):
+        paper_split_for(289, 12)  # not a square mesh
+
+
+def test_geometric_decay_ok():
+    good = TimeSeries()
+    for k in range(20):
+        good.append(float(k), 10.0 ** (-0.4 * k))
+    assert geometric_decay_ok(good)
+    flat = TimeSeries()
+    for k in range(20):
+        flat.append(float(k), 1.0)
+    assert not geometric_decay_ok(flat)
+    short = TimeSeries()
+    short.append(0.0, 1.0)
+    assert not geometric_decay_ok(short)
+
+
+# ----------------------------------------------------------------------
+# figure experiments (reduced parameters)
+# ----------------------------------------------------------------------
+def test_fig8_record():
+    rec = run_fig8(t_max=100.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["final_rms_error"] < 1e-3
+    # the table carries the four Fig 8 series
+    assert "x2a" in rec.body[0]
+
+
+def test_fig9_record_small_sweep():
+    rec = run_fig9(t_end=80.0, alphas=np.geomspace(0.05, 50.0, 7))
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["best_error"] < rec.measurements[
+        "error_at_alpha_min"]
+
+
+def test_fig11_record():
+    rec = run_fig11()
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["min_delay_ms"] == 10.0
+    assert rec.measurements["max_delay_ms"] == 99.0
+
+
+def test_fig12_record_small():
+    rec = run_fig12(sizes=(289,), t_max=4000.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["n289_level2_splits"] == 9
+
+
+def test_fig13_record():
+    rec = run_fig13()
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["max_delay_ms"] <= 100.0
+
+
+def test_fig14_record_small():
+    rec = run_fig14(sizes=(1089,), t_max=2500.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["n1089_n_solves"] >= 64
+
+
+def test_table1_record_small():
+    rec = run_table1(n=289, t_max=800.0)
+    assert rec.all_checks_pass, rec.render()
+    assert rec.measurements["lockstep_fraction"] < 0.05

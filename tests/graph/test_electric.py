@@ -1,0 +1,118 @@
+"""Tests for the electric-graph <-> linear-system bijection (paper §3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graph.electric import ElectricGraph
+from repro.linalg.sparse import CsrMatrix
+from repro.workloads.paper import MATRIX_3_2, RHS_3_2, paper_system_3_2
+
+
+def test_paper_example_3_1_graph_structure():
+    """Figure 3: the electric graph of system (3.2)."""
+    g = paper_system_3_2().graph
+    assert g.n == 4
+    # weights: diagonal of (3.2)
+    assert np.array_equal(g.vertex_weights, [5.0, 6.0, 7.0, 8.0])
+    # sources: rhs of (3.2)
+    assert np.array_equal(g.sources, [1.0, 2.0, 3.0, 4.0])
+    # edges: (1,2),(1,3),(2,3),(2,4),(3,4) in 1-based = 5 edges; a_14 = 0
+    edges = set(zip(g.edge_u.tolist(), g.edge_v.tolist()))
+    assert edges == {(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)}
+    idx = g.edge_index()
+    assert g.edge_weights[idx[(1, 2)]] == -2.0
+
+
+def test_round_trip_matrix():
+    g = paper_system_3_2().graph
+    a, b = g.to_system()
+    assert np.allclose(a.to_dense(), MATRIX_3_2)
+    assert np.array_equal(b, RHS_3_2)
+
+
+def test_from_system_rejects_asymmetric():
+    with pytest.raises(ValidationError):
+        ElectricGraph.from_system(np.array([[1.0, 2.0], [0.0, 1.0]]),
+                                  np.zeros(2))
+
+
+def test_from_system_accepts_csr():
+    m = CsrMatrix.from_dense(MATRIX_3_2)
+    g = ElectricGraph.from_system(m, RHS_3_2)
+    assert g.n_edges == 5
+
+
+def test_from_edges_normalises_orientation():
+    g = ElectricGraph.from_edges(
+        3, [(2, 0, -1.0), (1, 2, -2.0)], [2.0, 3.0, 4.0], [0.0, 0.0, 1.0])
+    assert np.array_equal(g.edge_u, [0, 1])
+    assert np.array_equal(g.edge_v, [2, 2])
+
+
+def test_duplicate_edges_rejected():
+    with pytest.raises(ValidationError):
+        ElectricGraph.from_edges(3, [(0, 1, -1.0), (1, 0, -2.0)],
+                                 np.ones(3), np.zeros(3))
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValidationError):
+        ElectricGraph.from_edges(2, [(0, 0, 1.0)], np.ones(2), np.zeros(2))
+
+
+def test_edge_out_of_range_rejected():
+    with pytest.raises(ValidationError):
+        ElectricGraph.from_edges(2, [(0, 5, 1.0)], np.ones(2), np.zeros(2))
+
+
+def test_adjacency_and_degrees():
+    g = paper_system_3_2().graph
+    adj = g.adjacency()
+    assert np.array_equal(adj[0], [1, 2])
+    assert np.array_equal(adj[1], [0, 2, 3])
+    assert np.array_equal(g.degrees(), [2, 3, 3, 2])
+
+
+def test_is_spd_and_connected():
+    g = paper_system_3_2().graph
+    assert g.is_spd()
+    assert g.is_connected()
+
+
+def test_disconnected_graph():
+    g = ElectricGraph.from_edges(4, [(0, 1, -1.0)], [2.0, 2.0, 1.0, 1.0],
+                                 np.zeros(4))
+    assert not g.is_connected()
+
+
+def test_empty_graph_connected():
+    g = ElectricGraph.from_edges(0, [], [], [])
+    assert g.is_connected()
+    assert g.n == 0
+
+
+def test_subgraph_vertices_touching():
+    g = paper_system_3_2().graph
+    touching = g.subgraph_vertices_touching([0])
+    assert np.array_equal(touching, [0, 1, 2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 15), st.integers(0, 2 ** 31 - 1))
+def test_property_system_graph_round_trip(n, seed):
+    """from_system ∘ to_system is the identity (the §3 bijection)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = a + a.T
+    mask = rng.random((n, n)) < 0.5
+    mask = mask & mask.T
+    np.fill_diagonal(mask, True)
+    a = np.where(mask, a, 0.0)
+    b = rng.standard_normal(n)
+    g = ElectricGraph.from_system(a, b)
+    a2, b2 = g.to_system()
+    assert np.allclose(a2.to_dense(), a, atol=1e-12)
+    assert np.array_equal(b2, b)

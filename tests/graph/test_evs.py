@@ -1,0 +1,338 @@
+"""Tests for Electric Vertex Splitting — including exact reproduction of
+the paper's Example 4.1 and the EVS exactness invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graph.electric import ElectricGraph
+from repro.graph.evs import (
+    DominancePreservingSplit,
+    EqualSplit,
+    ExplicitSplit,
+    split_graph,
+    twin_pairs,
+)
+from repro.graph.partition import Partition
+from repro.graph.partitioners import (
+    greedy_grow_partition,
+    grid_block_partition,
+)
+from repro.linalg.spd import is_snnd
+from repro.workloads.paper import (
+    EXPECTED_SUB0_MATRIX,
+    EXPECTED_SUB0_RHS,
+    EXPECTED_SUB1_MATRIX,
+    EXPECTED_SUB1_RHS,
+    paper_split,
+)
+from repro.workloads.poisson import grid2d_poisson, grid2d_random
+from repro.workloads.random_spd import random_connected_spd_graph
+
+
+# ----------------------------------------------------------------------
+# the paper's Example 4.1, exactly
+# ----------------------------------------------------------------------
+class TestPaperExample41:
+    def test_two_subdomains(self):
+        res = paper_split()
+        assert res.n_parts == 2
+
+    def test_split_vertices_are_v2_v3(self):
+        res = paper_split()
+        assert res.split_vertices == [1, 2]
+        assert res.copies[1] == [0, 1]
+        assert res.copies[2] == [0, 1]
+
+    def test_subsystem_4_1(self):
+        """Subgraph 1 must be exactly the paper's equation (4.1)."""
+        res = paper_split()
+        sub = res.subdomains[0]
+        assert sub.n_ports == 2
+        assert np.array_equal(sub.global_vertices, [1, 2, 0])
+        assert np.allclose(sub.matrix.to_dense(), EXPECTED_SUB0_MATRIX)
+        assert np.allclose(sub.rhs, EXPECTED_SUB0_RHS)
+
+    def test_subsystem_4_2(self):
+        """Subgraph 2 must be exactly the paper's equation (4.2)."""
+        res = paper_split()
+        sub = res.subdomains[1]
+        assert sub.n_ports == 2
+        assert np.array_equal(sub.global_vertices, [1, 2, 3])
+        assert np.allclose(sub.matrix.to_dense(), EXPECTED_SUB1_MATRIX)
+        assert np.allclose(sub.rhs, EXPECTED_SUB1_RHS)
+
+    def test_four_ports_two_dtlps(self):
+        """Example 4.1: 4 ports (2a, 2b, 3a, 3b) → two twin links."""
+        res = paper_split()
+        assert sum(s.n_ports for s in res.subdomains) == 4
+        assert len(res.twin_links) == 2
+        verts = sorted(t.vertex for t in res.twin_links)
+        assert verts == [1, 2]
+
+    def test_reassembly_exact(self):
+        paper_split().assert_exact()
+
+    def test_both_subgraphs_spd(self):
+        rep = paper_split().definiteness()
+        assert rep.n_spd == 2
+        assert rep.satisfies_theorem
+
+    def test_levels_are_level_one(self):
+        assert paper_split().levels() == {1: 1, 2: 1}
+
+
+# ----------------------------------------------------------------------
+# twin topologies
+# ----------------------------------------------------------------------
+class TestTwinPairs:
+    @pytest.mark.parametrize("topology", ["tree", "chain", "star", "complete"])
+    def test_connected_over_copies(self, topology):
+        for k in range(2, 7):
+            pairs = twin_pairs(k, topology)
+            # connectivity via union-find
+            parent = list(range(k))
+
+            def find(x):
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for a, b in pairs:
+                parent[find(a)] = find(b)
+            assert len({find(i) for i in range(k)}) == 1
+
+    def test_pair_counts(self):
+        assert len(twin_pairs(4, "tree")) == 3
+        assert len(twin_pairs(4, "chain")) == 3
+        assert len(twin_pairs(4, "star")) == 3
+        assert len(twin_pairs(4, "complete")) == 6
+
+    def test_degenerate(self):
+        assert twin_pairs(1, "tree") == []
+        assert twin_pairs(0, "tree") == []
+
+    def test_two_copies_all_topologies_agree(self):
+        for topology in ("tree", "chain", "star", "complete"):
+            assert twin_pairs(2, topology) == [(0, 1)]
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValidationError):
+            twin_pairs(3, "ring")
+
+
+# ----------------------------------------------------------------------
+# grid splits: level-1 lines and level-2 crossings
+# ----------------------------------------------------------------------
+class TestGridSplit:
+    def make(self, side=9, blocks=2, strategy=None, topology="tree"):
+        g = grid2d_poisson(side)
+        p = grid_block_partition(side, side, blocks, blocks)
+        return g, split_graph(g, p, strategy=strategy,
+                              twin_topology=topology)
+
+    def test_level_mix_on_2x2_blocks(self):
+        _, res = self.make(9, 2)
+        levels = res.levels()
+        # one separator row + one column: crossing splits 4 ways (level 2)
+        assert 2 in levels.values()
+        assert 1 in levels.values()
+        n_level2 = sum(1 for l in levels.values() if l == 2)
+        assert n_level2 == 1  # single crossing for 2x2 blocks
+
+    def test_4x4_blocks_has_9_crossings(self):
+        g = grid2d_poisson(17)
+        p = grid_block_partition(17, 17, 4, 4)
+        res = split_graph(g, p)
+        n_level2 = sum(1 for l in res.levels().values() if l == 2)
+        assert n_level2 == 9
+
+    def test_reassembly_exact_all_strategies(self):
+        for strategy in (EqualSplit(), DominancePreservingSplit()):
+            _, res = self.make(9, 2, strategy)
+            res.assert_exact()
+
+    def test_dominance_split_gives_snnd_subgraphs(self):
+        _, res = self.make(9, 3, DominancePreservingSplit())
+        rep = res.definiteness()
+        assert rep.satisfies_theorem
+        for s in res.subdomains:
+            assert is_snnd(s.matrix)
+
+    def test_equal_split_on_dominant_grid_also_snnd(self):
+        # grid with ground leak is strictly dominant; equal split keeps
+        # every copy dominant here because the leak is split evenly too
+        _, res = self.make(9, 2, EqualSplit())
+        assert res.definiteness().satisfies_theorem
+
+    def test_gather_spread_round_trip(self):
+        g, res = self.make(9, 2)
+        x = np.random.default_rng(0).standard_normal(g.n)
+        locals_ = res.spread(x)
+        back = res.gather(locals_)
+        assert np.allclose(back, x)
+
+    def test_gather_first_mode(self):
+        g, res = self.make(5, 1)
+        # single part: no splits, gather is identity
+        x = np.arange(float(g.n))
+        assert np.allclose(res.gather(res.spread(x), mode="first"), x)
+
+    def test_gather_validation(self):
+        g, res = self.make(9, 2)
+        with pytest.raises(ValidationError):
+            res.gather([np.zeros(3)] * res.n_parts)
+        with pytest.raises(ValidationError):
+            res.gather(res.spread(np.zeros(g.n)), mode="median")
+
+    def test_spread_validation(self):
+        _, res = self.make(9, 2)
+        with pytest.raises(ValidationError):
+            res.spread(np.zeros(5))
+
+    def test_twin_links_reference_valid_ports(self):
+        _, res = self.make(9, 3)
+        for link in res.twin_links:
+            for part, port in link.endpoints():
+                sub = res.subdomains[part]
+                assert 0 <= port < sub.n_ports
+                assert sub.global_vertices[port] == link.vertex
+
+    def test_twin_topologies_same_subdomains(self):
+        _, res_tree = self.make(9, 2, topology="tree")
+        _, res_star = self.make(9, 2, topology="star")
+        for a, b in zip(res_tree.subdomains, res_star.subdomains):
+            assert np.allclose(a.matrix.to_dense(), b.matrix.to_dense())
+        # complete topology has more links at the level-2 crossing
+        _, res_complete = self.make(9, 2, topology="complete")
+        assert len(res_complete.twin_links) > len(res_tree.twin_links)
+
+
+# ----------------------------------------------------------------------
+# irregular splits and edge cases
+# ----------------------------------------------------------------------
+class TestIrregularSplit:
+    def test_greedy_partition_split_exact(self):
+        g = random_connected_spd_graph(50, seed=5)
+        p = greedy_grow_partition(g, 3, seed=5)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        res.assert_exact()
+        assert res.definiteness().satisfies_theorem
+
+    def test_single_part_no_splits(self):
+        g = grid2d_poisson(4)
+        p = Partition(labels=np.zeros(16, dtype=int),
+                      separator=np.zeros(16, dtype=bool), n_parts=1)
+        res = split_graph(g, p)
+        assert res.split_vertices == []
+        assert res.twin_links == []
+        assert res.subdomains[0].n_local == 16
+        res.assert_exact()
+
+    def test_separator_vertex_touching_single_part_is_inner(self):
+        # mark a vertex as separator although all neighbours share its part
+        g = grid2d_poisson(4)
+        labels = np.zeros(16, dtype=int)
+        sep = np.zeros(16, dtype=bool)
+        sep[5] = True
+        res = split_graph(g, Partition(labels, sep, n_parts=1))
+        assert res.split_vertices == []
+        assert any("single part" in n for n in res.notes)
+        res.assert_exact()
+
+    def test_empty_part_allowed(self):
+        # 2 parts declared, everything in part 0
+        g = grid2d_poisson(3)
+        p = Partition(labels=np.zeros(9, dtype=int),
+                      separator=np.zeros(9, dtype=bool), n_parts=2)
+        res = split_graph(g, p)
+        assert res.subdomains[1].n_local == 0
+        res.assert_exact()
+
+    def test_adjacent_separator_vertices_on_line(self):
+        """A full separator line between halves: all line vertices split."""
+        g = grid2d_poisson(5)
+        labels = (np.arange(25) // 5 >= 3).astype(np.int64)  # rows 0-2 vs 3-4
+        labels[10:15] = 0
+        sep = np.zeros(25, dtype=bool)
+        sep[10:15] = True  # middle row separates
+        res = split_graph(g, Partition(labels, sep, n_parts=2))
+        assert len(res.split_vertices) == 5
+        res.assert_exact()
+
+
+# ----------------------------------------------------------------------
+# split strategies
+# ----------------------------------------------------------------------
+class TestStrategies:
+    def test_explicit_fractions_must_sum_to_one(self):
+        g = grid2d_poisson(5)
+        labels = (np.arange(25) % 5 >= 3).astype(np.int64)
+        labels[np.arange(25) % 5 == 2] = 0
+        sep = np.zeros(25, dtype=bool)
+        sep[np.arange(25) % 5 == 2] = True
+        bad = ExplicitSplit(vertex={2: {0: 0.7, 1: 0.7}})
+        with pytest.raises(ValidationError, match="sum to"):
+            split_graph(g, Partition(labels, sep, n_parts=2), strategy=bad)
+
+    def test_explicit_fractions_wrong_parts(self):
+        g = grid2d_poisson(5)
+        labels = (np.arange(25) % 5 >= 3).astype(np.int64)
+        labels[np.arange(25) % 5 == 2] = 0
+        sep = np.zeros(25, dtype=bool)
+        sep[np.arange(25) % 5 == 2] = True
+        bad = ExplicitSplit(vertex={2: {0: 0.5, 5: 0.5}})
+        with pytest.raises(ValidationError, match="cover parts"):
+            split_graph(g, Partition(labels, sep, n_parts=2), strategy=bad)
+
+    def test_dominance_vertex_fractions_sum_to_one(self):
+        s = DominancePreservingSplit()
+        fr = s.vertex_fractions(0, 5.0, {0: 1.0, 1: 2.0})
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr[1] > fr[0]  # heavier load gets more weight
+
+    def test_dominance_fallback_when_not_dominant(self):
+        s = DominancePreservingSplit()
+        fr = s.vertex_fractions(0, 1.0, {0: 2.0, 1: 2.0})  # slack < 0
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_dominance_zero_weight(self):
+        s = DominancePreservingSplit()
+        fr = s.vertex_fractions(0, 0.0, {0: 1.0, 1: 1.0})
+        assert fr == {0: 0.5, 1: 0.5}
+
+
+# ----------------------------------------------------------------------
+# property: EVS exactness on random systems
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(2, 4))
+def test_property_evs_reassembly_is_exact(seed, n_parts):
+    g = random_connected_spd_graph(40, seed=seed)
+    p = greedy_grow_partition(g, n_parts, seed=seed)
+    res = split_graph(g, p, strategy=DominancePreservingSplit())
+    res.assert_exact(atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_property_grid_split_preserves_solution(seed):
+    """Restricting the exact solution satisfies each local system with
+    consistent currents: A_j u_j - b_j sums to zero over copies."""
+    g = grid2d_random(7, seed=seed)
+    p = grid_block_partition(7, 7, 2, 2)
+    res = split_graph(g, p, strategy=DominancePreservingSplit())
+    a, b = g.to_system()
+    from repro.linalg.iterative import conjugate_gradient
+
+    x = conjugate_gradient(a, b, tol=1e-13).x
+    locals_ = res.spread(x)
+    # local residuals are the inflow currents; they must cancel globally
+    total = np.zeros(g.n)
+    for sub, xl in zip(res.subdomains, locals_):
+        r = sub.matrix.matvec(xl) - sub.rhs
+        np.add.at(total, sub.global_vertices, r)
+    assert np.allclose(total, 0.0, atol=1e-8)

@@ -1,0 +1,166 @@
+"""Tests for grid/BFS/multilevel partitioners and separator covers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.partitioners import (
+    _axis_cuts,
+    edge_cut_weight,
+    greedy_grow_partition,
+    grid_block_partition,
+    multilevel_partition,
+    vertex_cover_separator,
+)
+from repro.workloads.poisson import grid2d_poisson
+from repro.workloads.random_spd import random_connected_spd_graph
+
+
+# ----------------------------------------------------------------------
+# axis cuts / grid blocks
+# ----------------------------------------------------------------------
+def test_axis_cuts_17_into_4():
+    block, sep = _axis_cuts(17, 4)
+    assert sep.sum() == 3
+    assert block.max() == 3
+    # interior sizes balanced: 14 interior -> 4,4,3,3
+    sizes = [np.sum((block == k) & ~sep) for k in range(4)]
+    assert sorted(sizes) == [3, 3, 4, 4]
+
+
+def test_axis_cuts_single_block():
+    block, sep = _axis_cuts(5, 1)
+    assert not sep.any()
+    assert np.array_equal(block, np.zeros(5))
+
+
+def test_axis_cuts_too_short():
+    with pytest.raises(PartitionError):
+        _axis_cuts(4, 3)  # 4 - 2 separators = 2 interiors < 3 blocks
+    with pytest.raises(PartitionError):
+        _axis_cuts(5, 0)
+
+
+def test_grid_block_partition_17x17_4x4():
+    """The paper's 16-processor regular partition of n=289."""
+    g = grid2d_poisson(17)
+    p = grid_block_partition(17, 17, 4, 4)
+    assert p.n == 289
+    assert p.n_parts == 16
+    p.validate(g)  # separator property holds
+    # separator = 3 rows + 3 cols - 9 crossings counted once
+    assert int(p.separator.sum()) == 3 * 17 + 3 * 17 - 9
+    sizes = p.part_sizes()
+    assert sizes.min() >= 9 and sizes.max() <= 16
+
+
+def test_grid_block_partition_rectangular():
+    g = grid2d_poisson(9, 13)
+    p = grid_block_partition(9, 13, 2, 3)
+    p.validate(g)
+    assert p.n_parts == 6
+
+
+def test_grid_block_partition_trivial():
+    p = grid_block_partition(5, 5, 1, 1)
+    assert p.n_parts == 1
+    assert not p.separator.any()
+
+
+# ----------------------------------------------------------------------
+# separator covers
+# ----------------------------------------------------------------------
+def test_vertex_cover_separator_covers_all_cut_edges():
+    g = grid2d_poisson(8)
+    labels = (np.arange(64) // 32).astype(np.int64)  # top/bottom halves
+    sep = vertex_cover_separator(g, labels)
+    eu, ev = g.edge_u, g.edge_v
+    cut = labels[eu] != labels[ev]
+    assert np.all(sep[eu[cut]] | sep[ev[cut]])
+    # single line of 8 vertices suffices
+    assert sep.sum() <= 8
+
+
+def test_vertex_cover_separator_no_cut():
+    g = grid2d_poisson(4)
+    sep = vertex_cover_separator(g, np.zeros(16, dtype=np.int64))
+    assert not sep.any()
+
+
+# ----------------------------------------------------------------------
+# greedy growing
+# ----------------------------------------------------------------------
+def test_greedy_grow_partition_balanced_and_valid():
+    g = grid2d_poisson(10)
+    p = greedy_grow_partition(g, 4, seed=1)
+    p.validate(g)
+    assert p.n_parts == 4
+    sizes = p.part_sizes()
+    assert sizes.min() > 0
+    # loose balance bound: no part more than 2.5x the ideal
+    assert sizes.max() <= 2.5 * (100 / 4)
+
+
+def test_greedy_grow_partition_irregular_graph():
+    g = random_connected_spd_graph(60, seed=3)
+    p = greedy_grow_partition(g, 3, seed=3)
+    p.validate(g)
+    assert np.all(p.part_sizes() > 0)
+
+
+def test_greedy_grow_partition_handles_disconnected():
+    from repro.graph.electric import ElectricGraph
+
+    g = ElectricGraph.from_edges(
+        6, [(0, 1, -1.0), (1, 2, -1.0), (3, 4, -1.0), (4, 5, -1.0)],
+        np.full(6, 3.0), np.zeros(6))
+    p = greedy_grow_partition(g, 2, seed=0)
+    p.validate(g)
+    assert p.labels.min() >= 0
+
+
+def test_greedy_grow_partition_bounds():
+    g = grid2d_poisson(3)
+    with pytest.raises(PartitionError):
+        greedy_grow_partition(g, 0)
+    with pytest.raises(PartitionError):
+        greedy_grow_partition(g, 10)
+
+
+def test_greedy_grow_single_part():
+    g = grid2d_poisson(4)
+    p = greedy_grow_partition(g, 1, seed=0)
+    assert p.n_parts == 1
+    assert not p.separator.any()
+
+
+# ----------------------------------------------------------------------
+# multilevel
+# ----------------------------------------------------------------------
+def test_multilevel_partition_valid_and_balanced():
+    g = grid2d_poisson(16)
+    p = multilevel_partition(g, 4, seed=0)
+    p.validate(g)
+    sizes = p.part_sizes()
+    assert sizes.min() > 0
+    assert sizes.max() <= 2.0 * (256 / 4)
+
+
+def test_multilevel_cut_competitive_with_greedy():
+    g = grid2d_poisson(16)
+    p_ml = multilevel_partition(g, 4, seed=0)
+    p_gr = greedy_grow_partition(g, 4, seed=0)
+    # multilevel refinement should not be dramatically worse
+    assert (edge_cut_weight(g, p_ml.labels)
+            <= 1.5 * edge_cut_weight(g, p_gr.labels) + 1e-9)
+
+
+def test_multilevel_small_graph_skips_coarsening():
+    g = grid2d_poisson(4)
+    p = multilevel_partition(g, 2, seed=0)
+    p.validate(g)
+
+
+def test_edge_cut_weight_zero_for_single_part():
+    g = grid2d_poisson(5)
+    assert edge_cut_weight(g, np.zeros(25, dtype=np.int64)) == 0.0

@@ -1,0 +1,135 @@
+"""Tests for the factor objects and sparse front end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotSpdError
+from repro.linalg.cholesky import (
+    SpdFactor,
+    factor_spd,
+    factor_symmetric,
+    try_factor_spd,
+)
+from repro.linalg.sparse import CsrMatrix, laplacian_like
+
+
+def random_spd(rng, n):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    return (q * np.geomspace(1, 50, n)) @ q.T
+
+
+def grid_spd(n_side):
+    """Small grid Laplacian + boost (sparse and SPD)."""
+    edges = []
+    idx = lambda i, j: i * n_side + j
+    for i in range(n_side):
+        for j in range(n_side):
+            if i + 1 < n_side:
+                edges.append((idx(i, j), idx(i + 1, j)))
+            if j + 1 < n_side:
+                edges.append((idx(i, j), idx(i, j + 1)))
+    r, c = zip(*edges)
+    return laplacian_like(r, c, np.ones(len(edges)), n_side * n_side,
+                          diagonal_boost=0.3)
+
+
+def test_factor_spd_dense_solve():
+    rng = np.random.default_rng(0)
+    a = random_spd(rng, 20)
+    b = rng.standard_normal(20)
+    f = factor_spd(a)
+    assert f.n == 20
+    assert np.allclose(f.solve(b), np.linalg.solve(a, b), atol=1e-8)
+
+
+def test_factor_spd_matrix_rhs():
+    rng = np.random.default_rng(1)
+    a = random_spd(rng, 10)
+    B = rng.standard_normal((10, 3))
+    assert np.allclose(factor_spd(a).solve(B), np.linalg.solve(a, B), atol=1e-8)
+
+
+def test_factor_spd_sparse_with_rcm():
+    m = grid_spd(5)
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal(25)
+    for ordering in ("none", "rcm"):
+        f = factor_spd(m, ordering=ordering)
+        assert np.allclose(m.matvec(f.solve(b)), b, atol=1e-9)
+
+
+def test_factor_spd_dense_with_rcm():
+    a = grid_spd(4).to_dense()
+    b = np.arange(16, dtype=float)
+    f = factor_spd(a, ordering="rcm")
+    assert np.allclose(a @ f.solve(b), b, atol=1e-9)
+
+
+def test_factor_spd_unknown_ordering():
+    with pytest.raises(ValueError):
+        factor_spd(np.eye(3), ordering="amd-magic")
+    with pytest.raises(ValueError):
+        factor_spd(CsrMatrix.identity(3), ordering="amd-magic")
+
+
+def test_factor_spd_rejects_asymmetric():
+    with pytest.raises(Exception):
+        factor_spd(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+
+def test_factor_spd_skip_symmetry_check():
+    a = np.array([[2.0, 1.0 + 1e-13], [1.0, 2.0]])
+    factor_spd(a, check_symmetry=False)
+
+
+def test_inverse_cached_and_correct():
+    rng = np.random.default_rng(3)
+    a = random_spd(rng, 15)
+    f = factor_spd(a)
+    inv1 = f.inverse()
+    inv2 = f.inverse()
+    assert inv1 is inv2  # cached
+    assert np.allclose(inv1, np.linalg.inv(a), atol=1e-7)
+
+
+def test_inverse_with_permutation_in_original_order():
+    m = grid_spd(4)
+    f = factor_spd(m, ordering="rcm")
+    assert np.allclose(f.inverse(), np.linalg.inv(m.to_dense()), atol=1e-7)
+
+
+def test_logdet():
+    rng = np.random.default_rng(4)
+    a = random_spd(rng, 8)
+    f = factor_spd(a)
+    assert f.logdet() == pytest.approx(np.linalg.slogdet(a)[1], rel=1e-8)
+
+
+def test_spd_factor_direct_construction_with_perm():
+    a = grid_spd(3)
+    perm = np.random.default_rng(5).permutation(9)
+    from repro.linalg.dense import cholesky_factor
+
+    L = cholesky_factor(a.permuted(perm).to_dense())
+    f = SpdFactor(L, perm=perm)
+    b = np.arange(9.0)
+    assert np.allclose(a.matvec(f.solve(b)), b, atol=1e-9)
+
+
+def test_factor_symmetric_indefinite():
+    a = np.array([[2.0, 1.0], [1.0, -3.0]])
+    f = factor_symmetric(a)
+    pos, zero, neg = f.inertia()
+    assert (pos, zero, neg) == (1, 0, 1)
+    b = np.array([1.0, 1.0])
+    assert np.allclose(a @ f.solve(b), b, atol=1e-10)
+
+
+def test_try_factor_spd():
+    assert try_factor_spd(np.eye(3)) is not None
+    assert try_factor_spd(np.array([[1.0, 2.0], [2.0, 1.0]])) is None
+
+
+def test_not_spd_raises():
+    with pytest.raises(NotSpdError):
+        factor_spd(np.array([[0.0, 0.0], [0.0, 1.0]]))

@@ -1,0 +1,285 @@
+"""Tests for the CSR sparse-matrix substrate (scipy as oracle)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.linalg.sparse import CsrMatrix, laplacian_like
+
+
+def random_dense(rng, n, m, density=0.3):
+    a = rng.standard_normal((n, m))
+    a[rng.random((n, m)) > density] = 0.0
+    return a
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def test_from_coo_sums_duplicates():
+    m = CsrMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 4.0], (2, 2))
+    assert m.nnz == 2
+    assert m.get(0, 1) == 5.0
+    assert m.get(1, 0) == 4.0
+
+
+def test_from_coo_validates_lengths_and_bounds():
+    with pytest.raises(ValidationError):
+        CsrMatrix.from_coo([0], [0, 1], [1.0, 2.0], (2, 2))
+    with pytest.raises(ValidationError):
+        CsrMatrix.from_coo([2], [0], [1.0], (2, 2))
+
+
+def test_from_dense_round_trip():
+    rng = np.random.default_rng(0)
+    a = random_dense(rng, 7, 5)
+    m = CsrMatrix.from_dense(a)
+    assert np.array_equal(m.to_dense(), a)
+
+
+def test_from_dense_tolerance_drops_small():
+    a = np.array([[1.0, 1e-14], [0.0, 2.0]])
+    m = CsrMatrix.from_dense(a, tol=1e-12)
+    assert m.nnz == 2
+
+
+def test_zeros_and_identity():
+    z = CsrMatrix.zeros((3, 4))
+    assert z.nnz == 0 and z.shape == (3, 4)
+    assert np.array_equal(z.matvec(np.ones(4)), np.zeros(3))
+    eye = CsrMatrix.identity(3)
+    assert np.array_equal(eye.to_dense(), np.eye(3))
+
+
+def test_raw_constructor_validates():
+    with pytest.raises(ValidationError):
+        CsrMatrix(np.ones(1), np.array([5]), np.array([0, 1]), (1, 2))
+    with pytest.raises(ValidationError):
+        CsrMatrix(np.ones(2), np.array([0, 1]), np.array([0, 1]), (1, 2))
+
+
+def test_raw_constructor_sorts_columns():
+    m = CsrMatrix(np.array([2.0, 1.0]), np.array([1, 0]),
+                  np.array([0, 2]), (1, 2))
+    cols, vals = m.row(0)
+    assert np.array_equal(cols, [0, 1])
+    assert np.array_equal(vals, [1.0, 2.0])
+
+
+def test_raw_constructor_rejects_duplicate_columns():
+    with pytest.raises(ValidationError, match="duplicate"):
+        CsrMatrix(np.array([1.0, 2.0]), np.array([1, 1]),
+                  np.array([0, 2]), (1, 2))
+
+
+def test_scipy_round_trip():
+    rng = np.random.default_rng(1)
+    a = random_dense(rng, 6, 6)
+    ours = CsrMatrix.from_dense(a)
+    back = CsrMatrix.from_scipy(ours.to_scipy())
+    assert np.array_equal(back.to_dense(), a)
+
+
+# ----------------------------------------------------------------------
+# arithmetic vs oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+def test_matvec_matches_dense(seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, 11, 8, density=0.25)
+    x = rng.standard_normal(8)
+    m = CsrMatrix.from_dense(a)
+    assert np.allclose(m.matvec(x), a @ x)
+    assert np.allclose(m @ x, a @ x)
+
+
+def test_matvec_empty_rows():
+    a = np.zeros((4, 3))
+    a[1, 2] = 5.0
+    m = CsrMatrix.from_dense(a)
+    y = m.matvec(np.array([1.0, 1.0, 2.0]))
+    assert np.array_equal(y, [0.0, 10.0, 0.0, 0.0])
+
+
+def test_matvec_shape_check():
+    m = CsrMatrix.identity(3)
+    with pytest.raises(ValidationError):
+        m.matvec(np.ones(4))
+
+
+def test_rmatvec_matches_dense():
+    rng = np.random.default_rng(2)
+    a = random_dense(rng, 9, 5)
+    y = rng.standard_normal(9)
+    m = CsrMatrix.from_dense(a)
+    assert np.allclose(m.rmatvec(y), a.T @ y)
+
+
+def test_transpose_matches_dense():
+    rng = np.random.default_rng(3)
+    a = random_dense(rng, 6, 9)
+    m = CsrMatrix.from_dense(a)
+    assert np.array_equal(m.T.to_dense(), a.T)
+
+
+def test_matmat_matches_dense():
+    rng = np.random.default_rng(4)
+    a = random_dense(rng, 5, 7)
+    b = random_dense(rng, 7, 4)
+    prod = CsrMatrix.from_dense(a) @ CsrMatrix.from_dense(b)
+    assert isinstance(prod, CsrMatrix)
+    assert np.allclose(prod.to_dense(), a @ b)
+
+
+def test_matmat_dimension_check():
+    with pytest.raises(ValidationError):
+        CsrMatrix.identity(3).matmat(CsrMatrix.identity(4))
+
+
+def test_add_and_scaled():
+    rng = np.random.default_rng(5)
+    a = random_dense(rng, 6, 6)
+    b = random_dense(rng, 6, 6)
+    ma, mb = CsrMatrix.from_dense(a), CsrMatrix.from_dense(b)
+    assert np.allclose(ma.add(mb).to_dense(), a + b)
+    assert np.allclose(ma.scaled(-2.5).to_dense(), -2.5 * a)
+    with pytest.raises(ValidationError):
+        ma.add(CsrMatrix.identity(5))
+
+
+# ----------------------------------------------------------------------
+# structure queries
+# ----------------------------------------------------------------------
+def test_diagonal_rectangular_and_missing():
+    a = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 3.0]])
+    m = CsrMatrix.from_dense(a)
+    assert np.array_equal(m.diagonal(), [1.0, 0.0])
+
+
+def test_row_and_get():
+    m = CsrMatrix.from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+    cols, vals = m.row(0)
+    assert np.array_equal(cols, [1]) and np.array_equal(vals, [2.0])
+    assert m.get(0, 0) == 0.0 and m.get(1, 0) == 3.0
+    with pytest.raises(ValidationError):
+        m.row(5)
+
+
+def test_submatrix_matches_dense_fancy_indexing():
+    rng = np.random.default_rng(6)
+    a = random_dense(rng, 8, 8)
+    m = CsrMatrix.from_dense(a)
+    rows = [5, 0, 3]
+    cols = [7, 2, 2 + 2]
+    sub = m.submatrix(rows, cols)
+    assert np.array_equal(sub.to_dense(), a[np.ix_(rows, cols)])
+
+
+def test_permuted_symmetric():
+    rng = np.random.default_rng(7)
+    a = random_dense(rng, 6, 6)
+    a = a + a.T
+    m = CsrMatrix.from_dense(a)
+    perm = np.array([3, 1, 0, 5, 4, 2])
+    assert np.array_equal(m.permuted(perm).to_dense(), a[np.ix_(perm, perm)])
+    with pytest.raises(ValidationError):
+        CsrMatrix.zeros((2, 3)).permuted([0, 1])
+
+
+def test_is_symmetric():
+    a = np.array([[2.0, -1.0], [-1.0, 2.0]])
+    assert CsrMatrix.from_dense(a).is_symmetric()
+    assert not CsrMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]])).is_symmetric()
+    assert not CsrMatrix.zeros((2, 3)).is_symmetric()
+    assert CsrMatrix.zeros((3, 3)).is_symmetric()
+
+
+def test_row_nnz_and_triplets():
+    a = np.array([[1.0, 0.0], [2.0, 3.0]])
+    m = CsrMatrix.from_dense(a)
+    assert np.array_equal(m.row_nnz(), [1, 2])
+    r, c, v = m.triplets()
+    assert np.array_equal(r, [0, 1, 1])
+    assert np.array_equal(c, [0, 0, 1])
+    assert np.array_equal(v, [1.0, 2.0, 3.0])
+
+
+def test_offdiag_abs_row_sums():
+    a = np.array([[4.0, -1.0, 2.0], [-1.0, 3.0, 0.0], [2.0, 0.0, 5.0]])
+    m = CsrMatrix.from_dense(a)
+    assert np.array_equal(m.offdiag_abs_row_sums(), [3.0, 1.0, 2.0])
+
+
+def test_copy_is_independent():
+    m = CsrMatrix.identity(2)
+    c = m.copy()
+    c.data[0] = 99.0
+    assert m.data[0] == 1.0
+
+
+# ----------------------------------------------------------------------
+# laplacian_like
+# ----------------------------------------------------------------------
+def test_laplacian_like_stamps():
+    # 3-vertex path with unit conductances and a grounded boost
+    m = laplacian_like([0, 1], [1, 2], [1.0, 2.0], 3, diagonal_boost=0.5)
+    expected = np.array([
+        [1.5, -1.0, 0.0],
+        [-1.0, 3.5, -2.0],
+        [0.0, -2.0, 2.5],
+    ])
+    assert np.allclose(m.to_dense(), expected)
+
+
+def test_laplacian_like_rejects_self_loops():
+    with pytest.raises(ValidationError):
+        laplacian_like([0], [0], [1.0], 2)
+
+
+def test_laplacian_like_row_sums_zero_without_boost():
+    rng = np.random.default_rng(8)
+    n = 10
+    rows, cols = np.triu_indices(n, k=1)
+    keep = rng.random(rows.size) < 0.4
+    w = rng.random(keep.sum()) + 0.1
+    m = laplacian_like(rows[keep], cols[keep], w, n)
+    assert np.allclose(m.matvec(np.ones(n)), 0.0)
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2 ** 31 - 1))
+def test_property_dense_round_trip_and_matvec(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, m, density=0.4)
+    mat = CsrMatrix.from_dense(a)
+    assert np.array_equal(mat.to_dense(), a)
+    x = rng.standard_normal(m)
+    assert np.allclose(mat.matvec(x), a @ x, atol=1e-12)
+    assert np.allclose(mat.T.to_dense(), a.T)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2 ** 31 - 1))
+def test_property_add_commutes_with_dense(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, n)
+    b = random_dense(rng, n, n)
+    lhs = CsrMatrix.from_dense(a).add(CsrMatrix.from_dense(b)).to_dense()
+    assert np.allclose(lhs, a + b, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 9), st.integers(0, 2 ** 31 - 1))
+def test_property_matmat_vs_scipy(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, n + 1, density=0.5)
+    b = random_dense(rng, n + 1, n, density=0.5)
+    ours = (CsrMatrix.from_dense(a) @ CsrMatrix.from_dense(b)).to_dense()
+    oracle = (sp.csr_matrix(a) @ sp.csr_matrix(b)).toarray()
+    assert np.allclose(ours, oracle, atol=1e-12)

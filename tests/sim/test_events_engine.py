@@ -1,0 +1,140 @@
+"""Tests for the event queue and simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import EventQueue
+
+
+# ----------------------------------------------------------------------
+# event queue
+# ----------------------------------------------------------------------
+def test_queue_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(2.0, fired.append, (2,))
+    q.push(1.0, fired.append, (1,))
+    q.push(3.0, fired.append, (3,))
+    while len(q):
+        q.pop().fire()
+    assert fired == [1, 2, 3]
+
+
+def test_queue_fifo_at_same_instant():
+    q = EventQueue()
+    fired = []
+    for k in range(5):
+        q.push(1.0, fired.append, (k,))
+    while len(q):
+        q.pop().fire()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_queue_peek_and_empty_pop():
+    q = EventQueue()
+    assert q.peek_time() is None
+    with pytest.raises(SimulationError):
+        q.pop()
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 5.0
+
+
+def test_queue_rejects_nan():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_queue_clear():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+def test_engine_runs_to_quiescence():
+    eng = Engine()
+    log = []
+    eng.schedule_at(1.0, log.append, "a")
+    eng.schedule_at(0.5, log.append, "b")
+    t = eng.run()
+    assert log == ["b", "a"]
+    assert t == 1.0
+    assert eng.idle
+
+
+def test_engine_horizon_keeps_future_events():
+    eng = Engine()
+    log = []
+    eng.schedule_at(1.0, log.append, 1)
+    eng.schedule_at(5.0, log.append, 5)
+    t = eng.run(until=2.0)
+    assert log == [1]
+    assert t == 2.0
+    assert not eng.idle
+    eng.run()  # continue to quiescence
+    assert log == [1, 5]
+
+
+def test_engine_clock_advances_to_horizon_when_idle():
+    eng = Engine()
+    t = eng.run(until=10.0)
+    assert t == 10.0
+
+
+def test_engine_schedule_during_run():
+    eng = Engine()
+    log = []
+
+    def chain(k):
+        log.append(k)
+        if k < 3:
+            eng.schedule_after(1.0, chain, k + 1)
+
+    eng.schedule_at(0.0, chain, 0)
+    eng.run()
+    assert log == [0, 1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_engine_stop_mid_run():
+    eng = Engine()
+    log = []
+    eng.schedule_at(1.0, eng.stop)
+    eng.schedule_at(2.0, log.append, "late")
+    t = eng.run(until=10.0)
+    assert log == []
+    assert t == 1.0
+
+
+def test_engine_rejects_past_events():
+    eng = Engine()
+    eng.schedule_at(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_engine_event_budget():
+    eng = Engine()
+
+    def forever():
+        eng.schedule_after(1.0, forever)
+
+    eng.schedule_at(0.0, forever)
+    with pytest.raises(SimulationError, match="budget"):
+        eng.run(max_events=100)
+
+
+def test_engine_event_counter():
+    eng = Engine()
+    for k in range(7):
+        eng.schedule_at(float(k), lambda: None)
+    eng.run()
+    assert eng.n_events_processed == 7

@@ -1,0 +1,129 @@
+"""Tests for synchronous and asynchronous block-Jacobi baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.graph.partition import Partition
+from repro.graph.partitioners import grid_block_partition
+from repro.linalg.iterative import direct_reference_solution
+from repro.sim.network import mesh_topology, uniform_topology
+from repro.solvers.base import build_block_structure
+from repro.solvers.block_jacobi import (
+    AsyncBlockJacobiSimulator,
+    BlockJacobiKernel,
+    solve_block_jacobi,
+)
+from repro.workloads.poisson import grid2d_poisson, grid2d_random
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = grid2d_random(9, seed=4)
+    p = grid_block_partition(9, 9, 2, 2)
+    a, b = g.to_system()
+    return g, p, direct_reference_solution(a, b)
+
+
+def test_block_structure_covers_all_rows(setup):
+    g, p, _ = setup
+    s = build_block_structure(g, p)
+    all_rows = np.sort(np.concatenate(s.owned))
+    assert np.array_equal(all_rows, np.arange(g.n))
+
+
+def test_block_structure_rejects_empty_part():
+    g = grid2d_poisson(3)
+    p = Partition(labels=np.zeros(9, dtype=int),
+                  separator=np.zeros(9, dtype=bool), n_parts=2)
+    with pytest.raises(PartitionError):
+        build_block_structure(g, p)
+
+
+def test_block_structure_affine_map_is_exact(setup):
+    """x_q = x0 - M x_ext must equal the direct block solve."""
+    g, p, ref = setup
+    s = build_block_structure(g, p)
+    a, b = g.to_system()
+    for q in range(s.n_parts):
+        rows = s.owned[q]
+        ext = s.ext_vertices[q]
+        x_ext = ref[ext] if ext.size else np.zeros(0)
+        x_q = s.x0[q] - (s.M[q] @ x_ext if ext.size else 0.0)
+        assert np.allclose(x_q, ref[rows], atol=1e-8)
+
+
+def test_sync_block_jacobi_converges(setup):
+    g, p, ref = setup
+    res = solve_block_jacobi(g, p, tol=1e-8, max_iterations=3000,
+                             reference=ref)
+    assert res.converged
+    assert np.allclose(res.x, ref, atol=1e-6)
+    assert not res.diverged
+
+
+def test_sync_block_jacobi_damping(setup):
+    g, p, ref = setup
+    res = solve_block_jacobi(g, p, tol=1e-8, max_iterations=5000,
+                             damping=0.8, reference=ref)
+    assert res.converged
+
+
+def test_kernel_damping_validation(setup):
+    g, p, _ = setup
+    s = build_block_structure(g, p)
+    for bad in (0.0, 1.5, -0.2):
+        with pytest.raises(Exception):
+            BlockJacobiKernel(s, 0, damping=bad)
+
+
+def test_kernel_message_routing_is_consistent(setup):
+    g, p, _ = setup
+    s = build_block_structure(g, p)
+    kernels = [BlockJacobiKernel(s, q) for q in range(s.n_parts)]
+    msgs = kernels[0].solve()
+    for m in msgs:
+        assert m.dest_part != 0
+        # the slot must map back to a vertex owned by part 0
+        v = s.ext_vertices[m.dest_part][m.dest_slot]
+        assert v in s.owned[0]
+
+
+def test_async_block_jacobi_converges(setup):
+    g, p, ref = setup
+    topo = mesh_topology(2, 2, delay_low=5, delay_high=40, seed=2)
+    sim = AsyncBlockJacobiSimulator(g, p, topo)
+    res = sim.run(t_max=20_000.0, tol=1e-6, reference=ref)
+    assert res.converged
+    assert np.allclose(res.x, ref, atol=1e-4)
+    assert res.n_messages > 0
+
+
+def test_async_block_jacobi_matches_sync_on_uniform_delays(setup):
+    """Equal delays + lockstep start ≈ synchronous iteration."""
+    g, p, ref = setup
+    topo = uniform_topology(4, delay=1.0)
+    sim = AsyncBlockJacobiSimulator(g, p, topo, min_solve_interval=0.0)
+    # solves fire at t = 0, 1, ..., 29 -> exactly 30 block sweeps
+    res = sim.run(t_max=29.5, reference=ref)
+    sync = solve_block_jacobi(g, p, tol=0.0 + 1e-300, max_iterations=30,
+                              reference=ref)
+    assert np.allclose(res.x, sync.x, atol=1e-9)
+
+
+def test_async_block_jacobi_validation(setup):
+    g, p, _ = setup
+    topo = uniform_topology(4)
+    sim = AsyncBlockJacobiSimulator(g, p, topo)
+    with pytest.raises(ConfigurationError):
+        sim.run(t_max=0.0)
+    with pytest.raises(ConfigurationError):
+        AsyncBlockJacobiSimulator(g, p, uniform_topology(2))
+
+
+def test_jacobi_error_history_decays(setup):
+    g, p, ref = setup
+    res = solve_block_jacobi(g, p, tol=1e-10, max_iterations=2000,
+                             reference=ref)
+    vals = res.errors.values
+    assert vals[-1] < 1e-6 * vals[0]

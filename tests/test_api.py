@@ -1,0 +1,70 @@
+"""Tests for the high-level one-call API."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, solve_dtm, solve_vtm_system
+from repro.api import prepare_split
+from repro.sim import custom_topology
+from repro.workloads import grid2d_random, paper_system_3_2
+
+
+def test_solve_dtm_on_paper_system():
+    system = paper_system_3_2()
+    res = solve_dtm(system.matrix, system.rhs, n_subdomains=2,
+                    topology=custom_topology({(0, 1): 6.7, (1, 0): 2.9}),
+                    impedance=0.15, t_max=1000.0, tol=1e-8, seed=0)
+    assert res.converged
+    assert np.allclose(res.x, system.exact_solution(), atol=1e-6)
+    assert res.relative_residual < 1e-6
+    assert res.split is not None and res.errors is not None
+
+
+def test_solve_dtm_dense_input_default_topology():
+    system = paper_system_3_2()
+    res = solve_dtm(system.matrix.to_dense(), system.rhs, n_subdomains=2,
+                    t_max=4000.0, tol=1e-6, seed=1)
+    assert res.converged
+
+
+def test_solve_dtm_electric_graph_input():
+    g = grid2d_random(7, seed=2)
+    res = solve_dtm(g, n_subdomains=4, t_max=6000.0, tol=1e-5, seed=2)
+    assert res.rms_error < 1e-4
+
+
+def test_solve_dtm_grid_shape_regular_partition():
+    g = grid2d_random(9, seed=3)
+    res = solve_dtm(g, n_subdomains=4, grid_shape=(9, 9),
+                    t_max=6000.0, tol=1e-5, seed=3)
+    assert res.converged
+
+
+def test_solve_dtm_requires_rhs_for_matrix_input():
+    with pytest.raises(ConfigurationError):
+        solve_dtm(np.eye(4))
+
+
+def test_prepare_split_nonsquare_subdomains_needs_parts_shape():
+    g = grid2d_random(6, seed=0)
+    with pytest.raises(ConfigurationError):
+        prepare_split(g, g.sources, 6, grid_shape=(6, 6))
+    split = prepare_split(g, g.sources, 6, grid_shape=(6, 6),
+                          parts_shape=(2, 3))
+    assert split.n_parts == 6
+
+
+def test_solve_vtm_system():
+    system = paper_system_3_2()
+    res = solve_vtm_system(system.matrix, system.rhs, n_subdomains=2,
+                           impedance=0.2, tol=1e-9)
+    assert res.converged
+    assert np.allclose(res.x, system.exact_solution(), atol=1e-7)
+    assert res.errors is not None and len(res.errors) > 1
+
+
+def test_lazy_attribute_error():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.no_such_function

@@ -1,0 +1,119 @@
+"""Tests for the piecewise-constant TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.timeseries import TimeSeries, merge_series
+
+
+def make(tv):
+    ts = TimeSeries("t")
+    for t, v in tv:
+        ts.append(t, v)
+    return ts
+
+
+def test_append_and_basic_accessors():
+    ts = make([(0.0, 1.0), (1.0, 2.0), (3.0, 0.5)])
+    assert len(ts) == 3
+    assert np.array_equal(ts.times, [0.0, 1.0, 3.0])
+    assert ts.final == 0.5
+
+
+def test_append_rejects_decreasing_time():
+    ts = make([(0.0, 1.0), (1.0, 2.0)])
+    with pytest.raises(ValidationError):
+        ts.append(0.5, 3.0)
+
+
+def test_same_instant_update_keeps_latest():
+    ts = make([(0.0, 1.0), (1.0, 2.0), (1.0, 9.0)])
+    assert len(ts) == 2
+    assert ts.final == 9.0
+
+
+def test_at_piecewise_constant_semantics():
+    ts = make([(0.0, 1.0), (2.0, 5.0)])
+    assert ts.at(0.0) == 1.0
+    assert ts.at(1.999) == 1.0
+    assert ts.at(2.0) == 5.0
+    assert ts.at(100.0) == 5.0
+    with pytest.raises(ValidationError):
+        ts.at(-0.1)
+
+
+def test_empty_series_raises():
+    ts = TimeSeries()
+    with pytest.raises(ValidationError):
+        _ = ts.final
+    with pytest.raises(ValidationError):
+        ts.at(0.0)
+
+
+def test_resample_on_grid():
+    ts = make([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+    out = ts.resample([0.0, 0.5, 1.5, 2.5])
+    assert np.array_equal(out, [0.0, 0.0, 1.0, 2.0])
+
+
+def test_vector_valued_series():
+    ts = TimeSeries("vec")
+    ts.append(0.0, np.array([1.0, 2.0]))
+    ts.append(1.0, np.array([3.0, 4.0]))
+    assert ts.values.shape == (2, 2)
+    assert np.array_equal(ts.at(0.5), [1.0, 2.0])
+
+
+def test_first_time_below():
+    ts = make([(0.0, 1.0), (1.0, 0.1), (2.0, 0.01)])
+    assert ts.first_time_below(0.5) == 1.0
+    assert ts.first_time_below(1e-9) is None
+
+
+def test_tail_slope_detects_geometric_decay():
+    ts = TimeSeries()
+    for k in range(20):
+        ts.append(float(k), 10.0 ** (-0.5 * k))
+    slope = ts.tail_slope(0.5)
+    assert slope == pytest.approx(-0.5, rel=1e-6)
+
+
+def test_tail_slope_validation():
+    ts = make([(0.0, 1.0), (1.0, 0.5)])
+    with pytest.raises(ValidationError):
+        ts.tail_slope()          # too few samples
+    ts.append(2.0, 0.25)
+    with pytest.raises(ValidationError):
+        ts.tail_slope(0.0)       # bad fraction
+
+
+def test_tail_slope_handles_zeros():
+    ts = TimeSeries()
+    for k in range(10):
+        ts.append(float(k), max(0.0, 1.0 - 0.2 * k))
+    # trailing zeros clipped to smallest positive; slope still finite
+    assert np.isfinite(ts.tail_slope(0.9))
+
+
+def test_merge_series_union_grid():
+    a = make([(0.0, 1.0), (2.0, 3.0)])
+    b = make([(0.0, 10.0), (1.0, 20.0)])
+    t, m = merge_series([a, b])
+    assert np.array_equal(t, [0.0, 1.0, 2.0])
+    assert np.array_equal(m[:, 0], [1.0, 1.0, 3.0])
+    assert np.array_equal(m[:, 1], [10.0, 20.0, 20.0])
+
+
+def test_merge_series_clips_to_common_start():
+    a = make([(1.0, 1.0), (2.0, 2.0)])
+    b = make([(0.0, 5.0), (3.0, 6.0)])
+    t, m = merge_series([a, b])
+    assert t[0] == 1.0
+
+
+def test_merge_series_rejects_empty():
+    with pytest.raises(ValidationError):
+        merge_series([])
+    with pytest.raises(ValidationError):
+        merge_series([TimeSeries()])
