@@ -1,0 +1,44 @@
+"""Tier-2 smoke target for the kernel micro-benchmark.
+
+A fast sanity pass over :mod:`bench_kernel_micro`: runs a small case,
+checks the equivalence guard fired (it raises on divergence), the JSON
+record has the expected shape, and the fleet sweep is not slower than
+the per-kernel loop.  It deliberately does *not* assert the full 5×
+headline (that is the full bench's job, checked against the committed
+baseline by ``scripts/check_bench.py``) so the smoke test stays robust
+on loaded CI machines.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_kernel_micro import bench_case, run_bench  # noqa: E402
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    record = run_bench((16,), grid=16, sweeps=5, repeats=2, out=str(out))
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["benchmark"] == "kernel_micro"
+    (case,) = on_disk["cases"]
+    assert case["n_parts"] == 16
+    assert case["fleet_sweep_s"] > 0
+    assert case["per_kernel_sweep_s"] > 0
+    # the fleet sweep must at minimum not lose to the Python loop
+    assert case["speedup"] > 1.0
+    assert record["cases"][0]["n_slots"] == case["n_slots"]
+
+
+def test_bench_case_rejects_unknown_partition():
+    try:
+        bench_case(7)
+    except ValueError as exc:
+        assert "unsupported n_parts" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError for n_parts=7")

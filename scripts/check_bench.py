@@ -1,0 +1,125 @@
+"""Fail when the kernel micro-benchmark regresses vs the committed baseline.
+
+Compares a fresh run of :mod:`benchmarks.bench_kernel_micro` (or a
+previously written JSON passed via ``--fresh``) against the committed
+``benchmarks/BENCH_kernel.json``.  A case **regresses** when its
+fleet-vs-per-kernel speedup ratio — a machine-relative number, robust
+on hosts slower than the one that wrote the baseline — drops by more
+than ``--tolerance`` (default 20%); so does the headline
+``speedup_at_256``.  Absolute fleet sweep times exceeding the baseline
+print warnings only, unless ``--strict-time`` promotes them to
+failures.  Exit code 0 = pass, 1 = regression, 2 = usage/baseline
+problems.
+
+Usage:
+    python scripts/check_bench.py                 # re-run bench, compare
+    python scripts/check_bench.py --fresh new.json
+    python scripts/check_bench.py --quick         # smaller sweep counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+
+DEFAULT_BASELINE = os.path.join(_ROOT, "benchmarks", "BENCH_kernel.json")
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float, *,
+            strict_time: bool = False) -> tuple[list[str], list[str]]:
+    """Compare a fresh record against the baseline.
+
+    Returns ``(problems, warnings)``.  The failing signal is the
+    per-case **speedup ratio** (fleet vs per-kernel sweep on the *same*
+    machine and run), which is host-independent; absolute fleet sweep
+    times are only advisory unless *strict_time* is set, because the
+    committed baseline's wall-clock numbers are machine-specific.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    base_cases = {c["n_parts"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["n_parts"]: c for c in fresh.get("cases", [])}
+    for n_parts, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(n_parts)
+        if cur is None:
+            problems.append(f"P={n_parts}: case missing from fresh run")
+            continue
+        if cur["speedup"] < base["speedup"] * (1.0 - tolerance):
+            problems.append(
+                f"P={n_parts}: speedup fell from {base['speedup']:.1f}x "
+                f"to {cur['speedup']:.1f}x (more than {tolerance:.0%} "
+                "drop)")
+        if cur["fleet_sweep_s"] > base["fleet_sweep_s"] * (1.0 + tolerance):
+            msg = (f"P={n_parts}: fleet sweep "
+                   f"{cur['fleet_sweep_s'] * 1e6:.1f} µs exceeds baseline "
+                   f"{base['fleet_sweep_s'] * 1e6:.1f} µs by more than "
+                   f"{tolerance:.0%} (machine-dependent)")
+            (problems if strict_time else warnings).append(msg)
+    base_speedup = baseline.get("speedup_at_256")
+    fresh_speedup = fresh.get("speedup_at_256")
+    if base_speedup and fresh_speedup:
+        if fresh_speedup < base_speedup * (1.0 - tolerance):
+            problems.append(
+                f"speedup_at_256 fell from {base_speedup:.1f}x to "
+                f"{fresh_speedup:.1f}x (more than {tolerance:.0%} drop)")
+    return problems, warnings
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--fresh", default=None,
+                    help="pre-computed fresh JSON; omit to re-run the bench")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20)")
+    ap.add_argument("--strict-time", action="store_true",
+                    help="also fail on absolute fleet sweep times "
+                    "(machine-dependent; off by default)")
+    ap.add_argument("--quick", action="store_true",
+                    help="re-run with fewer sweeps/repeats")
+    args = ap.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = _load(args.baseline)
+
+    if args.fresh:
+        if not os.path.exists(args.fresh):
+            print(f"fresh result {args.fresh} not found", file=sys.stderr)
+            return 2
+        fresh = _load(args.fresh)
+    else:
+        from bench_kernel_micro import run_bench
+
+        parts = tuple(c["n_parts"] for c in baseline.get("cases", []))
+        kwargs = {"sweeps": 5, "repeats": 2} if args.quick else {}
+        fresh = run_bench(parts or (64, 256, 512), out="", **kwargs)
+
+    problems, warnings = compare(baseline, fresh, args.tolerance,
+                                 strict_time=args.strict_time)
+    for w in warnings:
+        print(f"warning: {w}")
+    if problems:
+        print("BENCH REGRESSION:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"bench OK: within {args.tolerance:.0%} of "
+          f"{os.path.relpath(args.baseline, _ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

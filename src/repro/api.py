@@ -75,6 +75,7 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               seed: int = 0,
               grid_shape: Optional[tuple[int, int]] = None,
               parts_shape: Optional[tuple[int, int]] = None,
+              use_fleet: bool = True,
               **sim_kwargs) -> SolveResult:
     """Solve an SPD system with asynchronous DTM on a simulated machine.
 
@@ -82,6 +83,10 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     :class:`ElectricGraph`), the number of subdomains, the machine
     *topology* (default: a mesh with delays in [10, 100]), the
     impedance spec, and the simulation horizon/tolerance.
+    ``use_fleet`` selects the struct-of-arrays
+    :class:`~repro.core.fleet.FleetKernel` hot path (default; the
+    per-kernel object path produces the identical trajectory, see
+    PERFORMANCE.md).
     """
     if isinstance(a, ElectricGraph) and b is None:
         split = prepare_split(a, a.sources, n_subdomains, seed=seed,
@@ -98,7 +103,8 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
         # is not guaranteed to match any particular mesh
         topology = complete_topology(split.n_parts, delay_low=10.0,
                                      delay_high=100.0, seed=seed)
-    sim = DtmSimulator(split, topology, impedance=impedance, **sim_kwargs)
+    sim = DtmSimulator(split, topology, impedance=impedance,
+                       use_fleet=use_fleet, **sim_kwargs)
     res = sim.run(t_max, tol=tol)
     a_mat, b_vec = split.graph.to_system()
     ref = direct_reference_solution(a_mat, b_vec)

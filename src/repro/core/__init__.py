@@ -24,6 +24,7 @@ from .impedance import (
     PerVertexImpedance,
     as_impedance_strategy,
 )
+from .fleet import FleetKernel, FleetKernelView, build_fleet
 from .kernel import DtmKernel, WaveMessage, build_kernels, gather_global_state
 from .local import (
     LocalSystem,
@@ -40,6 +41,7 @@ __all__ = [
     "reflected_wave",
     "DiagonalMeanImpedance", "FixedImpedance", "GeometricMeanImpedance",
     "ImpedanceStrategy", "PerVertexImpedance", "as_impedance_strategy",
+    "FleetKernel", "FleetKernelView", "build_fleet",
     "DtmKernel", "WaveMessage", "build_kernels", "gather_global_state",
     "LocalSystem", "build_all_local_systems", "build_local_system",
     "validate_local_system",

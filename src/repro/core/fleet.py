@@ -1,0 +1,493 @@
+"""Struct-of-arrays fleet kernel: every subdomain's hot path in flat arrays.
+
+After EVS/DTLP insertion each subdomain's resolve is a constant-
+coefficient affine map ``u = u0 + W a`` (see :mod:`repro.core.local`),
+and a wave-relaxation sweep over P subdomains is therefore data
+parallel.  :class:`FleetKernel` packs every subdomain's
+``(u0, W, slot_ports, slot_inv_z, routes)`` into contiguous arrays with
+CSR-style offsets so that one sweep is O(1) numpy calls instead of
+O(P·s) Python:
+
+* :meth:`solve_all` — all (or a masked subset of) port resolves as one
+  batched mat-vec per *shape group*;
+* :meth:`emit_all` — the outgoing waves ``b = 2u − a`` of every slot,
+  already translated to their destination through a precomputed global
+  slot-routing permutation, so "emit then deliver" is a single
+  fancy-indexed scatter;
+* :meth:`receive_batch` — delivery of many waves at once
+  (latest-occurrence-wins, matching the per-message FIFO semantics).
+
+Bitwise reproducibility
+-----------------------
+Subdomains are grouped by identical ``(n_ports, n_slots)`` shape and
+each group is solved with one un-padded batched ``np.matmul``.  Zero
+padding to a common shape is deliberately avoided: padded GEMMs are
+*not* bitwise-identical to the per-subdomain mat-vec (the accumulation
+grouping changes), whereas same-shape batched GEMM, GEMM with one
+column, and GEMV agree bit for bit on the BLAS builds numpy ships
+(this is an empirical property, not an API guarantee — the test-suite
+and the micro-benchmark's equivalence guard assert it on every
+platform they run on).  The per-``DtmKernel`` execution path and the
+fleet path therefore produce *identical* wave trajectories.
+
+:class:`FleetKernelView` is a thin per-subdomain compatibility view
+over fleet slices: it exposes the :class:`~repro.core.kernel.DtmKernel`
+API (``waves``/``u_ports`` are numpy views into the fleet arrays) so
+existing executors, observers and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from .kernel import WaveMessage
+from .local import LocalSystem
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s+c) for s, c in zip(starts, counts)]``."""
+    nz = counts > 0
+    starts, counts = starts[nz], counts[nz]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    pos = np.cumsum(counts)[:-1]
+    step[pos] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(step)
+
+
+class _ShapeGroup:
+    """All subdomains sharing one ``(n_ports, n_slots)`` block shape."""
+
+    __slots__ = ("gid", "parts", "r", "s", "W3", "u0", "slot_idx",
+                 "port_idx")
+
+    def __init__(self, gid: int, parts: np.ndarray, r: int, s: int,
+                 W3: np.ndarray, u0: np.ndarray, slot_idx: np.ndarray,
+                 port_idx: np.ndarray) -> None:
+        self.gid = gid
+        self.parts = parts
+        self.r = r
+        self.s = s
+        self.W3 = W3          # (g, r, s) stacked wave-response blocks
+        self.u0 = u0          # (g, r) stacked zero-wave port potentials
+        self.slot_idx = slot_idx  # (g, s) global slot index per member
+        self.port_idx = port_idx  # (g, r) global port index per member
+
+
+class FleetKernel:
+    """Struct-of-arrays packing of every subdomain's DTM hot path.
+
+    Parameters
+    ----------
+    locals_:
+        Factored local systems, one per subdomain, in part order.
+    routes:
+        ``routes[q]`` is subdomain *q*'s outgoing routing in slot order:
+        ``(dest_part, dest_slot, dtlp_index, delay)`` tuples, exactly as
+        :meth:`repro.core.dtl.DtlpNetwork.routes_from` produces them.
+    send_threshold:
+        Suppress re-sending waves that changed by no more than this
+        (0 = always send, the paper's behaviour).
+    """
+
+    def __init__(self, locals_: Sequence[LocalSystem],
+                 routes: Sequence[Sequence[tuple[int, int, int, float]]],
+                 *, send_threshold: float = 0.0) -> None:
+        if len(routes) != len(locals_):
+            raise ValidationError(
+                f"{len(locals_)} local systems but {len(routes)} route "
+                "tables")
+        if send_threshold < 0:
+            raise ValidationError("send_threshold must be >= 0")
+        self.locals = list(locals_)
+        self.routes = [list(r) for r in routes]
+        self.send_threshold = float(send_threshold)
+        P = len(self.locals)
+        self.n_parts = P
+
+        slot_counts = np.asarray([loc.n_slots for loc in self.locals],
+                                 dtype=np.int64)
+        port_counts = np.asarray([loc.n_ports for loc in self.locals],
+                                 dtype=np.int64)
+        for loc, rts in zip(self.locals, self.routes):
+            if loc.n_slots != len(rts):
+                raise ValidationError(
+                    f"part {loc.part} has {loc.n_slots} slots but "
+                    f"{len(rts)} routes")
+        #: CSR-style offsets: part q owns slots [so[q], so[q+1]) and
+        #: ports [po[q], po[q+1]) of the flat arrays.
+        self.slot_offsets = np.concatenate(
+            [[0], np.cumsum(slot_counts)]).astype(np.int64)
+        self.port_offsets = np.concatenate(
+            [[0], np.cumsum(port_counts)]).astype(np.int64)
+        S = int(self.slot_offsets[-1])
+        R = int(self.port_offsets[-1])
+        self.n_slots_total = S
+        self.n_ports_total = R
+
+        #: owning part of every global slot
+        self.slot_part = np.repeat(np.arange(P, dtype=np.int64),
+                                   slot_counts)
+        #: global port row each slot's wave acts on
+        self.slot_port_global = np.concatenate(
+            [loc.slot_ports + self.port_offsets[q]
+             for q, loc in enumerate(self.locals)]) if S else \
+            np.zeros(0, dtype=np.int64)
+        self.slot_inv_z = np.concatenate(
+            [loc.slot_inv_z for loc in self.locals]) if S else np.zeros(0)
+
+        # global slot-routing permutation: the wave emitted on slot l is
+        # delivered into global slot route_dest_slot_global[l]
+        dest_part = np.zeros(S, dtype=np.int64)
+        dest_local = np.zeros(S, dtype=np.int64)
+        dtlp = np.zeros(S, dtype=np.int64)
+        delay = np.zeros(S)
+        for q, rts in enumerate(self.routes):
+            o = int(self.slot_offsets[q])
+            for l, (dp, ds, di, dl) in enumerate(rts):
+                dest_part[o + l] = dp
+                dest_local[o + l] = ds
+                dtlp[o + l] = di
+                delay[o + l] = dl
+        if np.any(dest_part >= P) or np.any(dest_part < 0):
+            raise ValidationError("route destination part out of range")
+        self.route_dest_part = dest_part
+        self.route_dest_slot_local = dest_local
+        self.route_dest_slot_global = (self.slot_offsets[dest_part]
+                                       + dest_local)
+        if S and np.any((dest_local < 0)
+                        | (dest_local >= slot_counts[dest_part])):
+            raise ValidationError("route destination slot out of range")
+        self.route_dtlp = dtlp
+        self.route_delay = delay
+
+        # mutable state (zero initial boundary conditions, as DtmKernel)
+        self.waves = np.zeros(S)
+        self.u = np.zeros(R)
+        self.last_sent = np.full(S, np.nan)
+        self.n_solves = np.zeros(P, dtype=np.int64)
+        self.n_received = np.zeros(P, dtype=np.int64)
+        self.dirty = np.ones(P, dtype=bool)
+
+        self._all_slots = np.arange(S, dtype=np.int64)
+        self._build_groups()
+        self._views: Optional[list[FleetKernelView]] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_groups(self) -> None:
+        by_shape: dict[tuple[int, int], list[int]] = {}
+        for q, loc in enumerate(self.locals):
+            by_shape.setdefault((loc.n_ports, loc.n_slots), []).append(q)
+        self.groups: list[_ShapeGroup] = []
+        self._part_group = np.zeros(self.n_parts, dtype=np.int64)
+        self._part_pos = np.zeros(self.n_parts, dtype=np.int64)
+        for gid, ((r, s), parts) in enumerate(sorted(by_shape.items())):
+            parts_arr = np.asarray(parts, dtype=np.int64)
+            W3 = np.stack([self.locals[q].W for q in parts]) if r else \
+                np.zeros((len(parts), 0, s))
+            u0 = np.stack([self.locals[q].u0 for q in parts]) if r else \
+                np.zeros((len(parts), 0))
+            slot_idx = np.stack(
+                [np.arange(self.slot_offsets[q], self.slot_offsets[q + 1])
+                 for q in parts]).astype(np.int64) if s else \
+                np.zeros((len(parts), 0), dtype=np.int64)
+            port_idx = np.stack(
+                [np.arange(self.port_offsets[q], self.port_offsets[q + 1])
+                 for q in parts]).astype(np.int64) if r else \
+                np.zeros((len(parts), 0), dtype=np.int64)
+            self.groups.append(_ShapeGroup(gid, parts_arr, r, s, W3, u0,
+                                           slot_idx, port_idx))
+            self._part_group[parts_arr] = gid
+            self._part_pos[parts_arr] = np.arange(len(parts))
+
+    def _normalize_parts(self, parts) -> np.ndarray:
+        arr = np.asarray(parts)
+        if arr.dtype == bool:
+            if arr.shape != (self.n_parts,):
+                raise ValidationError(
+                    f"active mask must have shape ({self.n_parts},)")
+            return np.flatnonzero(arr)
+        arr = arr.astype(np.int64).ravel()
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_parts):
+            raise ValidationError("part index out of range")
+        return arr
+
+    # ------------------------------------------------------------------
+    # Table 1 steps 3.1: the batched resolve
+    # ------------------------------------------------------------------
+    def solve_all(self, active_mask=None) -> None:
+        """Resolve every (or the masked subset of) subdomain at once.
+
+        One un-padded batched mat-vec per shape group — bitwise
+        identical to calling ``DtmKernel.solve`` on each subdomain.
+        """
+        if active_mask is None:
+            for g in self.groups:
+                if g.s == 0:
+                    self.u[g.port_idx] = g.u0
+                else:
+                    wv = self.waves[g.slot_idx]
+                    self.u[g.port_idx] = g.u0 + np.matmul(
+                        g.W3, wv[:, :, None])[:, :, 0]
+            self.n_solves += 1
+            self.dirty[:] = False
+            return
+        parts = self._normalize_parts(active_mask)
+        if parts.size == 0:
+            return
+        gids = self._part_group[parts]
+        for g in self.groups:
+            sel = parts[gids == g.gid]
+            if sel.size == 0:
+                continue
+            pos = self._part_pos[sel]
+            if g.s == 0:
+                self.u[g.port_idx[pos]] = g.u0[pos]
+            else:
+                wv = self.waves[g.slot_idx[pos]]
+                self.u[g.port_idx[pos]] = g.u0[pos] + np.matmul(
+                    g.W3[pos], wv[:, :, None])[:, :, 0]
+        self.n_solves[parts] += 1
+        self.dirty[parts] = False
+
+    def _solve_part(self, q: int) -> None:
+        """Single-subdomain resolve (executor path; GEMV on slices)."""
+        loc = self.locals[q]
+        p0, p1 = self.port_offsets[q], self.port_offsets[q + 1]
+        if loc.n_slots == 0:
+            self.u[p0:p1] = loc.u0
+        else:
+            s0, s1 = self.slot_offsets[q], self.slot_offsets[q + 1]
+            self.u[p0:p1] = loc.u0 + loc.W @ self.waves[s0:s1]
+        self.n_solves[q] += 1
+        self.dirty[q] = False
+
+    # ------------------------------------------------------------------
+    # Table 1 step 3.2: emit new boundary conditions
+    # ------------------------------------------------------------------
+    def emit_slots(self, slot_idx: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Outgoing waves of the given *emission* slots.
+
+        Returns ``(kept_slot_idx, values)`` where suppression by
+        ``send_threshold`` may drop entries; ``last_sent`` is updated
+        for the kept ones (exactly the per-kernel bookkeeping).
+        """
+        out = 2.0 * self.u[self.slot_port_global[slot_idx]] \
+            - self.waves[slot_idx]
+        if self.send_threshold > 0.0:
+            prev = self.last_sent[slot_idx]
+            keep = ~(np.isfinite(prev)
+                     & (np.abs(out - prev) <= self.send_threshold))
+            slot_idx = slot_idx[keep]
+            out = out[keep]
+        self.last_sent[slot_idx] = out
+        return slot_idx, out
+
+    def emit_all(self, active_mask=None) -> tuple[np.ndarray, np.ndarray]:
+        """Emit every slot's wave, routed to its destination.
+
+        Returns ``(dest_slot_global, values)`` ready for
+        :meth:`receive_batch` — the "emit then deliver" scatter.
+        """
+        if active_mask is None:
+            idx = self._all_slots
+        else:
+            parts = self._normalize_parts(active_mask)
+            starts = self.slot_offsets[parts]
+            counts = self.slot_offsets[parts + 1] - starts
+            idx = _concat_ranges(starts, counts)
+        idx, values = self.emit_slots(idx)
+        return self.route_dest_slot_global[idx], values
+
+    def part_slots(self, q: int) -> np.ndarray:
+        """Global emission-slot indices of subdomain *q*."""
+        return self._all_slots[self.slot_offsets[q]:self.slot_offsets[q + 1]]
+
+    # ------------------------------------------------------------------
+    # Table 1 step 3: receive remote boundary conditions, batched
+    # ------------------------------------------------------------------
+    def receive_batch(self, dest_slot_global, values, *,
+                      notify: bool = False):
+        """Deliver many waves at once (latest occurrence wins per slot).
+
+        With ``notify=True`` returns ``(parts, counts)``: the affected
+        subdomains in first-occurrence order plus their arrival counts,
+        which is what an executor needs to wake its processors in the
+        same order the per-message path would have.
+        """
+        dest = np.asarray(dest_slot_global, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.float64)
+        # sequential fancy assignment: the last write to a repeated slot
+        # wins, matching per-message latest-wins semantics
+        self.waves[dest] = vals
+        parts = self.slot_part[dest]
+        counts = np.bincount(parts, minlength=self.n_parts)
+        self.n_received += counts
+        self.dirty |= counts > 0
+        if not notify:
+            return None
+        uniq, first, cnt = np.unique(parts, return_index=True,
+                                     return_counts=True)
+        order = np.argsort(first, kind="stable")
+        return uniq[order], cnt[order]
+
+    def receive_one(self, slot_global: int, value: float) -> None:
+        """Deliver a single wave by global slot (scalar fast path).
+
+        The one place the per-arrival bookkeeping lives; the view and
+        cluster receive paths both delegate here.
+        """
+        self.waves[slot_global] = value
+        part = self.slot_part[slot_global]
+        self.n_received[part] += 1
+        self.dirty[part] = True
+
+    # ------------------------------------------------------------------
+    # compatibility views
+    # ------------------------------------------------------------------
+    def views(self) -> "list[FleetKernelView]":
+        """Per-subdomain DtmKernel-compatible views (cached)."""
+        if self._views is None:
+            self._views = [FleetKernelView(self, q)
+                           for q in range(self.n_parts)]
+        return self._views
+
+    def sim_kernels(self) -> "list[FleetSimKernel]":
+        """Processor-facing kernels whose ``solve()`` returns arrays."""
+        return [FleetSimKernel(self, q) for q in range(self.n_parts)]
+
+
+class FleetKernelView:
+    """One subdomain of a :class:`FleetKernel`, DtmKernel-compatible.
+
+    ``waves``, ``u_ports`` and ``last_sent`` are numpy *views* into the
+    fleet's flat arrays: mutating them mutates fleet state and vice
+    versa.  Counters read/write the fleet's per-part counter arrays.
+    """
+
+    __slots__ = ("fleet", "part", "local", "routes", "_s0", "_s1",
+                 "_p0", "_p1")
+
+    def __init__(self, fleet: FleetKernel, part: int) -> None:
+        self.fleet = fleet
+        self.part = part
+        self.local = fleet.locals[part]
+        self.routes = fleet.routes[part]
+        self._s0 = int(fleet.slot_offsets[part])
+        self._s1 = int(fleet.slot_offsets[part + 1])
+        self._p0 = int(fleet.port_offsets[part])
+        self._p1 = int(fleet.port_offsets[part + 1])
+
+    # -- state views ----------------------------------------------------
+    @property
+    def waves(self) -> np.ndarray:
+        return self.fleet.waves[self._s0:self._s1]
+
+    @property
+    def u_ports(self) -> np.ndarray:
+        return self.fleet.u[self._p0:self._p1]
+
+    @property
+    def last_sent(self) -> np.ndarray:
+        return self.fleet.last_sent[self._s0:self._s1]
+
+    @property
+    def send_threshold(self) -> float:
+        return self.fleet.send_threshold
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.fleet.dirty[self.part])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self.fleet.dirty[self.part] = bool(value)
+
+    @property
+    def n_solves(self) -> int:
+        return int(self.fleet.n_solves[self.part])
+
+    @property
+    def n_received(self) -> int:
+        return int(self.fleet.n_received[self.part])
+
+    # -- DtmKernel protocol ----------------------------------------------
+    def receive(self, slot: int, value: float) -> None:
+        """Store the wave received on *slot* (latest-wins semantics)."""
+        if not 0 <= slot < self.local.n_slots:
+            raise ValidationError(
+                f"part {self.part}: slot {slot} out of range "
+                f"[0, {self.local.n_slots})")
+        self.fleet.receive_one(self._s0 + slot, value)
+
+    def solve_emit(self) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve and emit as arrays: ``(emission_slot_global, values)``."""
+        fleet = self.fleet
+        fleet._solve_part(self.part)
+        return fleet.emit_slots(fleet.part_slots(self.part))
+
+    def solve(self) -> list[WaveMessage]:
+        """Resolve and emit :class:`WaveMessage` objects (compat path)."""
+        fleet = self.fleet
+        idx, values = self.solve_emit()
+        return [WaveMessage(dest_part=int(fleet.route_dest_part[i]),
+                            dest_slot=int(fleet.route_dest_slot_local[i]),
+                            value=float(v),
+                            dtlp_index=int(fleet.route_dtlp[i]),
+                            src_part=self.part)
+                for i, v in zip(idx, values)]
+
+    # -- state inspection -------------------------------------------------
+    def full_state(self) -> np.ndarray:
+        """Current full local state ``[u; y]`` (materialises interiors)."""
+        return self.local.full_state(self.waves)
+
+    def port_potentials(self) -> np.ndarray:
+        """Latest computed port potentials u_j(t)."""
+        return self.u_ports.copy()
+
+    def port_currents(self) -> np.ndarray:
+        """Latest inflow currents ω_j(t) (per port, summed over DTLs)."""
+        return self.local.port_currents(self.waves, self.u_ports)
+
+    def boundary_change(self) -> float:
+        """Max distance of the outgoing waves from what was last sent."""
+        if self.local.n_slots == 0:
+            return 0.0
+        out = self.local.outgoing_waves(self.waves, self.u_ports)
+        prev = np.where(np.isfinite(self.last_sent), self.last_sent, 0.0)
+        return float(np.max(np.abs(out - prev)))
+
+
+class FleetSimKernel(FleetKernelView):
+    """Processor-facing view: ``solve()`` returns raw emission arrays.
+
+    Handed to :class:`repro.sim.processor.Processor` by the fleet-mode
+    simulator so the hot path never allocates message objects; the
+    simulator's router understands the ``(slot_idx, values)`` form.
+    """
+
+    __slots__ = ()
+
+    def solve(self) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        return self.solve_emit()
+
+
+def build_fleet(split, network, locals_: Sequence[LocalSystem], *,
+                send_threshold: float = 0.0) -> FleetKernel:
+    """Pack a split's local systems into one :class:`FleetKernel`.
+
+    The analogue of :func:`repro.core.kernel.build_kernels` for the
+    struct-of-arrays path; *network* supplies the routing tables.
+    """
+    routes = [network.routes_from(sub.part) for sub in split.subdomains]
+    return FleetKernel(locals_, routes, send_threshold=send_threshold)

@@ -29,52 +29,67 @@ from ..sim.processor import ComputeModel, Processor
 from ..utils.validation import require
 from .convergence import ConvergenceTracker
 from .dtl import build_dtlp_network
+from .fleet import FleetKernel, build_fleet
 from .impedance import as_impedance_strategy
-from .kernel import WaveMessage, build_kernels
+from .kernel import WaveMessage
 from .local import build_all_local_systems
 
 
 class ClusterKernel:
-    """Synchronous sweep over a cluster of DTM kernels.
+    """Synchronous sweep over one cluster of a shared fleet.
 
     Presents the Processor-facing protocol (receive / solve / dirty);
     one ``solve()`` runs *local_sweeps* synchronous rounds among its
-    members and returns only the waves that leave the cluster.
+    members — each round a masked :meth:`FleetKernel.solve_all` plus a
+    routed emit whose intra-cluster portion is delivered in one batch —
+    and returns only the waves that leave the cluster.
     """
 
-    def __init__(self, cluster_id: int, members: Sequence[int],
-                 kernels, cluster_of: Sequence[int],
-                 local_sweeps: int = 2) -> None:
+    def __init__(self, fleet: FleetKernel, cluster_id: int,
+                 members: Sequence[int], cluster_of: Sequence[int],
+                 local_sweeps: int = 2, *,
+                 dest_cluster: Optional[np.ndarray] = None) -> None:
         require(local_sweeps >= 1, "local_sweeps must be >= 1")
+        self.fleet = fleet
         self.cluster_id = cluster_id
         self.members = list(members)
-        self.kernels = kernels
         self.cluster_of = list(cluster_of)
         self.local_sweeps = int(local_sweeps)
         self.dirty = True
         self.n_solves = 0
         self.n_received = 0
-        # external inbox slots: (member_part, member_slot) -> ext slot
-        self.ext_in: list[tuple[int, int]] = []
-        self._ext_index: dict[tuple[int, int], int] = {}
-        for part in self.members:
-            kernel = kernels[part]
-            for slot, (src_dest) in enumerate(kernel.routes):
-                # slot receives from the twin; twin's part:
-                dest_part = src_dest[0]
-                if self.cluster_of[dest_part] != cluster_id:
-                    idx = len(self.ext_in)
-                    self.ext_in.append((part, slot))
-                    self._ext_index[(part, slot)] = idx
 
-        n_slots = len(self.ext_in)
-        n_local = sum(kernels[p].local.n_local for p in self.members)
+        self._member_idx = np.asarray(self.members, dtype=np.int64)
+        if dest_cluster is None:
+            # per-slot destination cluster; identical for every cluster
+            # of a fleet, so the simulator precomputes and shares it
+            dest_cluster = np.asarray(self.cluster_of, dtype=np.int64)[
+                fleet.route_dest_part]
+        self._dest_cluster = dest_cluster
+        # emission slots of the members, in (member, slot) order
+        self._emit_slots = np.concatenate(
+            [fleet.part_slots(q) for q in self.members]) \
+            if self.members else np.zeros(0, dtype=np.int64)
+        # a member slot's twin lives where its emission is routed, so
+        # the external *inboxes* are exactly the externally-routed slots
+        ext = self._emit_slots[
+            self._dest_cluster[self._emit_slots] != cluster_id]
+        self._ext_slots = ext
+        #: (member_part, member_slot) per external inbox, in ext order
+        self.ext_in: list[tuple[int, int]] = [
+            (int(fleet.slot_part[g]),
+             int(g - fleet.slot_offsets[fleet.slot_part[g]]))
+            for g in ext]
+        self._ext_index: dict[tuple[int, int], int] = {
+            ps: i for i, ps in enumerate(self.ext_in)}
+
+        n_local = sum(fleet.locals[p].n_local for p in self.members)
 
         class _L:
             pass
 
         self.local = _L()
-        self.local.n_slots = n_slots
+        self.local.n_slots = len(self.ext_in)
         self.local.n_local = n_local
 
     def ext_slot_of(self, part: int, slot: int) -> int:
@@ -82,27 +97,32 @@ class ClusterKernel:
         return self._ext_index[(part, slot)]
 
     def receive(self, ext_slot: int, value: float) -> None:
-        part, slot = self.ext_in[ext_slot]
-        self.kernels[part].receive(slot, value)
+        self.fleet.receive_one(int(self._ext_slots[ext_slot]), value)
         self.n_received += 1
         self.dirty = True
 
     def solve(self) -> list[WaveMessage]:
-        outbound: dict[tuple[int, int], WaveMessage] = {}
+        fleet = self.fleet
+        # latest outbound value per external emission slot wins across
+        # re-sweeps (each slot routes to a unique destination)
+        out_latest: dict[int, float] = {}
         for _ in range(self.local_sweeps):
-            internal: list[WaveMessage] = []
-            for part in self.members:
-                for msg in self.kernels[part].solve():
-                    if self.cluster_of[msg.dest_part] == self.cluster_id:
-                        internal.append(msg)
-                    else:
-                        # latest value wins on re-sweeps
-                        outbound[(msg.dest_part, msg.dest_slot)] = msg
-            for msg in internal:
-                self.kernels[msg.dest_part].receive(msg.dest_slot, msg.value)
+            fleet.solve_all(self._member_idx)
+            idx, values = fleet.emit_slots(self._emit_slots)
+            internal = self._dest_cluster[idx] == self.cluster_id
+            fleet.receive_batch(
+                fleet.route_dest_slot_global[idx[internal]],
+                values[internal])
+            for g, v in zip(idx[~internal], values[~internal]):
+                out_latest[int(g)] = float(v)
         self.dirty = False
         self.n_solves += 1
-        return list(outbound.values())
+        return [WaveMessage(
+            dest_part=int(fleet.route_dest_part[g]),
+            dest_slot=int(fleet.route_dest_slot_local[g]),
+            value=v, dtlp_index=int(fleet.route_dtlp[g]),
+            src_part=int(fleet.slot_part[g]))
+            for g, v in out_latest.items()]
 
     def full_state(self):  # pragma: no cover - parity with DtmKernel
         raise NotImplementedError("query member kernels directly")
@@ -151,10 +171,13 @@ class ClusteredDtmSimulator:
 
         self.network = build_dtlp_network(split, z_list, delay_of)
         self.locals = build_all_local_systems(split, self.network)
-        self.kernels = build_kernels(split, self.network, self.locals)
+        self.fleet = build_fleet(split, self.network, self.locals)
+        self.kernels = self.fleet.views()
+        dest_cluster = np.asarray(self.cluster_of, dtype=np.int64)[
+            self.fleet.route_dest_part]
         self.cluster_kernels = [
-            ClusterKernel(cid, members, self.kernels, self.cluster_of,
-                          local_sweeps)
+            ClusterKernel(self.fleet, cid, members, self.cluster_of,
+                          local_sweeps, dest_cluster=dest_cluster)
             for cid, members in enumerate(self.clusters)]
 
         from ..sim.engine import Engine
@@ -248,10 +271,21 @@ class PeriodicResyncDtmSimulator(DtmSimulator):
         """Global exchange: everyone's current waves delivered together."""
         self.n_resyncs += 1
         t_arrive = self.engine.now + self.resync_latency
-        for kernel in self.kernels:
-            for msg in kernel.solve():
-                self._n_messages += 1
-                self.engine.schedule_at(
-                    t_arrive, self.processors[msg.dest_part].deliver,
-                    msg.dest_slot, msg.value)
+        if self.fleet is not None:
+            # borrow the packed routing table: solve the whole fleet and
+            # schedule every emitted wave as a batchable message entry
+            fleet = self.fleet
+            fleet.solve_all()
+            dest, values = fleet.emit_all()
+            self._n_messages += dest.size
+            for i in range(dest.size):
+                self.engine.schedule_message(t_arrive, int(dest[i]),
+                                             float(values[i]))
+        else:
+            for kernel in self.kernels:
+                for msg in kernel.solve():
+                    self._n_messages += 1
+                    self.engine.schedule_at(
+                        t_arrive, self.processors[msg.dest_part].deliver,
+                        msg.dest_slot, msg.value)
         self.engine.schedule_after(self.resync_period, self._resync)

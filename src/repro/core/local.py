@@ -57,6 +57,12 @@ class LocalSystem:
     X: np.ndarray
     _logdet: float = field(default=np.nan, repr=False)
 
+    def __post_init__(self) -> None:
+        # read-only aliases served by the zero-slot fast paths: callers
+        # get views, not copies, and must not mutate them
+        self._x0_ro = self.x0.view()
+        self._x0_ro.flags.writeable = False
+
     @property
     def n_slots(self) -> int:
         return int(self.slot_ports.size)
@@ -72,15 +78,21 @@ class LocalSystem:
         return self.X[: self.n_ports, :]
 
     def solve_ports(self, waves: np.ndarray) -> np.ndarray:
-        """Port potentials ``u`` for the given incoming waves."""
+        """Port potentials ``u`` for the given incoming waves.
+
+        The zero-slot fast path returns a read-only view of ``u0``.
+        """
         if self.n_slots == 0:
-            return self.u0.copy()
+            return self._x0_ro[: self.n_ports]
         return self.u0 + self.W @ waves
 
     def full_state(self, waves: np.ndarray) -> np.ndarray:
-        """Full local state ``[u; y]`` for the given incoming waves."""
+        """Full local state ``[u; y]`` for the given incoming waves.
+
+        The zero-slot fast path returns a read-only view of ``x0``.
+        """
         if self.n_slots == 0:
-            return self.x0.copy()
+            return self._x0_ro
         return self.x0 + self.X @ waves
 
     def slot_currents(self, waves: np.ndarray,
@@ -94,9 +106,9 @@ class LocalSystem:
                       u_ports: Optional[np.ndarray] = None) -> np.ndarray:
         """Total inflow current per port (sums multi-DTL attachments)."""
         cur = self.slot_currents(waves, u_ports)
-        out = np.zeros(self.n_ports)
-        np.add.at(out, self.slot_ports, cur)
-        return out
+        # np.bincount is far faster than np.add.at for this scatter-add
+        return np.bincount(self.slot_ports, weights=cur,
+                           minlength=self.n_ports)
 
     def outgoing_waves(self, waves: np.ndarray,
                        u_ports: Optional[np.ndarray] = None) -> np.ndarray:
@@ -143,12 +155,10 @@ def build_local_system(sub: Subdomain,
                 f"attachment references port {port} outside "
                 f"[0, {sub.n_ports})")
         require(z > 0, "impedances must be positive")
-    k = sub.matrix.to_dense()
+    n_slots = len(attachments)
     slot_ports = np.asarray([port for _i, port, _z in attachments],
                             dtype=np.int64)
     slot_inv_z = np.asarray([1.0 / z for _i, _p, z in attachments])
-    for port, inv_z in zip(slot_ports, slot_inv_z):
-        k[port, port] += inv_z
 
     if n == 0:
         return LocalSystem(part=sub.part, n_local=0, n_ports=0,
@@ -156,15 +166,22 @@ def build_local_system(sub: Subdomain,
                            slot_ports=slot_ports, slot_inv_z=slot_inv_z,
                            x0=np.zeros(0), X=np.zeros((0, 0)))
 
-    # right-hand sides: base f, plus one column e_p / z per slot
-    cols = np.zeros((n, len(attachments)))
-    for l, (port, inv_z) in enumerate(zip(slot_ports, slot_inv_z)):
-        cols[port, l] = inv_z
-    rhs_block = np.concatenate([sub.rhs[:, None], cols], axis=1)
+    # one dense scratch, bumped in place and consumed by the factor —
+    # no second densify/copy inside factor_spd (overwrite_a=True)
+    k = sub.matrix.to_dense()
+    if n_slots:
+        k.flat[:: n + 1] += np.bincount(slot_ports, weights=slot_inv_z,
+                                        minlength=n)
+
+    # right-hand sides, pre-allocated: base f, plus one e_p / z column
+    # per slot
+    rhs_block = np.zeros((n, 1 + n_slots))
+    rhs_block[:, 0] = sub.rhs
+    rhs_block[slot_ports, 1 + np.arange(n_slots)] = slot_inv_z
 
     logdet = np.nan
     try:
-        factor = factor_spd(k, check_symmetry=False)
+        factor = factor_spd(k, check_symmetry=False, overwrite_a=True)
         logdet = factor.logdet()
         solution = factor.solve(rhs_block)
     except NotSpdError:
@@ -173,6 +190,13 @@ def build_local_system(sub: Subdomain,
                 f"local system of subdomain {sub.part} is not SPD; the "
                 "subgraph violates the SNND hypothesis of Theorem 6.1 "
                 "(pass allow_indefinite=True to force an LDL^T factor)")
+        # the failed in-place factor destroyed k: rebuild the (rare)
+        # indefinite system instead of copying defensively up front
+        k = sub.matrix.to_dense()
+        if n_slots:
+            k.flat[:: n + 1] += np.bincount(slot_ports,
+                                            weights=slot_inv_z,
+                                            minlength=n)
         sym: SymFactor = factor_symmetric(k)
         solution = sym.solve(rhs_block)
 

@@ -26,8 +26,8 @@ from ..linalg.iterative import direct_reference_solution
 from ..utils.timeseries import TimeSeries
 from .convergence import ConvergenceTracker
 from .dtl import DtlpNetwork, build_dtlp_network
+from .fleet import FleetKernel, FleetKernelView, build_fleet
 from .impedance import as_impedance_strategy
-from .kernel import DtmKernel, build_kernels
 from .local import build_all_local_systems
 
 
@@ -67,10 +67,10 @@ class VtmSolver:
         self.network: DtlpNetwork = build_dtlp_network(split, z_list, 1.0)
         self.locals = build_all_local_systems(
             split, self.network, allow_indefinite=allow_indefinite)
-        self.kernels: list[DtmKernel] = build_kernels(
-            split, self.network, self.locals)
-        self._offsets = np.cumsum(
-            [0] + [k.local.n_slots for k in self.kernels])
+        #: struct-of-arrays hot path; ``kernels`` are per-part views
+        self.fleet: FleetKernel = build_fleet(split, self.network,
+                                              self.locals)
+        self.kernels: list[FleetKernelView] = self.fleet.views()
 
     # ------------------------------------------------------------------
     # wave-space view
@@ -78,12 +78,11 @@ class VtmSolver:
     @property
     def n_waves(self) -> int:
         """Total number of wave slots across subdomains."""
-        return int(self._offsets[-1])
+        return self.fleet.n_slots_total
 
     def get_waves(self) -> np.ndarray:
         """Concatenated wave state (part-major, slot order)."""
-        return np.concatenate([k.waves for k in self.kernels]) \
-            if self.kernels else np.zeros(0)
+        return self.fleet.waves.copy()
 
     def set_waves(self, w: np.ndarray) -> None:
         """Overwrite the global wave state."""
@@ -91,16 +90,18 @@ class VtmSolver:
         if w.shape != (self.n_waves,):
             raise ValidationError(
                 f"wave vector must have shape ({self.n_waves},)")
-        for q, k in enumerate(self.kernels):
-            k.waves[:] = w[self._offsets[q]:self._offsets[q + 1]]
+        self.fleet.waves[:] = w
 
     def sweep(self) -> None:
-        """One synchronous step: all solve, then all messages deliver."""
-        all_messages = []
-        for kernel in self.kernels:
-            all_messages.extend(kernel.solve())
-        for msg in all_messages:
-            self.kernels[msg.dest_part].receive(msg.dest_slot, msg.value)
+        """One synchronous step: all solve, then all messages deliver.
+
+        Pure array sweeps on the fleet: batched resolve, one routed
+        emit, one scatter delivery — no per-kernel Python.
+        """
+        fleet = self.fleet
+        fleet.solve_all()
+        dest, values = fleet.emit_all()
+        fleet.receive_batch(dest, values)
 
     def wave_map(self, w: np.ndarray) -> np.ndarray:
         """Evaluate the affine iteration map ``a ↦ S a + c`` once."""

@@ -112,7 +112,8 @@ class SymFactor:
 
 
 def factor_spd(a, *, ordering: str = "none",
-               check_symmetry: bool = True) -> SpdFactor:
+               check_symmetry: bool = True,
+               overwrite_a: bool = False) -> SpdFactor:
     """Factor a dense array or :class:`CsrMatrix` known to be SPD.
 
     Parameters
@@ -121,6 +122,9 @@ def factor_spd(a, *, ordering: str = "none",
         ``"none"`` or ``"rcm"`` (reverse Cuthill–McKee, reduces dense
         bandwidth before factorization — useful when densifying sparse
         subdomain matrices).
+    overwrite_a:
+        For a dense float64 input: factor in place, destroying *a*'s
+        contents, instead of taking a defensive copy first.
     """
     if isinstance(a, CsrMatrix):
         perm = None
@@ -133,7 +137,8 @@ def factor_spd(a, *, ordering: str = "none",
             raise ValueError(f"unknown ordering {ordering!r}")
         if check_symmetry:
             check_symmetric(dense, "a")
-        return SpdFactor(cholesky_factor(dense), perm=perm)
+        # dense is a fresh scratch either way: factor it in place
+        return SpdFactor(cholesky_factor(dense, overwrite=True), perm=perm)
     dense = as_square_matrix(a, "a")
     if check_symmetry:
         check_symmetric(dense, "a")
@@ -143,7 +148,9 @@ def factor_spd(a, *, ordering: str = "none",
     if ordering == "rcm":
         perm = reverse_cuthill_mckee(CsrMatrix.from_dense(dense))
         dense = dense[np.ix_(perm, perm)]
-    return SpdFactor(cholesky_factor(dense), perm=perm)
+        overwrite_a = True  # the permuted gather is already a fresh copy
+    return SpdFactor(cholesky_factor(dense, overwrite=overwrite_a),
+                     perm=perm)
 
 
 def factor_symmetric(a) -> SymFactor:

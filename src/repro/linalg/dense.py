@@ -20,13 +20,18 @@ from ..errors import NotSpdError, SingularMatrixError
 from ..utils.validation import as_square_matrix, require
 
 
-def cholesky_factor(a, block: int = 48) -> np.ndarray:
+def cholesky_factor(a, block: int = 48, *, overwrite: bool = False) -> np.ndarray:
     """Blocked lower Cholesky factor L with ``A = L Lᵀ``.
 
     Raises :class:`NotSpdError` when a non-positive pivot appears, which
-    doubles as the package's cheap SPD certificate.
+    doubles as the package's cheap SPD certificate.  With ``overwrite``
+    a float64 C-contiguous input array is factored in place (its
+    contents are destroyed) instead of being copied first.
     """
-    A = np.array(as_square_matrix(a, "a"), copy=True)
+    A = as_square_matrix(a, "a")
+    if not (overwrite and A is a and A.flags.c_contiguous
+            and A.flags.writeable):
+        A = np.array(A, copy=True)
     n = A.shape[0]
     require(block >= 1, "block must be >= 1")
     for j0 in range(0, n, block):

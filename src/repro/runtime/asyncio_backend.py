@@ -22,8 +22,8 @@ from typing import Optional
 import numpy as np
 
 from ..core.dtl import build_dtlp_network
+from ..core.fleet import build_fleet
 from ..core.impedance import as_impedance_strategy
-from ..core.kernel import build_kernels
 from ..core.local import build_all_local_systems
 from ..errors import ConfigurationError
 from ..graph.evs import SplitResult
@@ -69,7 +69,11 @@ class AsyncioDtmRunner:
             lambda qa, qb: topology.nominal_delay(self.placement[qa],
                                                   self.placement[qb]))
         self.locals = build_all_local_systems(split, self.network)
-        self.kernels = build_kernels(split, self.network, self.locals)
+        # per-part kernels are views over a shared fleet: each task still
+        # owns its subdomain, but emission borrows the packed routing
+        # table (global slot permutation) instead of per-message objects
+        self.fleet = build_fleet(split, self.network, self.locals)
+        self.kernels = self.fleet.views()
         self.n_messages = 0
 
     # ------------------------------------------------------------------
@@ -78,7 +82,7 @@ class AsyncioDtmRunner:
         """Table 1's loop, verbatim: wait → solve → send."""
         kernel = self.kernels[part]
         queue: asyncio.Queue = queues[part]
-        await self._emit(part, kernel.solve(), queues, stop)
+        await self._emit(part, kernel.solve_emit(), queues, stop)
         while not stop.is_set():
             try:
                 slot, value = await asyncio.wait_for(queue.get(), timeout=0.25)
@@ -92,19 +96,26 @@ class AsyncioDtmRunner:
             # quiescence check BEFORE solving: how far the outgoing
             # waves would move relative to what was last sent
             change = kernel.boundary_change()
-            messages = kernel.solve()
+            emitted = kernel.solve_emit()
             if quiet_threshold <= 0.0 or change > quiet_threshold:
-                await self._emit(part, messages, queues, stop)
+                await self._emit(part, emitted, queues, stop)
 
-    async def _emit(self, part: int, messages, queues,
+    async def _emit(self, part: int, emitted, queues,
                     stop: asyncio.Event) -> None:
-        for msg in messages:
+        """Fan out one solve's waves through the packed routing table."""
+        idx, values = emitted
+        fleet = self.fleet
+        dest_parts = fleet.route_dest_part[idx]
+        dest_slots = fleet.route_dest_slot_local[idx]
+        loop = asyncio.get_running_loop()
+        for i in range(idx.size):
+            dp = int(dest_parts[i])
             delay = self.topology.nominal_delay(
-                self.placement[part], self.placement[msg.dest_part])
+                self.placement[part], self.placement[dp])
             self.n_messages += 1
-            asyncio.get_running_loop().create_task(
-                self._delayed_put(queues[msg.dest_part],
-                                  (msg.dest_slot, msg.value),
+            loop.create_task(
+                self._delayed_put(queues[dp],
+                                  (int(dest_slots[i]), float(values[i])),
                                   delay * self.time_scale, stop))
 
     @staticmethod

@@ -5,6 +5,16 @@ a deterministic clock that fires scheduled callbacks in time order.
 DTM's state only changes when messages arrive, so event-driven
 simulation reproduces the continuous-time trajectory exactly (the
 inter-event state is piecewise constant).
+
+Wave deliveries have a batched fast path: an executor registers a
+*message sink* and schedules raw ``(dest_slot, value)`` entries with
+:meth:`Engine.schedule_message`; the run loop then pops each maximal
+run of simultaneous message entries in one go and hands the whole
+batch to the sink (one vectorised ``receive_batch`` instead of one
+Python callback per message).  Because a run stops at the first
+non-message entry in ``(time, seq)`` order, the trajectory is exactly
+the one the per-message path produces — same waves, same event order,
+same counters.
 """
 
 from __future__ import annotations
@@ -12,7 +22,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import SimulationError
-from .events import EventQueue
+from .events import MESSAGE_DELIVERY, EventQueue
+
+MessageSink = Callable[[list, list], None]
 
 
 class Engine:
@@ -23,6 +35,7 @@ class Engine:
         self.now: float = 0.0
         self.n_events_processed: int = 0
         self._stopped = False
+        self._message_sink: Optional[MessageSink] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -41,6 +54,26 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self.queue.push(self.now + delay, fn, args)
+
+    def set_message_sink(self, sink: Optional[MessageSink]) -> None:
+        """Register the batched wave-delivery callback.
+
+        ``sink(dest_slots, values)`` receives every maximal run of
+        simultaneous message entries in FIFO order.
+        """
+        self._message_sink = sink
+
+    def schedule_message(self, time: float, dest_slot: int,
+                         value: float) -> None:
+        """Schedule a raw wave delivery for the batched sink."""
+        if self._message_sink is None:
+            raise SimulationError(
+                "schedule_message requires a message sink (set one with "
+                "set_message_sink)")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}")
+        self.queue.push_message(time, dest_slot, value)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
@@ -68,11 +101,12 @@ class Engine:
         self._stopped = False
         budget = float("inf") if max_events is None else int(max_events)
         processed = 0
+        queue = self.queue
         while not self._stopped:
-            t_next = self.queue.peek_time()
-            if t_next is None:
+            head = queue.peek()
+            if head is None:
                 break
-            if until is not None and t_next > until:
+            if until is not None and head.time > until:
                 self.now = float(until)
                 break
             if processed >= budget:
@@ -80,13 +114,25 @@ class Engine:
                     f"event budget of {max_events} exhausted at t={self.now}; "
                     "the configuration generates events faster than expected "
                     "(check min_solve_interval / compute model)")
-            ev = self.queue.pop()
-            self.now = ev.time
-            ev.fire()
-            processed += 1
-        else:
-            # stopped explicitly: advance no further
-            pass
+            if head.fn is MESSAGE_DELIVERY:
+                sink = self._message_sink
+                if sink is None:
+                    raise SimulationError(
+                        "message event reached the run loop without a sink")
+                # cap the batch at the remaining budget so exhaustion
+                # fires at exactly the same event count as per-message
+                # processing would
+                limit = None if budget == float("inf") \
+                    else int(budget - processed)
+                t, slots, values = queue.pop_message_run(limit)
+                self.now = t
+                sink(slots, values)
+                processed += len(slots)
+            else:
+                ev = queue.pop()
+                self.now = ev.time
+                ev.fn(*ev.args)
+                processed += 1
         if until is not None and self.queue.peek_time() is None \
                 and not self._stopped and self.now < until:
             self.now = float(until)

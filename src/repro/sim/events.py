@@ -3,25 +3,46 @@
 A thin binary-heap priority queue ordered by ``(time, seq)`` where the
 monotonically increasing sequence number makes same-instant events FIFO
 and keeps comparisons away from the (arbitrary) callback payloads.
+
+Heap entries are :class:`Event` *named tuples*: heap pushes/pops then
+use the C tuple comparison on ``(time, seq, ...)`` — ``seq`` is unique,
+so the payload fields are never compared — and allocation is a plain
+tuple, not a dataclass with generated ordering methods (which dominated
+push/pop cost in profiles).
+
+Wave deliveries get a dedicated entry kind (``fn`` is the module-level
+:data:`MESSAGE_DELIVERY` marker, ``args`` is ``(dest_slot, value)``).
+:meth:`EventQueue.pop_message_run` pops the maximal run of simultaneous
+message entries in one call so the engine can hand them to a batched
+delivery sink — the event-batching fast path of the fleet simulator.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
 from ..errors import SimulationError
 
 
-@dataclass(order=True)
-class Event:
-    """One scheduled callback."""
+def MESSAGE_DELIVERY(*_args) -> None:
+    """Marker callback identifying raw wave-delivery heap entries.
+
+    Never meant to fire: message entries are delivered in batches by the
+    engine's message sink.  Firing one directly (e.g. popping it through
+    the generic path without a sink installed) is a configuration error.
+    """
+    raise SimulationError(
+        "raw message event fired without a delivery sink installed")
+
+
+class Event(NamedTuple):
+    """One scheduled callback (heap entry; compares on ``(time, seq)``)."""
 
     time: float
     seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
+    fn: Callable[..., None]
+    args: tuple = ()
 
     def fire(self) -> None:
         self.fn(*self.args)
@@ -39,7 +60,7 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[..., None],
              args: tuple = ()) -> Event:
-        """Schedule *fn(*args)* at *time*; returns the event object."""
+        """Schedule *fn(*args)* at *time*; returns the event entry."""
         if not (time == time):  # NaN guard
             raise SimulationError("event time is NaN")
         ev = Event(float(time), self._seq, fn, args)
@@ -47,11 +68,51 @@ class EventQueue:
         heapq.heappush(self._heap, ev)
         return ev
 
+    def push_message(self, time: float, dest_slot: int,
+                     value: float) -> None:
+        """Schedule a raw wave delivery (batchable entry kind)."""
+        self.push(time, MESSAGE_DELIVERY, (dest_slot, value))
+
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
         return heapq.heappop(self._heap)
+
+    def pop_message_run(self, limit: Optional[int] = None
+                        ) -> tuple[float, list[int], list[float]]:
+        """Pop the maximal run of simultaneous message entries.
+
+        Starting from the earliest entry (which must be a message),
+        removes consecutive message entries sharing its timestamp —
+        stopping at the first non-message entry in ``(time, seq)``
+        order, which preserves the exact per-message interleaving
+        semantics — and returns ``(time, dest_slots, values)`` in FIFO
+        order.  *limit* caps the number of entries popped (so an event
+        budget can cut a batch exactly where per-message processing
+        would have stopped).
+        """
+        heap = self._heap
+        if not heap:
+            raise SimulationError("pop from an empty event queue")
+        first = heapq.heappop(heap)
+        if first.fn is not MESSAGE_DELIVERY:
+            raise SimulationError(
+                "pop_message_run called with a non-message event first")
+        t = first.time
+        slots = [first.args[0]]
+        values = [first.args[1]]
+        cap = float("inf") if limit is None else int(limit)
+        while len(slots) < cap and heap and heap[0].time == t \
+                and heap[0].fn is MESSAGE_DELIVERY:
+            ev = heapq.heappop(heap)
+            slots.append(ev.args[0])
+            values.append(ev.args[1])
+        return t, slots, values
+
+    def peek(self) -> Optional[Event]:
+        """The earliest entry without removing it, or None when empty."""
+        return self._heap[0] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest event, or None when empty."""

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.convergence import ConvergenceTracker
 from ..core.dtl import DtlpNetwork, build_dtlp_network
+from ..core.fleet import build_fleet
 from ..core.impedance import as_impedance_strategy
 from ..core.kernel import build_kernels
 from ..core.local import build_all_local_systems
@@ -87,6 +88,12 @@ class DtmSimulator:
         (0 = always send, the paper's behaviour).
     log_messages:
         Keep a full message log (Table 1 compliance evidence).
+    use_fleet:
+        Run on the struct-of-arrays :class:`~repro.core.fleet.FleetKernel`
+        with tuple heap entries and batched simultaneous deliveries
+        (default).  ``False`` keeps the per-:class:`DtmKernel` object
+        path; both produce bitwise-identical trajectories (asserted by
+        the test-suite), so this is purely a performance switch.
     """
 
     def __init__(self, split: SplitResult, topology: Topology, *,
@@ -97,7 +104,8 @@ class DtmSimulator:
                  send_threshold: float = 0.0,
                  allow_indefinite: bool = False,
                  log_messages: bool = False,
-                 probe_ports: Optional[Sequence[tuple[int, int]]] = None
+                 probe_ports: Optional[Sequence[tuple[int, int]]] = None,
+                 use_fleet: bool = True
                  ) -> None:
         self.split = split
         self.topology = topology
@@ -120,10 +128,22 @@ class DtmSimulator:
                                                   self.placement[qb]))
         self.locals = build_all_local_systems(
             split, self.network, allow_indefinite=allow_indefinite)
-        self.kernels = build_kernels(split, self.network, self.locals,
+        if use_fleet:
+            self.fleet = build_fleet(split, self.network, self.locals,
                                      send_threshold=send_threshold)
+            self.kernels = self.fleet.views()
+            proc_kernels = self.fleet.sim_kernels()
+            route = self._route_fleet
+        else:
+            self.fleet = None
+            self.kernels = build_kernels(split, self.network, self.locals,
+                                         send_threshold=send_threshold)
+            proc_kernels = self.kernels
+            route = self._route
 
         self.engine = Engine()
+        if self.fleet is not None:
+            self.engine.set_message_sink(self._deliver_batch)
         self.message_log = MessageLog() if log_messages else None
         self.solve_log = SolveLog() if log_messages else None
         self.port_probe = PortProbe(split, probe_ports) if probe_ports \
@@ -142,9 +162,9 @@ class DtmSimulator:
 
         self.processors: list[Processor] = []
         self._n_messages = 0
-        for q, kernel in enumerate(self.kernels):
+        for q, kernel in enumerate(proc_kernels):
             self.processors.append(Processor(
-                self.engine, self.placement[q], kernel, self._route,
+                self.engine, self.placement[q], kernel, route,
                 compute=compute, min_solve_interval=self.min_solve_interval,
                 solve_hook=solve_hook if hooks else None))
 
@@ -170,6 +190,43 @@ class DtmSimulator:
             self.engine.schedule_at(
                 t_arrive, self.processors[msg.dest_part].deliver,
                 msg.dest_slot, msg.value)
+
+    def _route_fleet(self, src_part_proc: int, emitted,
+                     t_ready: float) -> None:
+        """Fleet-mode router: *emitted* is ``(emission_slots, values)``.
+
+        Each wave becomes one raw message heap entry addressed by
+        *global* destination slot; delivery happens in simultaneous
+        batches through :meth:`_deliver_batch`.
+        """
+        idx, values = emitted
+        n = idx.size
+        if n == 0:
+            return
+        fleet = self.fleet
+        dest_parts = fleet.route_dest_part[idx]
+        dest_slots = fleet.route_dest_slot_global[idx]
+        sample = self.topology.sample_delay
+        schedule = self.engine.schedule_message
+        log = self.message_log
+        self._n_messages += n
+        for i in range(n):
+            dst_proc = self.placement[dest_parts[i]]
+            t_arrive = t_ready + sample(src_part_proc, dst_proc)
+            if log is not None:
+                log.record(MessageRecord(
+                    t_send=t_ready, t_arrive=t_arrive,
+                    src_proc=src_part_proc, dst_proc=dst_proc,
+                    dtlp_index=int(fleet.route_dtlp[idx[i]]),
+                    value=float(values[i])))
+            schedule(t_arrive, int(dest_slots[i]), float(values[i]))
+
+    def _deliver_batch(self, dest_slots: list, values: list) -> None:
+        """Engine message sink: one scatter for a simultaneous batch."""
+        parts, counts = self.fleet.receive_batch(dest_slots, values,
+                                                 notify=True)
+        for q, c in zip(parts, counts):
+            self.processors[q].notify(int(c))
 
     # ------------------------------------------------------------------
     def _install_extras(self) -> None:

@@ -98,6 +98,13 @@ class Processor:
         self.n_messages_in += 1
         self._consider_solve()
 
+    def notify(self, n_arrivals: int = 1) -> None:
+        """Batched-delivery path: waves were already written into the
+        kernel (e.g. by ``FleetKernel.receive_batch``); account for them
+        and consider a solve exactly as per-message delivery would."""
+        self.n_messages_in += int(n_arrivals)
+        self._consider_solve()
+
     def start(self) -> None:
         """Initial solve at t=0 (Table 1 step 1: guessed local BCs)."""
         self._consider_solve(force=True)

@@ -1,0 +1,236 @@
+"""Property tests: FleetKernel ≡ per-DtmKernel execution, bitwise.
+
+The fleet kernel's whole contract is that the struct-of-arrays sweep is
+a pure reformulation: grouping subdomains by block shape and batching
+the mat-vecs must not change a single bit of the wave trajectory
+relative to driving one :class:`DtmKernel` per subdomain.  These tests
+assert exactly that, on a seeded multilevel split (separator crossings
+give ports carrying several DTLs), for
+
+* the synchronous VTM schedule (fleet sweeps vs hand-rolled per-kernel
+  sweeps), with and without ``send_threshold`` suppression;
+* the asynchronous simulated schedule (``DtmSimulator(use_fleet=True)``
+  vs ``use_fleet=False``) on a heterogeneous constant-delay machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtl import build_dtlp_network
+from repro.core.fleet import FleetKernel, build_fleet
+from repro.core.kernel import build_kernels
+from repro.core.local import build_all_local_systems
+from repro.core.vtm import VtmSolver
+from repro.errors import ValidationError
+from repro.graph.evs import DominancePreservingSplit, split_graph
+from repro.graph.partitioners import grid_block_partition
+from repro.sim.executor import DtmSimulator
+from repro.sim.network import complete_topology
+from repro.workloads.poisson import grid2d_random
+
+
+@pytest.fixture(scope="module")
+def multilevel_split():
+    """Seeded 12×12 random-conductance grid in 3×3 blocks.
+
+    The separator crossings are shared by four subdomains, so the split
+    contains level-2 tearing (multi-DTL ports) — the interesting case
+    for slot bookkeeping.
+    """
+    g = grid2d_random(12, seed=3)
+    p = grid_block_partition(12, 12, 3, 3)
+    split = split_graph(g, p, strategy=DominancePreservingSplit())
+    assert any(len(parts) > 2 for parts in split.copies.values()), \
+        "fixture must exercise multilevel tearing"
+    return split
+
+
+def _build_pair(split, send_threshold=0.0):
+    """One network, locals shared; fleet on one side, kernels on the other."""
+    net = build_dtlp_network(split, 1.0, 1.0)
+    locals_ = build_all_local_systems(split, net)
+    fleet = build_fleet(split, net, locals_, send_threshold=send_threshold)
+    kernels = build_kernels(split, net, locals_,
+                            send_threshold=send_threshold)
+    return fleet, kernels
+
+
+def _per_kernel_sweep(kernels):
+    """The pre-fleet VtmSolver.sweep: all solve, then all deliver."""
+    messages = []
+    for k in kernels:
+        messages.extend(k.solve())
+    for m in messages:
+        kernels[m.dest_part].receive(m.dest_slot, m.value)
+
+
+def _kernel_waves(kernels):
+    return np.concatenate([k.waves for k in kernels])
+
+
+@pytest.mark.parametrize("send_threshold", [0.0, 1e-3])
+def test_sync_trajectories_bitwise_identical(multilevel_split,
+                                             send_threshold):
+    fleet, kernels = _build_pair(multilevel_split, send_threshold)
+    for sweep in range(40):
+        fleet.solve_all()
+        dest, values = fleet.emit_all()
+        fleet.receive_batch(dest, values)
+        _per_kernel_sweep(kernels)
+        assert np.array_equal(fleet.waves, _kernel_waves(kernels)), \
+            f"wave trajectories diverged at sweep {sweep}"
+        assert np.array_equal(
+            fleet.u, np.concatenate([k.u_ports for k in kernels])), \
+            f"port potentials diverged at sweep {sweep}"
+    # counters agree too (threshold suppression must match exactly)
+    assert fleet.n_solves.tolist() == [k.n_solves for k in kernels]
+    assert fleet.n_received.tolist() == [k.n_received for k in kernels]
+    ls_fleet = fleet.last_sent
+    ls_ref = np.concatenate([k.last_sent for k in kernels])
+    assert np.array_equal(np.isnan(ls_fleet), np.isnan(ls_ref))
+    assert np.array_equal(ls_fleet[~np.isnan(ls_fleet)],
+                          ls_ref[~np.isnan(ls_ref)])
+
+
+def test_vtm_solver_matches_per_kernel_reference(multilevel_split):
+    solver = VtmSolver(multilevel_split, 1.0)
+    _, kernels = _build_pair(multilevel_split)
+    for _ in range(25):
+        solver.sweep()
+        _per_kernel_sweep(kernels)
+    assert np.array_equal(solver.get_waves(), _kernel_waves(kernels))
+    states_fleet = [k.full_state() for k in solver.kernels]
+    states_ref = [k.full_state() for k in kernels]
+    for a, b in zip(states_fleet, states_ref):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("send_threshold", [0.0, 1e-6])
+def test_simulated_trajectories_bitwise_identical(multilevel_split,
+                                                  send_threshold):
+    split = multilevel_split
+    topo = complete_topology(split.n_parts, delay_low=10.0,
+                             delay_high=100.0, seed=11)
+    runs = {}
+    for use_fleet in (True, False):
+        sim = DtmSimulator(split, topo, use_fleet=use_fleet,
+                           send_threshold=send_threshold)
+        res = sim.run(t_max=900.0)
+        runs[use_fleet] = (sim, res)
+    sim_f, res_f = runs[True]
+    sim_k, res_k = runs[False]
+    assert np.array_equal(res_f.x, res_k.x)
+    assert np.array_equal(res_f.errors.values, res_k.errors.values)
+    assert np.array_equal(res_f.errors.times, res_k.errors.times)
+    assert res_f.t_end == res_k.t_end
+    assert res_f.n_solves == res_k.n_solves
+    assert res_f.n_messages == res_k.n_messages
+    assert res_f.n_events == res_k.n_events
+    for vf, kk in zip(sim_f.kernels, sim_k.kernels):
+        assert np.array_equal(vf.waves, kk.waves)
+        assert np.array_equal(vf.u_ports, kk.u_ports)
+        assert vf.n_solves == kk.n_solves
+        assert vf.n_received == kk.n_received
+
+
+# ----------------------------------------------------------------------
+# fleet-specific unit behaviour
+# ----------------------------------------------------------------------
+def test_receive_batch_latest_occurrence_wins(multilevel_split):
+    fleet, _ = _build_pair(multilevel_split)
+    slot = int(fleet.n_slots_total // 2)
+    fleet.receive_batch(np.array([slot, slot, slot]),
+                        np.array([1.0, 2.0, 3.0]))
+    assert fleet.waves[slot] == 3.0
+    part = int(fleet.slot_part[slot])
+    assert fleet.n_received[part] == 3
+    assert fleet.dirty[part]
+
+
+def test_masked_solve_only_touches_active_parts(multilevel_split):
+    fleet, _ = _build_pair(multilevel_split)
+    fleet.solve_all()
+    rng = np.random.default_rng(5)
+    fleet.waves[:] = rng.standard_normal(fleet.n_slots_total)
+    u_before = fleet.u.copy()
+    active = np.zeros(fleet.n_parts, dtype=bool)
+    active[0] = active[3] = True
+    fleet.solve_all(active)
+    for q in range(fleet.n_parts):
+        p0, p1 = fleet.port_offsets[q], fleet.port_offsets[q + 1]
+        view = fleet.views()[q]
+        if active[q]:
+            expected = view.local.u0 + view.local.W @ view.waves
+            assert np.array_equal(fleet.u[p0:p1], expected)
+            assert fleet.n_solves[q] == 2
+        else:
+            assert np.array_equal(fleet.u[p0:p1], u_before[p0:p1])
+            assert fleet.n_solves[q] == 1
+
+
+def test_emit_all_masked_matches_per_part_emissions(multilevel_split):
+    fleet, kernels = _build_pair(multilevel_split)
+    fleet.solve_all()
+    for k in kernels:
+        k.solve()
+    active = np.zeros(fleet.n_parts, dtype=bool)
+    active[1] = active[4] = active[7] = True
+    dest, values = fleet.emit_all(active)
+    # reference: the masked parts' messages through the per-kernel path
+    exp_dest, exp_vals = [], []
+    for q in np.flatnonzero(active):
+        for m in kernels[q].solve():
+            exp_dest.append(fleet.slot_offsets[m.dest_part] + m.dest_slot)
+            exp_vals.append(m.value)
+    assert dest.tolist() == exp_dest
+    assert values.tolist() == exp_vals
+
+
+def test_view_receive_validates_slot(multilevel_split):
+    fleet, _ = _build_pair(multilevel_split)
+    view = fleet.views()[0]
+    with pytest.raises(ValidationError):
+        view.receive(view.local.n_slots, 1.0)
+    with pytest.raises(ValidationError):
+        view.receive(-1, 1.0)
+
+
+def test_view_solve_messages_match_dtmkernel(multilevel_split):
+    fleet, kernels = _build_pair(multilevel_split)
+    view = fleet.views()[4]
+    ref = kernels[4]
+    msgs_f = view.solve()
+    msgs_k = ref.solve()
+    assert len(msgs_f) == len(msgs_k)
+    for a, b in zip(msgs_f, msgs_k):
+        assert (a.dest_part, a.dest_slot, a.dtlp_index, a.src_part) == \
+            (b.dest_part, b.dest_slot, b.dtlp_index, b.src_part)
+        assert a.value == b.value
+
+
+def test_routing_permutation_is_an_involution(multilevel_split):
+    """emit→deliver lands on the twin, whose emit routes straight back."""
+    fleet, _ = _build_pair(multilevel_split)
+    perm = fleet.route_dest_slot_global
+    assert np.array_equal(np.sort(perm), np.arange(fleet.n_slots_total))
+    assert np.array_equal(perm[perm], np.arange(fleet.n_slots_total))
+
+
+def test_fleet_validates_inputs(multilevel_split):
+    net = build_dtlp_network(multilevel_split, 1.0, 1.0)
+    locals_ = build_all_local_systems(multilevel_split, net)
+    routes = [net.routes_from(s.part)
+              for s in multilevel_split.subdomains]
+    with pytest.raises(ValidationError):
+        FleetKernel(locals_, routes[:-1])
+    with pytest.raises(ValidationError):
+        FleetKernel(locals_, routes, send_threshold=-1.0)
+    # malformed routes must raise, not silently corrupt a neighbour
+    bad = [list(r) for r in routes]
+    dp, _ds, di, dl = bad[0][0]
+    bad[0][0] = (dp, -1, di, dl)
+    with pytest.raises(ValidationError):
+        FleetKernel(locals_, bad)
+    bad[0][0] = (len(locals_), 0, di, dl)
+    with pytest.raises(ValidationError):
+        FleetKernel(locals_, bad)

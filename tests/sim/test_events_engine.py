@@ -138,3 +138,25 @@ def test_engine_event_counter():
         eng.schedule_at(float(k), lambda: None)
     eng.run()
     assert eng.n_events_processed == 7
+
+
+def test_message_batch_respects_event_budget():
+    """Budget exhaustion fires at the same event count as per-message
+    processing: a simultaneous batch is cut at the remaining budget."""
+    eng = Engine()
+    seen = []
+    eng.set_message_sink(lambda slots, values: seen.extend(slots))
+    for i in range(3):
+        eng.schedule_message(1.0, i, float(i))
+    with pytest.raises(SimulationError):
+        eng.run(max_events=2)
+    assert seen == [0, 1]
+    # the third message is still queued, deliverable once budget allows
+    eng.run()
+    assert seen == [0, 1, 2]
+
+
+def test_schedule_message_requires_sink():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule_message(1.0, 0, 0.0)
