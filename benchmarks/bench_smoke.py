@@ -1,11 +1,13 @@
-"""Tier-2 smoke target for the kernel micro-benchmark.
+"""Tier-2 smoke targets for the kernel and plan-reuse benchmarks.
 
-A fast sanity pass over :mod:`bench_kernel_micro`: runs a small case,
-checks the equivalence guard fired (it raises on divergence), the JSON
-record has the expected shape, and the fleet sweep is not slower than
-the per-kernel loop.  It deliberately does *not* assert the full 5×
-headline (that is the full bench's job, checked against the committed
-baseline by ``scripts/check_bench.py``) so the smoke test stays robust
+Fast sanity passes over :mod:`bench_kernel_micro` and
+:mod:`bench_plan_reuse`: run a small case each, check the built-in
+equivalence guards fired (they raise on divergence), the JSON records
+have the expected shape, and the architectural win is present at all
+(fleet not slower than the Python loop; cached setup not slower than
+re-planning).  They deliberately do *not* assert the full headline
+ratios (that is the full benches' job, checked against the committed
+baselines by ``scripts/check_bench.py``) so the smoke tests stay robust
 on loaded CI machines.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
@@ -18,6 +20,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_kernel_micro import bench_case, run_bench  # noqa: E402
+from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
 
 
 def test_bench_smoke(tmp_path):
@@ -42,3 +45,20 @@ def test_bench_case_rejects_unknown_partition():
         assert "unsupported n_parts" in str(exc)
     else:  # pragma: no cover
         raise AssertionError("expected ValueError for n_parts=7")
+
+
+def test_plan_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_plan.json"
+    record = run_plan_bench((16,), grid=16, repeats=1, rhs_columns=2,
+                            out=str(out))
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["benchmark"] == "plan_reuse"
+    (case,) = on_disk["cases"]
+    assert case["n_parts"] == 16
+    assert case["plan_build_s"] > 0
+    assert case["setup_cached_s"] > 0
+    # the bitwise solve_many-vs-looped-solve guard ran without raising,
+    # and cached setup must at minimum beat re-planning
+    assert case["speedup"] > 1.0
+    assert record["cases"][0]["n_unknowns"] == case["n_unknowns"]

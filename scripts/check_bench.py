@@ -1,19 +1,22 @@
-"""Fail when the kernel micro-benchmark regresses vs the committed baseline.
+"""Fail when a committed benchmark baseline regresses.
 
-Compares a fresh run of :mod:`benchmarks.bench_kernel_micro` (or a
-previously written JSON passed via ``--fresh``) against the committed
-``benchmarks/BENCH_kernel.json``.  A case **regresses** when its
-fleet-vs-per-kernel speedup ratio — a machine-relative number, robust
-on hosts slower than the one that wrote the baseline — drops by more
-than ``--tolerance`` (default 20%); so does the headline
-``speedup_at_256``.  Absolute fleet sweep times exceeding the baseline
+Compares fresh runs of :mod:`benchmarks.bench_kernel_micro` and
+:mod:`benchmarks.bench_plan_reuse` (or previously written JSONs passed
+via ``--fresh`` / ``--fresh-plan``) against the committed
+``benchmarks/BENCH_kernel.json`` and ``benchmarks/BENCH_plan.json``.
+A case **regresses** when its speedup ratio — a machine-relative
+number, robust on hosts slower than the one that wrote the baseline —
+drops by more than ``--tolerance`` (default 20%): the kernel bench's
+fleet-vs-per-kernel ratio (and headline ``speedup_at_256``), and the
+plan bench's cached-vs-replanned setup ratio (and headline
+``speedup_at_64``).  Absolute kernel sweep times exceeding the baseline
 print warnings only, unless ``--strict-time`` promotes them to
 failures.  Exit code 0 = pass, 1 = regression, 2 = usage/baseline
 problems.
 
 Usage:
-    python scripts/check_bench.py                 # re-run bench, compare
-    python scripts/check_bench.py --fresh new.json
+    python scripts/check_bench.py                 # re-run both, compare
+    python scripts/check_bench.py --fresh new.json --skip-plan
     python scripts/check_bench.py --quick         # smaller sweep counts
 """
 
@@ -29,6 +32,8 @@ sys.path.insert(0, os.path.join(_ROOT, "src"))
 sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
 
 DEFAULT_BASELINE = os.path.join(_ROOT, "benchmarks", "BENCH_kernel.json")
+DEFAULT_PLAN_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                     "BENCH_plan.json")
 
 
 def _load(path: str) -> dict:
@@ -76,13 +81,98 @@ def compare(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_plan(baseline: dict, fresh: dict, tolerance: float
+                 ) -> list[str]:
+    """Compare a fresh plan-reuse record against the baseline.
+
+    The failing signal is the per-case **setup speedup** (cached-plan
+    per-solve setup vs full re-planning, same machine and run), plus
+    the headline ``speedup_at_64`` and an absolute 5x amortization
+    floor; absolute times are machine-specific and not gated.  The
+    ratio's denominator is O(100 µs), so it swings ±30% with host
+    load — use a generous tolerance (the default --plan-tolerance is
+    0.5; an architectural regression such as re-factorizing per solve
+    collapses the ratio to ~1x, far past any sane tolerance).
+    """
+    problems: list[str] = []
+    base_cases = {c["n_parts"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["n_parts"]: c for c in fresh.get("cases", [])}
+    for n_parts, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(n_parts)
+        if cur is None:
+            problems.append(
+                f"plan P={n_parts}: case missing from fresh run")
+            continue
+        if cur["speedup"] < base["speedup"] * (1.0 - tolerance):
+            problems.append(
+                f"plan P={n_parts}: setup speedup fell from "
+                f"{base['speedup']:.1f}x to {cur['speedup']:.1f}x "
+                f"(more than {tolerance:.0%} drop)")
+    base_speedup = baseline.get("speedup_at_64")
+    fresh_speedup = fresh.get("speedup_at_64")
+    if fresh_speedup is None:
+        # a truncated/wrong fresh record must not read as a pass
+        problems.append("plan fresh record lacks speedup_at_64")
+        return problems
+    if base_speedup and fresh_speedup < base_speedup * (1.0 - tolerance):
+        problems.append(
+            f"plan speedup_at_64 fell from {base_speedup:.1f}x to "
+            f"{fresh_speedup:.1f}x (more than {tolerance:.0%} drop)")
+    if fresh_speedup < 5.0:
+        problems.append(
+            f"plan speedup_at_64 is {fresh_speedup:.1f}x, below the "
+            "5x amortization floor")
+    return problems
+
+
+class _UsageError(Exception):
+    """A problem that should exit 2, not read as a regression."""
+
+
+def _load_fresh(path: str) -> dict:
+    if not os.path.exists(path):
+        raise _UsageError(f"fresh result {path} not found")
+    return _load(path)
+
+
+def _load_or_run_kernel(args, baseline: dict) -> dict:
+    if args.fresh:
+        return _load_fresh(args.fresh)
+    from bench_kernel_micro import run_bench
+
+    parts = tuple(c["n_parts"] for c in baseline.get("cases", []))
+    kwargs = {"sweeps": 5, "repeats": 2} if args.quick else {}
+    return run_bench(parts or (64, 256, 512), out="", **kwargs)
+
+
+def _load_or_run_plan(args, baseline: dict) -> dict:
+    if args.fresh_plan:
+        return _load_fresh(args.fresh_plan)
+    from bench_plan_reuse import run_bench
+
+    parts = tuple(c["n_parts"] for c in baseline.get("cases", []))
+    kwargs = {"repeats": 2, "rhs_columns": 2} if args.quick else {}
+    return run_bench(parts or (16, 64), out="", **kwargs)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--plan-baseline", default=DEFAULT_PLAN_BASELINE)
     ap.add_argument("--fresh", default=None,
-                    help="pre-computed fresh JSON; omit to re-run the bench")
+                    help="pre-computed fresh kernel JSON; omit to re-run")
+    ap.add_argument("--fresh-plan", default=None,
+                    help="pre-computed fresh plan JSON; omit to re-run")
+    ap.add_argument("--skip-plan", action="store_true",
+                    help="only check the kernel baseline")
+    ap.add_argument("--skip-kernel", action="store_true",
+                    help="only check the plan baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
+    ap.add_argument("--plan-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the plan "
+                    "bench's setup-speedup ratios (noisier; default "
+                    "0.50)")
     ap.add_argument("--strict-time", action="store_true",
                     help="also fail on absolute fleet sweep times "
                     "(machine-dependent; off by default)")
@@ -90,25 +180,35 @@ def main(argv=None) -> int:
                     help="re-run with fewer sweeps/repeats")
     args = ap.parse_args(argv)
 
-    if not os.path.exists(args.baseline):
-        print(f"baseline {args.baseline} not found", file=sys.stderr)
+    problems: list[str] = []
+    warnings: list[str] = []
+    checked: list[str] = []
+
+    try:
+        if not args.skip_kernel:
+            if not os.path.exists(args.baseline):
+                raise _UsageError(f"baseline {args.baseline} not found")
+            baseline = _load(args.baseline)
+            fresh = _load_or_run_kernel(args, baseline)
+            p, w = compare(baseline, fresh, args.tolerance,
+                           strict_time=args.strict_time)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.baseline, _ROOT))
+
+        if not args.skip_plan:
+            if not os.path.exists(args.plan_baseline):
+                raise _UsageError(
+                    f"baseline {args.plan_baseline} not found")
+            plan_baseline = _load(args.plan_baseline)
+            plan_fresh = _load_or_run_plan(args, plan_baseline)
+            problems += compare_plan(plan_baseline, plan_fresh,
+                                     args.plan_tolerance)
+            checked.append(os.path.relpath(args.plan_baseline, _ROOT))
+    except _UsageError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    baseline = _load(args.baseline)
 
-    if args.fresh:
-        if not os.path.exists(args.fresh):
-            print(f"fresh result {args.fresh} not found", file=sys.stderr)
-            return 2
-        fresh = _load(args.fresh)
-    else:
-        from bench_kernel_micro import run_bench
-
-        parts = tuple(c["n_parts"] for c in baseline.get("cases", []))
-        kwargs = {"sweeps": 5, "repeats": 2} if args.quick else {}
-        fresh = run_bench(parts or (64, 256, 512), out="", **kwargs)
-
-    problems, warnings = compare(baseline, fresh, args.tolerance,
-                                 strict_time=args.strict_time)
     for w in warnings:
         print(f"warning: {w}")
     if problems:
@@ -117,7 +217,7 @@ def main(argv=None) -> int:
             print(f"  - {p}")
         return 1
     print(f"bench OK: within {args.tolerance:.0%} of "
-          f"{os.path.relpath(args.baseline, _ROOT)}")
+          f"{' and '.join(checked) if checked else 'nothing (all skipped)'}")
     return 0
 
 

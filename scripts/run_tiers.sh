@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# One-command verify recipe for this repo (see .claude/skills/verify).
+#
+#   tier 1 — the full pytest suite (correctness; ~25 s)
+#   tier 2 — benchmark smoke tests + the regression gate against the
+#            committed BENCH_kernel.json / BENCH_plan.json baselines
+#
+# Usage:
+#   scripts/run_tiers.sh            # both tiers
+#   scripts/run_tiers.sh 1          # tier-1 only
+#   scripts/run_tiers.sh 2          # tier-2 only
+#   QUICK=1 scripts/run_tiers.sh 2  # tier-2 with reduced sweep counts
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+TIER="${1:-all}"
+
+run_tier1() {
+    echo "== tier 1: pytest =="
+    python -m pytest -x -q
+}
+
+run_tier2() {
+    echo "== tier 2: benchmark smoke =="
+    python -m pytest benchmarks/bench_smoke.py -q
+    echo "== tier 2: regression gate =="
+    if [ "${QUICK:-0}" = "1" ]; then
+        python scripts/check_bench.py --quick
+    else
+        python scripts/check_bench.py
+    fi
+}
+
+case "$TIER" in
+    1) run_tier1 ;;
+    2) run_tier2 ;;
+    all) run_tier1 && run_tier2 ;;
+    *) echo "usage: $0 [1|2|all]" >&2; exit 2 ;;
+esac
+echo "tiers OK"

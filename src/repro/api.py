@@ -2,42 +2,49 @@
 
 These wrappers run the full pipeline — electric graph, partitioning,
 EVS, DTLP insertion, solve — with sensible defaults, for users who just
-want ``x = solve(...)``.  Everything they compose is available
-individually in the subpackages for fine-grained control.
+want ``x = solve(...)``.  Since the plan/session refactor they are thin:
+each call builds **or fetches from the in-process plan cache** a
+:class:`~repro.plan.SolverPlan` (the expensive, matrix-only part) and
+runs a one-shot :class:`~repro.plan.SolverSession` against the
+requested right-hand side.  Repeated calls against the same matrix
+therefore only pay one back-substitution per subdomain plus the run
+itself; for streams of right-hand sides, hold a session yourself::
+
+    from repro.plan import get_plan
+
+    plan = get_plan(a, b, n_subdomains=16)
+    session = plan.session()
+    for b_t in rhs_stream:
+        x_t = session.solve(b_t, warm_start=True).x
+
+Everything the wrappers compose is available individually in the
+subpackages for fine-grained control.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from .core.convergence import relative_residual, rms_error
-from .core.vtm import VtmSolver
 from .errors import ConfigurationError
 from .graph.electric import ElectricGraph
-from .graph.evs import DominancePreservingSplit, SplitResult, split_graph
-from .graph.partitioners import greedy_grow_partition, grid_block_partition
-from .linalg.iterative import direct_reference_solution
+from .graph.evs import SplitResult
 from .linalg.sparse import CsrMatrix
-from .sim.executor import DtmSimulator
-from .sim.network import Topology, complete_topology
-from .utils.timeseries import TimeSeries
+from .plan import SolverPlan, SolverSession, VtmSession, get_plan
+from .plan.plan import make_split, resolve_rhs
+from .plan.session import SolveResult
+from .sim.network import Topology
 
+__all__ = [
+    "SolveResult", "SolverPlan", "SolverSession", "VtmSession",
+    "prepare_split", "get_plan", "solve_dtm", "solve_vtm_system",
+]
 
-@dataclass
-class SolveResult:
-    """Solution plus diagnostics from the high-level entry points."""
-
-    x: np.ndarray
-    rms_error: float
-    relative_residual: float
-    converged: bool
-    iterations: int
-    sim_time: float
-    errors: Optional[TimeSeries] = None
-    split: Optional[SplitResult] = None
+#: keyword arguments that select the plan (cache-key material)
+_PLAN_KEYS = ("placement", "allow_indefinite")
+#: keyword arguments forwarded to SolveResult-producing run calls
+_RUN_KEYS = ("sample_interval", "max_events", "reference")
 
 
 def prepare_split(a, b, n_subdomains: int, *, seed: int = 0,
@@ -49,24 +56,45 @@ def prepare_split(a, b, n_subdomains: int, *, seed: int = 0,
     If *grid_shape* (and optionally *parts_shape*) is given, the regular
     block partitioner is used (paper §7); otherwise BFS region growing.
     """
-    graph = a if isinstance(a, ElectricGraph) else ElectricGraph.from_system(
-        a if isinstance(a, CsrMatrix) else
-        CsrMatrix.from_dense(np.asarray(a, dtype=np.float64)),
-        np.asarray(b, dtype=np.float64))
-    if grid_shape is not None:
-        nx, ny = grid_shape
-        if parts_shape is None:
-            side = int(round(np.sqrt(n_subdomains)))
-            if side * side != n_subdomains:
-                raise ConfigurationError(
-                    f"n_subdomains={n_subdomains} is not square; pass "
-                    "parts_shape explicitly")
-            parts_shape = (side, side)
-        partition = grid_block_partition(nx, ny, *parts_shape)
+    return make_split(a, b, n_subdomains, seed=seed,
+                      grid_shape=grid_shape, parts_shape=parts_shape)
+
+
+def _reject_plan_conflicts(plan, a, **named) -> None:
+    """Refuse plan-selecting arguments alongside an explicit plan.
+
+    Every lower layer (DtmSimulator, VtmSolver, AsyncioDtmRunner)
+    raises on this conflict; the top-level wrappers must too — silently
+    solving with the plan's baked-in configuration instead of the
+    requested one would return a valid-looking result for the wrong
+    setup.  Arguments explicitly passed at their default values are
+    fine.  The system *a* itself is checked against the plan's matrix
+    fingerprint: a mismatched matrix would otherwise be solved as the
+    plan's system while reporting clean diagnostics against it.
+    """
+    conflicts = [k for k, (value, default) in named.items()
+                 if value is not default and value != default]
+    if conflicts:
+        raise ConfigurationError(
+            "these arguments select a plan and conflict with plan=: "
+            f"{', '.join(sorted(conflicts))} (build the plan with them "
+            "instead)")
+    from .plan.plan import graph_fingerprint
+
+    if isinstance(a, ElectricGraph):
+        graph = a
     else:
-        partition = greedy_grow_partition(graph, n_subdomains, seed=seed)
-    return split_graph(graph, partition,
-                       strategy=DominancePreservingSplit())
+        mat = a if isinstance(a, CsrMatrix) else \
+            CsrMatrix.from_dense(np.asarray(a, dtype=np.float64))
+        if mat.nrows != plan.n:
+            raise ConfigurationError(
+                f"the system passed as `a` has {mat.nrows} unknowns but "
+                f"the plan was built for {plan.n}")
+        graph = ElectricGraph.from_system(mat, np.zeros(plan.n))
+    if graph_fingerprint(graph) != plan.fingerprint():
+        raise ConfigurationError(
+            "the system passed as `a` is not the plan's matrix; build a "
+            "plan for it (or drop plan= to use the cache)")
 
 
 def solve_dtm(a, b=None, *, n_subdomains: int = 4,
@@ -76,59 +104,71 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               grid_shape: Optional[tuple[int, int]] = None,
               parts_shape: Optional[tuple[int, int]] = None,
               use_fleet: bool = True,
+              plan: Optional[SolverPlan] = None,
+              use_cache: bool = True,
               **sim_kwargs) -> SolveResult:
     """Solve an SPD system with asynchronous DTM on a simulated machine.
 
     Parameters mirror the pipeline: *a*/*b* (matrix+rhs or an
-    :class:`ElectricGraph`), the number of subdomains, the machine
-    *topology* (default: a mesh with delays in [10, 100]), the
-    impedance spec, and the simulation horizon/tolerance.
-    ``use_fleet`` selects the struct-of-arrays
-    :class:`~repro.core.fleet.FleetKernel` hot path (default; the
-    per-kernel object path produces the identical trajectory, see
-    PERFORMANCE.md).
+    :class:`ElectricGraph`, whose sources an explicit *b* overrides),
+    the number of subdomains, the machine *topology* (default: a fully
+    connected machine with delays in [10, 100]), the impedance spec,
+    and the simulation horizon/tolerance.  ``use_fleet`` selects the
+    struct-of-arrays :class:`~repro.core.fleet.FleetKernel` hot path
+    (default; the per-kernel object path produces the identical
+    trajectory, see PERFORMANCE.md).
+
+    Planning (partition, EVS, factorizations, fleet packing) is cached
+    in-process and keyed on every plan-affecting input, so repeated
+    calls against the same matrix reuse it — ``use_cache=False`` forces
+    a fresh plan, ``plan=`` supplies one explicitly.  The returned
+    :class:`SolveResult` carries the reuse counters.
     """
-    if isinstance(a, ElectricGraph) and b is None:
-        split = prepare_split(a, a.sources, n_subdomains, seed=seed,
-                              grid_shape=grid_shape,
-                              parts_shape=parts_shape)
+    b_vec = resolve_rhs(a, b)
+    plan_kwargs = {k: sim_kwargs.pop(k) for k in _PLAN_KEYS
+                   if k in sim_kwargs}
+    run_kwargs = {k: sim_kwargs.pop(k) for k in _RUN_KEYS
+                  if k in sim_kwargs}
+    if plan is None:
+        plan = get_plan(a, None if isinstance(a, ElectricGraph) else b_vec,
+                        use_cache=use_cache, mode="dtm",
+                        n_subdomains=n_subdomains, topology=topology,
+                        impedance=impedance, seed=seed,
+                        grid_shape=grid_shape, parts_shape=parts_shape,
+                        **plan_kwargs)
     else:
-        if b is None:
-            raise ConfigurationError("b is required unless a is an "
-                                     "ElectricGraph")
-        split = prepare_split(a, b, n_subdomains, seed=seed,
-                              grid_shape=grid_shape, parts_shape=parts_shape)
-    if topology is None:
-        # fully connected by default: an automatic partition's adjacency
-        # is not guaranteed to match any particular mesh
-        topology = complete_topology(split.n_parts, delay_low=10.0,
-                                     delay_high=100.0, seed=seed)
-    sim = DtmSimulator(split, topology, impedance=impedance,
-                       use_fleet=use_fleet, **sim_kwargs)
-    res = sim.run(t_max, tol=tol)
-    a_mat, b_vec = split.graph.to_system()
-    ref = direct_reference_solution(a_mat, b_vec)
-    return SolveResult(
-        x=res.x, rms_error=rms_error(res.x, ref),
-        relative_residual=relative_residual(a_mat, res.x, b_vec),
-        converged=res.converged, iterations=res.n_solves,
-        sim_time=res.t_end, errors=res.errors, split=split)
+        _reject_plan_conflicts(
+            plan, a, n_subdomains=(n_subdomains, 4),
+            topology=(topology, None), impedance=(impedance, 1.0),
+            seed=(seed, 0), grid_shape=(grid_shape, None),
+            parts_shape=(parts_shape, None),
+            placement=(plan_kwargs.get("placement"), None),
+            allow_indefinite=(plan_kwargs.get("allow_indefinite", False),
+                              False))
+    session = SolverSession(plan, use_fleet=use_fleet, **sim_kwargs)
+    return session.solve(b_vec, t_max=t_max, tol=tol, **run_kwargs)
 
 
-def solve_vtm_system(a, b, *, n_subdomains: int = 4, impedance=1.0,
+def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
                      tol: float = 1e-8, max_iterations: int = 10_000,
-                     seed: int = 0) -> SolveResult:
-    """Solve an SPD system with the synchronous VTM special case."""
-    split = prepare_split(a, b, n_subdomains, seed=seed)
-    solver = VtmSolver(split, impedance)
-    res = solver.run(tol=tol, max_iterations=max_iterations)
-    a_mat, b_vec = split.graph.to_system()
-    ref = direct_reference_solution(a_mat, b_vec)
-    series = TimeSeries("vtm_error")
-    for k, e in enumerate(res.error_history):
-        series.append(float(k), float(e))
-    return SolveResult(
-        x=res.x, rms_error=rms_error(res.x, ref),
-        relative_residual=relative_residual(a_mat, res.x, b_vec),
-        converged=res.converged, iterations=res.iterations,
-        sim_time=float(res.iterations), errors=series, split=split)
+                     seed: int = 0,
+                     plan: Optional[SolverPlan] = None,
+                     use_cache: bool = True) -> SolveResult:
+    """Solve an SPD system with the synchronous VTM special case.
+
+    Shares the plan/session machinery with :func:`solve_dtm` (vtm-mode
+    plans: unit DTL delays, no machine topology), including the
+    in-process plan cache and right-hand-side swapping.
+    """
+    b_vec = resolve_rhs(a, b)
+    if plan is None:
+        plan = get_plan(a, None if isinstance(a, ElectricGraph) else b_vec,
+                        use_cache=use_cache, mode="vtm",
+                        n_subdomains=n_subdomains, impedance=impedance,
+                        seed=seed)
+    else:
+        _reject_plan_conflicts(
+            plan, a, n_subdomains=(n_subdomains, 4),
+            impedance=(impedance, 1.0), seed=(seed, 0))
+    session = VtmSession(plan)
+    return session.solve(b_vec, tol=tol, max_iterations=max_iterations)

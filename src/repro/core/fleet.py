@@ -352,6 +352,130 @@ class FleetKernel:
         self.dirty[part] = True
 
     # ------------------------------------------------------------------
+    # plan/session support: RHS swap, state reset, structural fork
+    # ------------------------------------------------------------------
+    def reset_state(self, waves=None) -> None:
+        """Return the mutable state to t = 0 (optionally warm-started).
+
+        *waves* seeds the incoming-wave state (a previous solve's final
+        waves = warm start); default is the zero boundary conditions a
+        freshly built fleet carries.  Counters, ``last_sent`` and the
+        dirty flags reset exactly as construction leaves them, so a
+        reset fleet is indistinguishable from a newly packed one.
+        """
+        if waves is None:
+            self.waves[:] = 0.0
+        else:
+            w = np.asarray(waves, dtype=np.float64)
+            if w.shape != (self.n_slots_total,):
+                raise ValidationError(
+                    f"warm-start waves must have shape "
+                    f"({self.n_slots_total},), got {w.shape}")
+            self.waves[:] = w
+        self.u[:] = 0.0
+        self.last_sent[:] = np.nan
+        self.n_solves[:] = 0
+        self.n_received[:] = 0
+        self.dirty[:] = True
+
+    def repack_u0(self) -> None:
+        """Restack the shape groups' ``u0`` blocks from the locals.
+
+        Called after the locals' zero-wave states changed (RHS swap):
+        the wave-response stacks ``W3`` depend only on the matrix and
+        stay shared, so re-packing is O(total ports) copying — no
+        re-factorization, no re-grouping.
+        """
+        for g in self.groups:
+            if g.r == 0:
+                continue
+            for i, q in enumerate(g.parts):
+                g.u0[i, :] = self.locals[q].u0
+
+    def swap_rhs(self, rhs_list=None, *, x0_list=None,
+                 reset: bool = True) -> None:
+        """Re-point the fleet at a new right-hand side, factors kept.
+
+        Either *rhs_list* (per-subdomain local right-hand sides; one
+        back-substitution each against the retained factors) or
+        *x0_list* (precomputed zero-wave states, e.g. a batched
+        multi-RHS block solve's columns) — in part order.  With
+        ``reset`` (default) the mutable wave state is also zeroed so the
+        next run starts from fresh boundary conditions.
+        """
+        if (rhs_list is None) == (x0_list is None):
+            raise ValidationError(
+                "pass exactly one of rhs_list / x0_list")
+        vecs = rhs_list if rhs_list is not None else x0_list
+        if len(vecs) != self.n_parts:
+            raise ValidationError(
+                f"expected {self.n_parts} vectors, got {len(vecs)}")
+        for loc, vec in zip(self.locals, vecs):
+            if loc.n_local == 0:
+                continue
+            if rhs_list is not None:
+                loc.set_rhs(vec)
+            else:
+                loc.set_x0(vec)
+        self.repack_u0()
+        if reset:
+            self.reset_state()
+
+    def fork(self, locals_: Optional[Sequence[LocalSystem]] = None, *,
+             send_threshold: Optional[float] = None) -> "FleetKernel":
+        """Structural copy sharing every immutable packed array.
+
+        The routing permutation, offsets, slot tables and the groups'
+        ``W3`` wave-response stacks are shared (they only depend on the
+        split and the impedances); the locals are forked (own ``x0``),
+        the per-member ``u0`` stacks are restacked and all mutable state
+        is fresh.  This is how a :class:`~repro.plan.SolverPlan` hands
+        each session its own runnable fleet without re-packing.
+        """
+        new = object.__new__(FleetKernel)
+        new.locals = list(locals_) if locals_ is not None else \
+            [loc.fork() for loc in self.locals]
+        if len(new.locals) != self.n_parts:
+            raise ValidationError(
+                f"fork needs {self.n_parts} local systems, got "
+                f"{len(new.locals)}")
+        new.routes = self.routes
+        st = self.send_threshold if send_threshold is None \
+            else float(send_threshold)
+        if st < 0:
+            raise ValidationError("send_threshold must be >= 0")
+        new.send_threshold = st
+        new.n_parts = self.n_parts
+        new.slot_offsets = self.slot_offsets
+        new.port_offsets = self.port_offsets
+        new.n_slots_total = self.n_slots_total
+        new.n_ports_total = self.n_ports_total
+        new.slot_part = self.slot_part
+        new.slot_port_global = self.slot_port_global
+        new.slot_inv_z = self.slot_inv_z
+        new.route_dest_part = self.route_dest_part
+        new.route_dest_slot_local = self.route_dest_slot_local
+        new.route_dest_slot_global = self.route_dest_slot_global
+        new.route_dtlp = self.route_dtlp
+        new.route_delay = self.route_delay
+        new.waves = np.zeros(self.n_slots_total)
+        new.u = np.zeros(self.n_ports_total)
+        new.last_sent = np.full(self.n_slots_total, np.nan)
+        new.n_solves = np.zeros(self.n_parts, dtype=np.int64)
+        new.n_received = np.zeros(self.n_parts, dtype=np.int64)
+        new.dirty = np.ones(self.n_parts, dtype=bool)
+        new._all_slots = self._all_slots
+        new._part_group = self._part_group
+        new._part_pos = self._part_pos
+        new.groups = [
+            _ShapeGroup(g.gid, g.parts, g.r, g.s, g.W3,
+                        np.empty_like(g.u0), g.slot_idx, g.port_idx)
+            for g in self.groups]
+        new.repack_u0()  # fills the fresh u0 stacks from new.locals
+        new._views = None
+        return new
+
+    # ------------------------------------------------------------------
     # compatibility views
     # ------------------------------------------------------------------
     def views(self) -> "list[FleetKernelView]":

@@ -204,6 +204,39 @@ class ClusteredDtmSimulator:
                 t_ready + latency,
                 self.processors[dest_cluster].deliver, ext_slot, msg.value)
 
+    def swap_rhs(self, b, *, waves=None) -> None:
+        """Re-target the hybrid at a new right-hand side and reset.
+
+        Locals keep their factors (one back-substitution each), the
+        fleet's ``u0`` stacks are re-packed, the wave state restarts
+        from zero (or *waves* for a warm start), and a fresh engine and
+        processor set are wired so :meth:`run` can be called again.
+        ``self.split`` is re-dressed with *b*, so a subsequent
+        :meth:`run` without ``reference=`` converges against the new
+        system's solution.
+        """
+        rhs_list = self.split.spread_sources(b)
+        self.fleet.swap_rhs(rhs_list, reset=True)
+        self.split = self.split.with_sources(b, rhs_list)
+        self.reset(waves=waves)
+
+    def reset(self, waves=None) -> None:
+        """Fresh engine/processors (and wave state) for a re-run."""
+        from ..sim.engine import Engine
+
+        self.fleet.reset_state(waves)
+        for ck in self.cluster_kernels:
+            ck.dirty = True
+            ck.n_solves = 0
+            ck.n_received = 0
+        self.engine = Engine()
+        self._n_messages = 0
+        self.processors = [
+            Processor(self.engine, cid, ck, self._route,
+                      compute=self.processors[cid].compute,
+                      min_solve_interval=self.min_solve_interval)
+            for cid, ck in enumerate(self.cluster_kernels)]
+
     def current_solution(self) -> np.ndarray:
         return self.split.gather([k.full_state() for k in self.kernels])
 

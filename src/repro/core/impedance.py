@@ -81,6 +81,10 @@ class PerVertexImpedance(ImpedanceStrategy):
                     "default given")
         return out
 
+    def __repr__(self) -> str:  # value-bearing: plan-cache key material
+        table = dict(sorted(self.table.items()))
+        return f"PerVertexImpedance({table!r}, default={self.default!r})"
+
 
 class GeometricMeanImpedance(ImpedanceStrategy):
     """``Z = α / √(w_a · w_b)`` from the twin copies' diagonal weights.
@@ -105,6 +109,9 @@ class GeometricMeanImpedance(ImpedanceStrategy):
             out.append(self.alpha / float(np.sqrt(wa * wb)))
         return out
 
+    def __repr__(self) -> str:  # value-bearing: plan-cache key material
+        return f"GeometricMeanImpedance({self.alpha!r})"
+
 
 class DiagonalMeanImpedance(ImpedanceStrategy):
     """``Z = 2α / (w_a + w_b)`` — arithmetic-mean conductance matching."""
@@ -124,6 +131,9 @@ class DiagonalMeanImpedance(ImpedanceStrategy):
                     "weight; diagonal-mean impedance undefined")
             out.append(2.0 * self.alpha / float(total))
         return out
+
+    def __repr__(self) -> str:  # value-bearing: plan-cache key material
+        return f"DiagonalMeanImpedance({self.alpha!r})"
 
 
 def as_impedance_strategy(spec) -> ImpedanceStrategy:

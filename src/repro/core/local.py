@@ -55,6 +55,10 @@ class LocalSystem:
     #: x_full(a) = x0 + X @ a
     x0: np.ndarray
     X: np.ndarray
+    #: retained matrix factor (SpdFactor or SymFactor); enables
+    #: :meth:`set_rhs` — re-deriving ``x0`` for a new right-hand side
+    #: with one back-substitution instead of a re-factorization.
+    factor: Optional[object] = field(default=None, repr=False)
     _logdet: float = field(default=np.nan, repr=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +120,62 @@ class LocalSystem:
         if u_ports is None:
             u_ports = self.solve_ports(waves)
         return 2.0 * u_ports[self.slot_ports] - waves
+
+    # ------------------------------------------------------------------
+    # RHS swap (the plan/session amortization primitive)
+    # ------------------------------------------------------------------
+    def response_for(self, rhs: np.ndarray) -> np.ndarray:
+        """Zero-wave state ``x0`` implied by a new local right-hand side.
+
+        One back-substitution against the retained factor — no
+        re-factorization.  *rhs* may be ``(n,)`` or a column block
+        ``(n, k)``; block columns are bitwise-identical to solving each
+        column separately (the dense triangular sweeps are elementwise
+        per column), which is what lets :meth:`SolverSession.solve_many
+        <repro.plan.session.SolverSession.solve_many>` batch its RHS
+        preparation without changing any per-column result.
+        """
+        if self.factor is None:
+            raise ValidationError(
+                f"local system of subdomain {self.part} was built without "
+                "a retained factor; rebuild with build_local_system")
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape[0] != self.n_local:
+            raise ValidationError(
+                f"subdomain {self.part} rhs must have {self.n_local} rows, "
+                f"got shape {rhs.shape}")
+        return self.factor.solve(rhs)
+
+    def set_x0(self, x0: np.ndarray) -> None:
+        """Overwrite the zero-wave state in place (views stay valid)."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != (self.n_local,):
+            raise ValidationError(
+                f"x0 must have shape ({self.n_local},), got {x0.shape}")
+        # in-place so _x0_ro and any fleet u0 views keep aliasing
+        writable = self.x0
+        writable[...] = x0
+
+    def set_rhs(self, rhs: np.ndarray) -> None:
+        """Swap the local right-hand side: ``x0 ← A⁻¹ rhs``, ``X`` kept."""
+        if self.n_local == 0:
+            return
+        self.set_x0(self.response_for(rhs))
+
+    def fork(self) -> "LocalSystem":
+        """Session-private copy: own ``x0``, shared ``X``/factor/tables.
+
+        ``X``, the factor and the slot tables are immutable after
+        construction, so forks share them; only the per-right-hand-side
+        ``x0`` (a length-n vector) is copied.  Sessions fork the plan's
+        base locals so concurrent sessions with different right-hand
+        sides never see each other's swaps.
+        """
+        return LocalSystem(
+            part=self.part, n_local=self.n_local, n_ports=self.n_ports,
+            attachments=self.attachments, slot_ports=self.slot_ports,
+            slot_inv_z=self.slot_inv_z, x0=self.x0.copy(), X=self.X,
+            factor=self.factor, _logdet=self._logdet)
 
     def residual(self, waves: np.ndarray, matrix, rhs: np.ndarray
                  ) -> np.ndarray:
@@ -184,6 +244,7 @@ def build_local_system(sub: Subdomain,
         factor = factor_spd(k, check_symmetry=False, overwrite_a=True)
         logdet = factor.logdet()
         solution = factor.solve(rhs_block)
+        retained = factor
     except NotSpdError:
         if not allow_indefinite:
             raise NotSpdError(
@@ -199,13 +260,14 @@ def build_local_system(sub: Subdomain,
                                             minlength=n)
         sym: SymFactor = factor_symmetric(k)
         solution = sym.solve(rhs_block)
+        retained = sym
 
     x0 = solution[:, 0].copy()
     X = solution[:, 1:].copy()
     local = LocalSystem(part=sub.part, n_local=n, n_ports=sub.n_ports,
                         attachments=list(attachments),
                         slot_ports=slot_ports, slot_inv_z=slot_inv_z,
-                        x0=x0, X=X, _logdet=logdet)
+                        x0=x0, X=X, factor=retained, _logdet=logdet)
     return local
 
 

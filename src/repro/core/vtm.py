@@ -57,10 +57,34 @@ class VtmSolver:
     impedance:
         Scalar, per-vertex mapping, or
         :class:`~repro.core.impedance.ImpedanceStrategy`.
+    plan:
+        A prebuilt vtm-mode :class:`~repro.plan.SolverPlan`: network and
+        factored locals are reused instead of rebuilt (*split* and
+        *impedance* must then be left at their defaults).
+    fleet:
+        With *plan*: a session-owned fleet fork to drive (its right-hand
+        side may already be swapped); omitted, a fresh fork is taken.
     """
 
-    def __init__(self, split: SplitResult, impedance=1.0, *,
-                 allow_indefinite: bool = False) -> None:
+    def __init__(self, split: Optional[SplitResult] = None, impedance=1.0,
+                 *, allow_indefinite: bool = False, plan=None,
+                 fleet: Optional[FleetKernel] = None) -> None:
+        if plan is not None:
+            if split is not None or impedance != 1.0 or allow_indefinite:
+                raise ValidationError(
+                    "split/impedance/allow_indefinite are plan "
+                    "properties; do not pass them alongside plan=")
+            if plan.mode != "vtm":
+                raise ValidationError(
+                    f"VtmSolver needs a vtm-mode plan, got {plan.mode!r}")
+            self.split = plan.split
+            self.network = plan.network
+            self.fleet = fleet if fleet is not None else plan.fork_fleet()
+            self.locals = self.fleet.locals
+            self.kernels: list[FleetKernelView] = self.fleet.views()
+            return
+        if split is None:
+            raise ValidationError("VtmSolver needs a split or a plan")
         self.split = split
         strategy = as_impedance_strategy(impedance)
         z_list = strategy.assign(split)
@@ -71,6 +95,27 @@ class VtmSolver:
         self.fleet: FleetKernel = build_fleet(split, self.network,
                                               self.locals)
         self.kernels: list[FleetKernelView] = self.fleet.views()
+
+    # ------------------------------------------------------------------
+    # RHS swap / reset (amortized repeated solves)
+    # ------------------------------------------------------------------
+    def swap_rhs(self, b, *, reset: bool = True) -> None:
+        """Re-target the solver at a new global right-hand side.
+
+        One back-substitution per subdomain against the retained
+        factors plus a ``u0`` re-pack — no re-factorization.  With
+        ``reset`` (default) the wave state restarts from zero boundary
+        conditions.  ``self.split`` is re-dressed with *b*, so a
+        subsequent :meth:`run` without an explicit ``reference=``
+        converges against the new system's solution.
+        """
+        rhs_list = self.split.spread_sources(b)
+        self.fleet.swap_rhs(rhs_list, reset=reset)
+        self.split = self.split.with_sources(b, rhs_list)
+
+    def reset(self, waves=None) -> None:
+        """Zero (or warm-start) the wave state for a fresh run."""
+        self.fleet.reset_state(waves)
 
     # ------------------------------------------------------------------
     # wave-space view

@@ -15,6 +15,7 @@ from ..core.impedance import GeometricMeanImpedance
 from ..graph.evs import DominancePreservingSplit, SplitResult, split_graph
 from ..graph.partitioners import grid_block_partition
 from ..linalg.iterative import direct_reference_solution
+from ..plan import get_plan
 from ..sim.executor import DtmRunResult, DtmSimulator
 from ..sim.network import Topology
 from ..workloads.poisson import grid2d_random, paper_grid_side
@@ -72,10 +73,25 @@ def run_paper_dtm(split: SplitResult, topology: Topology, *,
     ``min_solve_interval`` of 5 ms coalesces arrivals within half the
     smallest link delay; measured effect on the error trace is < 20 %
     while cutting event counts ~4×.
+
+    Planning (DTLP network, local factorizations, fleet packing) goes
+    through the in-process plan cache keyed on the (split, topology,
+    impedance) triple, so repeated trials over one configuration —
+    benchmark repetitions, figure sweeps — re-plan exactly once.
+    Session-level knobs (``min_solve_interval``, compute models,
+    logging) stay free per call.
     """
-    sim = DtmSimulator(split, topology,
-                       impedance=impedance or default_impedance(),
-                       min_solve_interval=min_solve_interval, **kwargs)
+    impedance = impedance or default_impedance()
+    if any(k in kwargs for k in ("placement", "allow_indefinite")):
+        # plan-affecting extras not covered by the split-identity key:
+        # fall back to a monolithic build
+        sim = DtmSimulator(split, topology, impedance=impedance,
+                           min_solve_interval=min_solve_interval, **kwargs)
+    else:
+        plan = get_plan(split=split, topology=topology,
+                        impedance=impedance)
+        sim = DtmSimulator(plan=plan,
+                           min_solve_interval=min_solve_interval, **kwargs)
     if reference is None:
         a, b = split.graph.to_system()
         reference = direct_reference_solution(a, b)

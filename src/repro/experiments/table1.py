@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from ..analysis.reporting import ExperimentRecord
 from ..linalg.iterative import direct_reference_solution
+from ..plan import build_plan
 from ..sim.executor import DtmSimulator
 from ..sim.network import paper_fig11_topology
 from .common import DEFAULT_SEED, default_impedance, paper_split_for
@@ -32,8 +33,12 @@ def run_table1(*, n: int = 289, t_max: float = 1500.0,
     split = paper_split_for(n, 16, seed=seed)
     a, b = split.graph.to_system()
     reference = direct_reference_solution(a, b)
-    sim = DtmSimulator(split, topo, impedance=default_impedance(),
-                       min_solve_interval=5.0, log_messages=True)
+    # one plan serves both runs: the send threshold is a session-level
+    # knob, so the quiescence run below re-plans nothing
+    plan = build_plan(split=split, topology=topo,
+                      impedance=default_impedance())
+    sim = DtmSimulator(plan=plan, min_solve_interval=5.0,
+                       log_messages=True)
     res = sim.run(t_max, reference=reference)
 
     log = res.message_log
@@ -50,8 +55,8 @@ def run_table1(*, n: int = 289, t_max: float = 1500.0,
         agree &= (za == zb == d.impedance)
 
     # quiescence with local detection (step 3.3)
-    sim2 = DtmSimulator(split, topo, impedance=default_impedance(),
-                        min_solve_interval=5.0, send_threshold=1e-9)
+    sim2 = DtmSimulator(plan=plan, min_solve_interval=5.0,
+                        send_threshold=1e-9)
     res2 = sim2.run(t_max=50_000.0, reference=reference)
 
     record = ExperimentRecord(

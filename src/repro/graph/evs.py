@@ -27,7 +27,7 @@ solves the original system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -192,6 +192,10 @@ class SplitResult:
     twin_links: list[TwinLink]
     copies: dict[int, list[int]]
     notes: list[str] = field(default_factory=list)
+    #: per split vertex: the fraction of its source each copy received
+    #: (recorded by :func:`split_graph`; powers :meth:`spread_sources`).
+    source_fractions: dict[int, dict[int, float]] = field(
+        default_factory=dict)
 
     @property
     def n_parts(self) -> int:
@@ -281,6 +285,79 @@ class SplitResult:
             raise ValidationError(
                 f"global vector must have shape ({self.graph.n},)")
         return [x[sub.global_vertices] for sub in self.subdomains]
+
+    def source_weights(self, part: int) -> np.ndarray:
+        """Per-local-vertex source fraction of subdomain *part*.
+
+        Inner vertices keep their full source (fraction 1); port copies
+        receive the fraction the split strategy assigned at EVS time.
+        Multiplying a new global right-hand side by these weights
+        reproduces — bit for bit — the ``rhs`` the splitter would have
+        baked in had the graph carried that right-hand side.
+        """
+        sub = self.subdomains[part]
+        frac = np.ones(sub.n_local)
+        for i in range(sub.n_ports):
+            v = int(sub.global_vertices[i])
+            try:
+                frac[i] = self.source_fractions[v][part]
+            except KeyError:
+                raise ValidationError(
+                    f"no recorded source fraction for split vertex {v} in "
+                    f"part {part}; this SplitResult predates source-"
+                    "fraction recording (rebuild it with split_graph)"
+                ) from None
+        return frac
+
+    def with_sources(self, b, rhs_list: Sequence[np.ndarray] | None = None
+                     ) -> "SplitResult":
+        """A shallow variant of this split carrying right-hand side *b*.
+
+        The split topology (partition, copies, twin links, matrices) is
+        shared; only the graph's sources and the subdomains' ``rhs``
+        vectors are replaced, so callers who read ``split.graph`` /
+        ``subdomain.rhs`` off a plan-reused solve see the right-hand
+        side that solve actually used.  Returns ``self`` unchanged when
+        *b* already equals the baked-in sources.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if np.array_equal(b, self.graph.sources):
+            return self
+        if rhs_list is None:
+            rhs_list = self.spread_sources(b)
+        graph = ElectricGraph(self.graph.vertex_weights, b,
+                              self.graph.edge_u, self.graph.edge_v,
+                              self.graph.edge_weights)
+        subdomains = [replace(sub, rhs=rhs)
+                      for sub, rhs in zip(self.subdomains, rhs_list)]
+        return SplitResult(graph=graph, partition=self.partition,
+                           subdomains=subdomains,
+                           twin_links=self.twin_links, copies=self.copies,
+                           notes=self.notes,
+                           source_fractions=self.source_fractions)
+
+    def spread_sources(self, b) -> list[np.ndarray]:
+        """Per-subdomain right-hand sides for a *new* global source *b*.
+
+        The RHS-swap primitive of the plan/session architecture: the
+        split topology (copies, ports, twin links) is source-independent,
+        so a changed right-hand side only re-weights the local ``rhs``
+        vectors.  *b* may be 1-D ``(n,)`` or a column block ``(n, k)``;
+        with ``b == graph.sources`` the 1-D result equals every
+        subdomain's baked-in ``rhs`` bitwise.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.graph.n or b.ndim > 2:
+            raise ValidationError(
+                f"source vector must have {self.graph.n} rows, got shape "
+                f"{b.shape}")
+        out = []
+        for sub in self.subdomains:
+            frac = self.source_weights(sub.part)
+            local = b[sub.global_vertices]
+            out.append(frac * local if b.ndim == 1
+                       else frac[:, None] * local)
+        return out
 
     # ------------------------------------------------------------------
     # theorem 6.1 hypotheses
@@ -407,12 +484,14 @@ def split_graph(graph: ElectricGraph, partition: Partition,
 
     # vertex weight / source shares
     vertex_share: dict[int, dict[int, tuple[float, float]]] = {}
+    source_fractions: dict[int, dict[int, float]] = {}
     for v in split_set:
         wfrac = strategy.vertex_fractions(v, float(graph.vertex_weights[v]),
                                           loads[v])
         _check_fractions(wfrac, copies[v], f"vertex {v} weight")
         sfrac = strategy.source_fractions(v, float(graph.sources[v]), wfrac)
         _check_fractions(sfrac, copies[v], f"vertex {v} source")
+        source_fractions[v] = {q: float(sfrac[q]) for q in copies[v]}
         vertex_share[v] = {
             q: (float(graph.vertex_weights[v]) * wfrac[q],
                 float(graph.sources[v]) * sfrac[q]) for q in copies[v]}
@@ -480,7 +559,7 @@ def split_graph(graph: ElectricGraph, partition: Partition,
     result = SplitResult(graph=graph, partition=partition,
                          subdomains=subdomains, twin_links=links,
                          copies={v: list(p) for v, p in copies.items()},
-                         notes=notes)
+                         notes=notes, source_fractions=source_fractions)
     return result
 
 

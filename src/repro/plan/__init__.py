@@ -1,0 +1,31 @@
+"""Plan/session architecture: amortized planning for repeated solves.
+
+The paper's headline use case — circuit transient analysis — solves one
+fixed sparse matrix against a *stream* of right-hand sides.  Everything
+expensive about a DTM/VTM solve depends only on the matrix: the
+electric graph, the partition, the EVS split, the DTLP network, the
+per-subdomain factorizations and the packed fleet arrays.  This package
+splits the pipeline accordingly:
+
+* :class:`SolverPlan` — the immutable, shareable product of one-time
+  planning (build with :func:`build_plan`, or fetch from the keyed
+  in-process :class:`PlanCache` via :func:`get_plan`);
+* :class:`SolverSession` / :class:`VtmSession` — mutable executors over
+  a plan: ``solve(b)`` swaps the right-hand side with one
+  back-substitution per subdomain, ``solve_many(B)`` batches the RHS
+  preparation for a column block, and warm starts reuse the previous
+  solve's wave state.
+
+``repro.api.solve_dtm`` / ``solve_vtm_system`` are thin wrappers that
+build-or-fetch a plan and run a one-shot session.
+"""
+
+from .cache import PlanCache, default_plan_cache
+from .plan import SolverPlan, build_plan, get_plan, plan_key
+from .session import SolverSession, VtmSession
+
+__all__ = [
+    "SolverPlan", "SolverSession", "VtmSession",
+    "PlanCache", "default_plan_cache",
+    "build_plan", "get_plan", "plan_key",
+]

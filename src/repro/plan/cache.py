@@ -1,0 +1,90 @@
+"""Keyed in-process plan cache (LRU, thread-safe).
+
+Plans are pure functions of their build inputs, so an in-process cache
+keyed on those inputs turns every repeated ``solve_dtm`` /
+``solve_vtm_system`` call against the same matrix into a cheap
+execute-only call.  The cache is deliberately small and in-memory: a
+plan holds dense factors of every subdomain, so entries are bounded by
+``maxsize`` (LRU eviction) rather than grown without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+from ..errors import ConfigurationError
+
+
+class PlanCache:
+    """A small LRU mapping plan keys to built plans.
+
+    Thread-safe; the build callback runs outside the lock so concurrent
+    misses on *different* keys build in parallel (a duplicate build for
+    the same key is possible but harmless — last writer wins).
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("plan cache maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """The cached plan for *key*, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: Hashable, plan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def get_or_build(self, key: Hashable, build: Callable[[], object]):
+        """Fetch *key*, building (and caching) on a miss.
+
+        Returns ``(plan, cache_hit)``.
+        """
+        plan = self.get(key)
+        if plan is not None:
+            return plan, True
+        plan = build()
+        self.put(key, plan)
+        return plan, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "maxsize": self.maxsize}
+
+
+_DEFAULT: Optional[PlanCache] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache used by the high-level API."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = PlanCache()
+        return _DEFAULT

@@ -1,0 +1,484 @@
+"""SolverPlan: the immutable product of one-time planning.
+
+A plan captures everything about a DTM/VTM solve that depends only on
+the *matrix* (and the machine): electric graph, partition, EVS split,
+DTLP network, factored per-subdomain local systems, the packed
+:class:`~repro.core.fleet.FleetKernel` arrays and a cached reference
+factor of the assembled global system.  Executing against a new
+right-hand side then costs one back-substitution per subdomain plus the
+run itself — no re-partitioning, no re-factorization, no re-packing.
+
+Bitwise contract
+----------------
+A plan-built solve with the plan's baked-in right-hand side produces
+*exactly* the result of the monolithic pipeline it replaced: the split
+is the same object graph, forked locals carry bitwise-equal ``x0``
+(block-column and single-column back-substitutions agree bit for bit in
+this package's dense kernels), and :meth:`SolverPlan.reference` mirrors
+:func:`~repro.linalg.iterative.direct_reference_solution` exactly —
+cached dense factor below the same size crossover, identical CG call
+above it.  The API-compat tests assert this equivalence field by field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.dtl import DtlpNetwork, build_dtlp_network
+from ..core.fleet import FleetKernel, build_fleet
+from ..core.impedance import ImpedanceStrategy, as_impedance_strategy
+from ..core.local import LocalSystem, build_all_local_systems
+from ..errors import ConfigurationError
+from ..graph.electric import ElectricGraph
+from ..graph.evs import DominancePreservingSplit, SplitResult, split_graph
+from ..graph.partitioners import greedy_grow_partition, grid_block_partition
+from ..linalg.cholesky import SpdFactor, factor_spd
+from ..linalg.iterative import direct_reference_solution
+from ..linalg.sparse import CsrMatrix
+from ..sim.network import ConstantDelay, Topology, complete_topology
+from .cache import PlanCache, default_plan_cache
+
+#: Largest n whose reference solution is served from a cached dense
+#: factor; mirrors :func:`direct_reference_solution`'s dense/CG
+#: crossover so cached and uncached references are bitwise-identical.
+DENSE_REFERENCE_LIMIT = 600
+
+#: Cap on per-plan cached reference solutions (keyed by rhs bytes).
+_REF_CACHE_LIMIT = 64
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def graph_fingerprint(graph: ElectricGraph) -> str:
+    """Content hash of the *matrix* side of an electric graph.
+
+    Sources (the right-hand side) are deliberately excluded: plans are
+    right-hand-side independent, so solves against the same matrix with
+    different ``b`` share one plan.
+    """
+    h = hashlib.sha256()
+    h.update(str(graph.n).encode())
+    for arr in (graph.vertex_weights, graph.edge_u, graph.edge_v,
+                graph.edge_weights):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _topology_token(topology: Optional[Topology]) -> tuple:
+    """Value-bearing topology key: link table + delay-model reprs.
+
+    Content-based (not ``id``) so a caller constructing an equal-valued
+    topology per call still hits the plan cache — on a hit the cached
+    plan's topology object serves the run, which is behaviourally
+    identical for constant delays.  Topologies with *stochastic* links
+    (anything but :class:`ConstantDelay`) carry per-message RNG state
+    that content comparison cannot see, so they key by object identity:
+    substituting the cached object would silently change the caller's
+    delay-sample stream.
+    """
+    if topology is None:
+        return ("default-topology",)
+    if any(not isinstance(model, ConstantDelay)
+           for model in topology.links.values()):
+        return ("topology-object", id(topology))
+    links = tuple(sorted((src, dst, model.value)
+                         for (src, dst), model in topology.links.items()))
+    return ("topology", topology.name, topology.n_procs, links)
+
+
+def _impedance_token(impedance) -> tuple:
+    if isinstance(impedance, (int, float)):
+        return ("z", float(impedance))
+    if isinstance(impedance, Mapping):
+        return ("z-map", tuple(sorted((int(k), float(v))
+                                      for k, v in impedance.items())))
+    if isinstance(impedance, ImpedanceStrategy):
+        return ("z-strategy", type(impedance).__name__, repr(impedance))
+    return ("z-object", id(impedance))
+
+
+def plan_key(graph: ElectricGraph, *, mode: str, n_subdomains: int,
+             seed: int, grid_shape, parts_shape, topology, impedance,
+             placement, allow_indefinite: bool,
+             split: Optional[SplitResult] = None) -> tuple:
+    """Hashable identity of a plan build — every plan-affecting input."""
+    split_token = ("split", id(split)) if split is not None else (
+        "auto-split", int(n_subdomains),
+        tuple(grid_shape) if grid_shape else None,
+        tuple(parts_shape) if parts_shape else None)
+    # seed stays in the key even with a prebuilt split: it also seeds
+    # the default topology construction
+    return (mode, graph_fingerprint(graph), split_token, int(seed),
+            _topology_token(topology), _impedance_token(impedance),
+            tuple(int(p) for p in placement) if placement else None,
+            bool(allow_indefinite))
+
+
+# ----------------------------------------------------------------------
+# system/rhs resolution (the one place the b-override rule lives)
+# ----------------------------------------------------------------------
+def resolve_rhs(a, b) -> np.ndarray:
+    """The right-hand side a call solves for (explicit *b* wins).
+
+    An :class:`ElectricGraph` carries its own sources; an explicit *b*
+    overrides them.  A matrix input requires *b*.
+    """
+    if b is not None:
+        return np.asarray(b, dtype=np.float64)
+    if isinstance(a, ElectricGraph):
+        return np.asarray(a.sources, dtype=np.float64)
+    raise ConfigurationError("b is required unless a is an ElectricGraph")
+
+
+# ----------------------------------------------------------------------
+# split construction (shared with repro.api.prepare_split)
+# ----------------------------------------------------------------------
+def make_split(a, b, n_subdomains: int, *, seed: int = 0,
+               grid_shape: Optional[tuple[int, int]] = None,
+               parts_shape: Optional[tuple[int, int]] = None
+               ) -> SplitResult:
+    """Electric graph → partition → EVS, with automatic partitioning.
+
+    If *grid_shape* (and optionally *parts_shape*) is given, the regular
+    block partitioner is used (paper §7); otherwise BFS region growing.
+    An explicit *b* overrides an :class:`ElectricGraph`'s own sources.
+    """
+    if isinstance(a, ElectricGraph):
+        graph = a
+        if b is not None:
+            b_arr = np.asarray(b, dtype=np.float64)
+            if not np.array_equal(b_arr, graph.sources):
+                graph = ElectricGraph(graph.vertex_weights, b_arr,
+                                      graph.edge_u, graph.edge_v,
+                                      graph.edge_weights)
+    else:
+        graph = ElectricGraph.from_system(
+            a if isinstance(a, CsrMatrix) else
+            CsrMatrix.from_dense(np.asarray(a, dtype=np.float64)),
+            np.asarray(b, dtype=np.float64))
+    if grid_shape is not None:
+        nx, ny = grid_shape
+        if parts_shape is None:
+            side = int(round(np.sqrt(n_subdomains)))
+            if side * side != n_subdomains:
+                raise ConfigurationError(
+                    f"n_subdomains={n_subdomains} is not square; pass "
+                    "parts_shape explicitly")
+            parts_shape = (side, side)
+        partition = grid_block_partition(nx, ny, *parts_shape)
+    else:
+        partition = greedy_grow_partition(graph, n_subdomains, seed=seed)
+    return split_graph(graph, partition,
+                       strategy=DominancePreservingSplit())
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class SolverPlan:
+    """Immutable planning product; execute through a session.
+
+    Everything here is treated as read-only after construction: sessions
+    *fork* the locals and the fleet template before mutating anything,
+    so one plan serves any number of concurrent sessions.
+    """
+
+    mode: str  # "dtm" | "vtm"
+    graph: ElectricGraph
+    split: SplitResult
+    topology: Optional[Topology]
+    placement: list[int]
+    impedance: object
+    network: DtlpNetwork
+    base_locals: list[LocalSystem]
+    fleet_template: FleetKernel
+    a_mat: CsrMatrix
+    base_b: np.ndarray
+    build_seconds: float
+    key: Optional[tuple] = None
+    #: the right-hand side the *base locals* were factored against —
+    #: differs from ``base_b`` only on :meth:`with_base_rhs` views.
+    locals_b: Optional[np.ndarray] = field(default=None, repr=False)
+    from_cache: bool = field(default=False, compare=False)
+    #: reuse counters (surfaced in SolveResult)
+    n_sessions: int = field(default=0, compare=False)
+    n_solves_served: int = field(default=0, compare=False)
+    _ref_factor: Optional[SpdFactor] = field(default=None, repr=False)
+    _ref_cache: dict = field(default_factory=dict, repr=False)
+    #: guards the mutable bits (reference cache, reuse counters) —
+    #: plans are otherwise immutable and shared across sessions/threads
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    @property
+    def n_parts(self) -> int:
+        return self.split.n_parts
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def fingerprint(self) -> str:
+        """Matrix content hash of this plan's system (cached)."""
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = graph_fingerprint(self.graph)
+            self._fingerprint = fp
+        return fp
+
+    @property
+    def forked_locals_rhs(self) -> np.ndarray:
+        """The rhs encoded in freshly forked locals (sessions swap from
+        here)."""
+        return self.locals_b if self.locals_b is not None else self.base_b
+
+    def with_base_rhs(self, b) -> "SolverPlan":
+        """A view of this plan whose default right-hand side is *b*.
+
+        Everything expensive stays shared by reference (network,
+        factored locals, fleet template, reference factor+cache, lock);
+        only the graph/split dressing and ``base_b`` change, so
+        ``get_plan(a, b2)`` after a cache hit for ``b1`` still hands
+        sessions the right default rhs.  Returns ``self`` when *b*
+        already matches.  Reuse counters delegate to the root plan.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if np.array_equal(b, self.base_b):
+            return self
+        split = self.split.with_sources(b)
+        view = SolverPlan(
+            mode=self.mode, graph=split.graph, split=split,
+            topology=self.topology, placement=self.placement,
+            impedance=self.impedance, network=self.network,
+            base_locals=self.base_locals,
+            fleet_template=self.fleet_template,
+            a_mat=self.a_mat, base_b=b,
+            build_seconds=self.build_seconds, key=self.key,
+            locals_b=self.forked_locals_rhs,
+            from_cache=self.from_cache,
+            _ref_factor=self._ref_factor, _ref_cache=self._ref_cache,
+            _lock=self._lock)
+        view._counter_root = self._root()
+        return view
+
+    def _root(self) -> "SolverPlan":
+        return getattr(self, "_counter_root", self)
+
+    # -- forks ----------------------------------------------------------
+    def fork_locals(self) -> list[LocalSystem]:
+        """Session-private locals: shared factors/X, own ``x0``."""
+        return [loc.fork() for loc in self.base_locals]
+
+    def fork_fleet(self, locals_: Optional[Sequence[LocalSystem]] = None,
+                   *, send_threshold: float = 0.0) -> FleetKernel:
+        """Session-private runnable fleet over the shared packed arrays."""
+        return self.fleet_template.fork(locals_,
+                                        send_threshold=send_threshold)
+
+    def session(self, **opts):
+        """A new session over this plan (DTM or VTM per ``mode``)."""
+        from .session import SolverSession, VtmSession
+
+        cls = SolverSession if self.mode == "dtm" else VtmSession
+        return cls(self, **opts)
+
+    # -- per-rhs helpers ------------------------------------------------
+    def spread_sources(self, b) -> list[np.ndarray]:
+        """Per-subdomain local right-hand sides for a global *b*."""
+        return self.split.spread_sources(b)
+
+    def reference(self, b) -> np.ndarray:
+        """High-accuracy reference solution of ``A x = b`` (cached).
+
+        Bitwise-identical to ``direct_reference_solution(a_mat, b)``:
+        below the dense crossover the cached factor is the same factor
+        that call would compute; above it the identical CG call runs
+        (and is cached per right-hand side, which is what amortizes
+        repeated solves against one *b*).
+        """
+        b = np.asarray(b, dtype=np.float64)
+        key = b.tobytes()
+        with self._lock:
+            hit = self._ref_cache.get(key)
+        if hit is not None:
+            return hit
+        if self._ref_factor is not None:
+            ref = self._ref_factor.solve(b)
+        else:
+            ref = direct_reference_solution(self.a_mat, b)
+        with self._lock:
+            if len(self._ref_cache) >= _REF_CACHE_LIMIT:
+                self._ref_cache.pop(next(iter(self._ref_cache)))
+            self._ref_cache[key] = ref
+        return ref
+
+    def reference_block(self, B: np.ndarray) -> np.ndarray:
+        """Reference solutions for a column block ``(n, k)``.
+
+        Dense path: one block back-substitution whose columns are
+        bitwise-identical to per-column :meth:`reference` calls; CG
+        path: per-column (each cached).
+        """
+        B = np.asarray(B, dtype=np.float64)
+        if self._ref_factor is not None:
+            out = self._ref_factor.solve(B)
+            with self._lock:
+                for k in range(B.shape[1]):
+                    if len(self._ref_cache) < _REF_CACHE_LIMIT:
+                        self._ref_cache[B[:, k].tobytes()] = out[:, k]
+            return out
+        return np.stack([self.reference(B[:, k])
+                         for k in range(B.shape[1])], axis=1)
+
+    def record_solve(self) -> int:
+        """Bump and return the number of solves this plan has served."""
+        root = self._root()
+        with root._lock:
+            root.n_solves_served += 1
+            if root is not self:
+                self.n_solves_served = root.n_solves_served
+            return root.n_solves_served
+
+    def record_session(self) -> int:
+        """Bump and return the number of sessions opened on this plan."""
+        root = self._root()
+        with root._lock:
+            root.n_sessions += 1
+            if root is not self:
+                self.n_sessions = root.n_sessions
+            return root.n_sessions
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+def build_plan(a=None, b=None, *, mode: str = "dtm",
+               n_subdomains: int = 4,
+               topology: Optional[Topology] = None,
+               impedance=1.0, seed: int = 0,
+               grid_shape: Optional[tuple[int, int]] = None,
+               parts_shape: Optional[tuple[int, int]] = None,
+               placement: Optional[Sequence[int]] = None,
+               allow_indefinite: bool = False,
+               split: Optional[SplitResult] = None,
+               key: Optional[tuple] = None) -> SolverPlan:
+    """Run the one-time planning pipeline and return a :class:`SolverPlan`.
+
+    Accepts either raw system inputs (*a* as matrix/dense array/
+    :class:`ElectricGraph`, plus *b* unless *a* carries sources) or a
+    prebuilt *split*.  ``mode="vtm"`` builds the synchronous special
+    case: unit DTL delays, no machine topology.
+    """
+    t0 = time.perf_counter()
+    if mode not in ("dtm", "vtm"):
+        raise ConfigurationError(f"unknown plan mode {mode!r}")
+    if split is None:
+        if a is None:
+            raise ConfigurationError("build_plan needs a system or a split")
+        b = resolve_rhs(a, b)
+        split = make_split(a, b, n_subdomains, seed=seed,
+                           grid_shape=grid_shape, parts_shape=parts_shape)
+    graph = split.graph
+    n_parts = split.n_parts
+    if placement is None:
+        placement = list(range(n_parts))
+    placement = [int(p) for p in placement]
+    if len(placement) != n_parts:
+        raise ConfigurationError(
+            f"placement must map all {n_parts} subdomains")
+
+    if mode == "dtm":
+        if topology is None:
+            # fully connected by default: an automatic partition's
+            # adjacency is not guaranteed to match any particular mesh
+            topology = complete_topology(n_parts, delay_low=10.0,
+                                         delay_high=100.0, seed=seed)
+        if n_parts > topology.n_procs:
+            raise ConfigurationError(
+                f"{n_parts} subdomains but only {topology.n_procs} "
+                "processors")
+        topo = topology
+
+        def delay_of(qa: int, qb: int) -> float:
+            return topo.nominal_delay(placement[qa], placement[qb])
+
+        delay_spec = delay_of
+    else:
+        topology = None
+        delay_spec = 1.0
+
+    z_list = as_impedance_strategy(impedance).assign(split)
+    network = build_dtlp_network(split, z_list, delay_spec)
+    base_locals = build_all_local_systems(
+        split, network, allow_indefinite=allow_indefinite)
+    fleet_template = build_fleet(split, network, base_locals)
+
+    a_mat, base_b = graph.to_system()
+    ref_factor = None
+    if not (isinstance(a_mat, CsrMatrix) and a_mat.nrows > DENSE_REFERENCE_LIMIT):
+        ref_factor = factor_spd(a_mat.to_dense())
+
+    return SolverPlan(
+        mode=mode, graph=graph, split=split, topology=topology,
+        placement=placement, impedance=impedance, network=network,
+        base_locals=base_locals, fleet_template=fleet_template,
+        a_mat=a_mat, base_b=base_b,
+        build_seconds=time.perf_counter() - t0, key=key,
+        _ref_factor=ref_factor)
+
+
+def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,
+             use_cache: bool = True, **kwargs) -> SolverPlan:
+    """Fetch a plan from the cache, building (and caching) on a miss.
+
+    Key material covers every plan-affecting input (see
+    :func:`plan_key`); the returned plan's ``from_cache`` flag reports
+    whether this call reused an existing plan.
+    """
+    split = kwargs.get("split")
+    rebind_b = None
+    if split is not None:
+        graph = split.graph
+    elif isinstance(a, ElectricGraph):
+        graph = a
+        rebind_b = resolve_rhs(a, b)
+    else:
+        graph = ElectricGraph.from_system(
+            a if isinstance(a, CsrMatrix) else CsrMatrix.from_dense(
+                np.asarray(a, dtype=np.float64)),
+            resolve_rhs(a, b))
+        a = graph  # reuse the converted graph for the build
+        rebind_b = np.asarray(graph.sources, dtype=np.float64)
+    key = plan_key(
+        graph, mode=kwargs.get("mode", "dtm"),
+        n_subdomains=kwargs.get("n_subdomains", 4),
+        seed=kwargs.get("seed", 0),
+        grid_shape=kwargs.get("grid_shape"),
+        parts_shape=kwargs.get("parts_shape"),
+        topology=kwargs.get("topology"),
+        impedance=kwargs.get("impedance", 1.0),
+        placement=kwargs.get("placement"),
+        allow_indefinite=kwargs.get("allow_indefinite", False),
+        split=split)
+    if not use_cache:
+        plan = build_plan(a, b, key=key, **kwargs)
+        plan.from_cache = False
+        return plan
+    # explicit None check: an *empty* PlanCache is falsy (__len__)
+    cache = cache if cache is not None else default_plan_cache()
+    plan, hit = cache.get_or_build(
+        key, lambda: build_plan(a, b, key=key, **kwargs))
+    if rebind_b is not None:
+        # the key excludes sources, so a hit may carry another call's
+        # rhs: hand back a view whose default rhs is THIS call's b
+        plan = plan.with_base_rhs(rebind_b)
+    plan.from_cache = hit
+    return plan

@@ -51,11 +51,38 @@ class AsyncioDtmRunner:
     Theorem 6.1 guarantees regardless of timing.
     """
 
-    def __init__(self, split: SplitResult, topology: Topology, *,
+    def __init__(self, split: Optional[SplitResult] = None,
+                 topology: Optional[Topology] = None, *,
                  impedance=1.0, time_scale: float = 1e-3,
-                 placement: Optional[list[int]] = None) -> None:
+                 placement: Optional[list[int]] = None,
+                 plan=None) -> None:
         if time_scale <= 0:
             raise ConfigurationError("time_scale must be positive")
+        if plan is not None:
+            # prebuilt SolverPlan: reuse network + factored locals; the
+            # runner forks the fleet so its state stays private
+            if split is not None or topology is not None \
+                    or placement is not None or impedance != 1.0:
+                raise ConfigurationError(
+                    "split/topology/impedance/placement are plan "
+                    "properties; do not pass them alongside plan=")
+            if plan.mode != "dtm" or plan.topology is None:
+                raise ConfigurationError(
+                    "AsyncioDtmRunner needs a dtm-mode plan")
+            self.split = plan.split
+            self.topology = plan.topology
+            self.time_scale = float(time_scale)
+            self.placement = list(plan.placement)
+            self.network = plan.network
+            self.fleet = plan.fork_fleet()
+            self.locals = self.fleet.locals
+            self.kernels = self.fleet.views()
+            self.n_messages = 0
+            return
+        if split is None or topology is None:
+            raise ConfigurationError(
+                "AsyncioDtmRunner needs either (split, topology) or a "
+                "plan")
         self.split = split
         self.topology = topology
         self.time_scale = float(time_scale)

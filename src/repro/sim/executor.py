@@ -94,9 +94,24 @@ class DtmSimulator:
         (default).  ``False`` keeps the per-:class:`DtmKernel` object
         path; both produce bitwise-identical trajectories (asserted by
         the test-suite), so this is purely a performance switch.
+    plan:
+        A prebuilt :class:`~repro.plan.SolverPlan`: the electric graph,
+        partition, EVS split, DTLP network and factored local systems
+        are taken from it instead of being rebuilt, so constructing the
+        simulator costs only engine/processor wiring.  *split*,
+        *topology*, *impedance*, *placement* and *allow_indefinite*
+        must then be left at their defaults (they are plan properties).
+    fleet:
+        With *plan*: a session-owned :class:`FleetKernel` fork whose
+        right-hand side is already set (see
+        :meth:`FleetKernel.swap_rhs`); omitted, a fresh fork is taken.
+    kernels:
+        With *plan* and ``use_fleet=False``: session-owned
+        :class:`DtmKernel` objects to drive instead of fresh ones.
     """
 
-    def __init__(self, split: SplitResult, topology: Topology, *,
+    def __init__(self, split: Optional[SplitResult] = None,
+                 topology: Optional[Topology] = None, *,
                  impedance=1.0,
                  placement: Optional[Sequence[int]] = None,
                  compute: Optional[ComputeModel] = None,
@@ -105,8 +120,39 @@ class DtmSimulator:
                  allow_indefinite: bool = False,
                  log_messages: bool = False,
                  probe_ports: Optional[Sequence[tuple[int, int]]] = None,
-                 use_fleet: bool = True
+                 use_fleet: bool = True,
+                 plan=None,
+                 fleet=None,
+                 kernels=None
                  ) -> None:
+        if plan is not None:
+            if split is not None or topology is not None \
+                    or placement is not None or impedance != 1.0 \
+                    or allow_indefinite:
+                raise ConfigurationError(
+                    "split/topology/impedance/placement/allow_indefinite "
+                    "are properties of the plan; do not pass them "
+                    "alongside plan=")
+            if fleet is not None and not use_fleet:
+                raise ConfigurationError(
+                    "fleet= requires use_fleet=True")
+            if kernels is not None and use_fleet:
+                raise ConfigurationError(
+                    "kernels= requires use_fleet=False")
+            split = plan.split
+            topology = plan.topology
+            placement = plan.placement
+        else:
+            if fleet is not None or kernels is not None:
+                raise ConfigurationError(
+                    "fleet=/kernels= carry prebuilt plan state and "
+                    "require plan=; without one they would be silently "
+                    "ignored")
+            if split is None or topology is None:
+                raise ConfigurationError(
+                    "DtmSimulator needs either (split, topology) or a "
+                    "plan")
+        self.plan = plan
         self.split = split
         self.topology = topology
         n_parts = split.n_parts
@@ -121,38 +167,73 @@ class DtmSimulator:
                 "processors")
         self.placement = [int(p) for p in placement]
 
-        z_list = as_impedance_strategy(impedance).assign(split)
-        self.network: DtlpNetwork = build_dtlp_network(
-            split, z_list,
-            lambda qa, qb: topology.nominal_delay(self.placement[qa],
-                                                  self.placement[qb]))
-        self.locals = build_all_local_systems(
-            split, self.network, allow_indefinite=allow_indefinite)
-        if use_fleet:
-            self.fleet = build_fleet(split, self.network, self.locals,
-                                     send_threshold=send_threshold)
-            self.kernels = self.fleet.views()
-            proc_kernels = self.fleet.sim_kernels()
-            route = self._route_fleet
+        if plan is not None:
+            self.network = plan.network
+            if use_fleet:
+                self.fleet = fleet if fleet is not None else \
+                    plan.fleet_template.fork(send_threshold=send_threshold)
+                self.locals = self.fleet.locals
+                self.kernels = self.fleet.views()
+                proc_kernels = self.fleet.sim_kernels()
+                route = self._route_fleet
+            else:
+                self.fleet = None
+                self.locals = [loc.fork() for loc in plan.base_locals] \
+                    if kernels is None else [k.local for k in kernels]
+                self.kernels = kernels if kernels is not None else \
+                    build_kernels(split, self.network, self.locals,
+                                  send_threshold=send_threshold)
+                if kernels:
+                    # keep reset()/swap_rhs() rebuilds faithful to the
+                    # threshold baked into the supplied kernels
+                    send_threshold = kernels[0].send_threshold
+                proc_kernels = self.kernels
+                route = self._route
         else:
-            self.fleet = None
-            self.kernels = build_kernels(split, self.network, self.locals,
+            z_list = as_impedance_strategy(impedance).assign(split)
+            self.network: DtlpNetwork = build_dtlp_network(
+                split, z_list,
+                lambda qa, qb: topology.nominal_delay(self.placement[qa],
+                                                      self.placement[qb]))
+            self.locals = build_all_local_systems(
+                split, self.network, allow_indefinite=allow_indefinite)
+            if use_fleet:
+                self.fleet = build_fleet(split, self.network, self.locals,
                                          send_threshold=send_threshold)
-            proc_kernels = self.kernels
-            route = self._route
+                self.kernels = self.fleet.views()
+                proc_kernels = self.fleet.sim_kernels()
+                route = self._route_fleet
+            else:
+                self.fleet = None
+                self.kernels = build_kernels(split, self.network,
+                                             self.locals,
+                                             send_threshold=send_threshold)
+                proc_kernels = self.kernels
+                route = self._route
 
-        self.engine = Engine()
-        if self.fleet is not None:
-            self.engine.set_message_sink(self._deliver_batch)
-        self.message_log = MessageLog() if log_messages else None
-        self.solve_log = SolveLog() if log_messages else None
-        self.port_probe = PortProbe(split, probe_ports) if probe_ports \
-            else None
+        self.send_threshold = float(send_threshold)
+        self._log_messages = bool(log_messages)
+        self._probe_targets = probe_ports
+        self._proc_kernels = proc_kernels
+        self._route_fn = route
+        self._compute = compute
 
         if min_solve_interval is None:
             used = self._used_delays()
             min_solve_interval = (min(used) / 10.0) if used else 0.0
         self.min_solve_interval = float(min_solve_interval)
+        self._wire_engine()
+
+    # ------------------------------------------------------------------
+    def _wire_engine(self) -> None:
+        """Fresh engine, observers and processors over the kernels."""
+        self.engine = Engine()
+        if self.fleet is not None:
+            self.engine.set_message_sink(self._deliver_batch)
+        self.message_log = MessageLog() if self._log_messages else None
+        self.solve_log = SolveLog() if self._log_messages else None
+        self.port_probe = PortProbe(self.split, self._probe_targets) \
+            if self._probe_targets else None
 
         hooks = [h for h in (self.port_probe, self.solve_log) if h]
 
@@ -162,11 +243,54 @@ class DtmSimulator:
 
         self.processors: list[Processor] = []
         self._n_messages = 0
-        for q, kernel in enumerate(proc_kernels):
+        for q, kernel in enumerate(self._proc_kernels):
             self.processors.append(Processor(
-                self.engine, self.placement[q], kernel, route,
-                compute=compute, min_solve_interval=self.min_solve_interval,
+                self.engine, self.placement[q], kernel, self._route_fn,
+                compute=self._compute,
+                min_solve_interval=self.min_solve_interval,
                 solve_hook=solve_hook if hooks else None))
+
+    def reset(self, waves=None) -> None:
+        """Return the simulator to t = 0 for another :meth:`run`.
+
+        The wave state restarts from zero boundary conditions (or
+        *waves* for a warm start) and a fresh engine/processor set is
+        wired; the factored locals, routing tables and topology are
+        untouched.
+        """
+        if self.fleet is not None:
+            self.fleet.reset_state(waves)
+        else:
+            self.kernels = build_kernels(
+                self.split, self.network, self.locals,
+                send_threshold=self.send_threshold)
+            if waves is not None:
+                offset = 0
+                for k in self.kernels:
+                    s = k.local.n_slots
+                    k.waves[:] = waves[offset:offset + s]
+                    offset += s
+            self._proc_kernels = self.kernels
+        self._wire_engine()
+
+    def swap_rhs(self, b, *, waves=None) -> None:
+        """Point the simulator at a new right-hand side and reset.
+
+        One back-substitution per subdomain against the retained
+        factors (no re-factorization) plus a ``u0`` re-pack on the
+        fleet path.  ``self.split`` is re-dressed with *b*, so a
+        subsequent :meth:`run` without an explicit ``reference=``
+        tracks convergence against the *new* system's solution.
+        """
+        rhs_list = self.split.spread_sources(b)
+        if self.fleet is not None:
+            self.fleet.swap_rhs(rhs_list, reset=False)
+        else:
+            for loc, rhs in zip(self.locals, rhs_list):
+                if loc.n_local:
+                    loc.set_rhs(rhs)
+        self.split = self.split.with_sources(b, rhs_list)
+        self.reset(waves=waves)
 
     # ------------------------------------------------------------------
     def _used_delays(self) -> list[float]:

@@ -234,3 +234,102 @@ def test_fleet_validates_inputs(multilevel_split):
     bad[0][0] = (len(locals_), 0, di, dl)
     with pytest.raises(ValidationError):
         FleetKernel(locals_, bad)
+
+
+# ----------------------------------------------------------------------
+# plan/session support: RHS swap, fork, reset
+# ----------------------------------------------------------------------
+class TestFleetRhsSwapForkReset:
+    def test_swap_rhs_matches_fresh_build_bitwise(self, multilevel_split):
+        split = multilevel_split
+        fleet, _ = _build_pair(split)
+        b2 = np.linspace(0.5, -1.5, split.graph.n)
+        fleet.swap_rhs(split.spread_sources(b2))
+
+        # a fleet built from scratch over the swapped-source graph
+        from repro.graph.electric import ElectricGraph
+
+        g = split.graph
+        g2 = ElectricGraph(g.vertex_weights, b2, g.edge_u, g.edge_v,
+                           g.edge_weights)
+        split2 = split_graph(g2, split.partition,
+                             strategy=DominancePreservingSplit())
+        fleet2, _ = _build_pair(split2)
+        for _ in range(4):
+            fleet.solve_all()
+            dest, values = fleet.emit_all()
+            fleet.receive_batch(dest, values)
+            fleet2.solve_all()
+            dest2, values2 = fleet2.emit_all()
+            fleet2.receive_batch(dest2, values2)
+        assert np.array_equal(fleet.waves, fleet2.waves)
+        assert np.array_equal(fleet.u, fleet2.u)
+
+    def test_swap_rhs_validates_lengths(self, multilevel_split):
+        fleet, _ = _build_pair(multilevel_split)
+        with pytest.raises(ValidationError):
+            fleet.swap_rhs([np.zeros(1)])
+        with pytest.raises(ValidationError):
+            fleet.swap_rhs(None)
+
+    def test_fork_is_independent_and_bitwise_equal(self, multilevel_split):
+        fleet, _ = _build_pair(multilevel_split)
+        fork = fleet.fork()
+        # identical trajectories...
+        for f in (fleet, fork):
+            f.solve_all()
+            dest, values = f.emit_all()
+            f.receive_batch(dest, values)
+        assert np.array_equal(fleet.waves, fork.waves)
+        # ...but independent state and locals
+        fork.waves[:] = 123.0
+        assert not np.array_equal(fleet.waves, fork.waves)
+        fork.locals[0].x0[...] = -7.0
+        assert not np.array_equal(fleet.locals[0].x0, fork.locals[0].x0)
+        # immutable packings are shared, not copied
+        assert fork.route_dest_slot_global is fleet.route_dest_slot_global
+        assert fork.groups[0].W3 is fleet.groups[0].W3
+
+    def test_reset_state_restores_fresh_construction(self, multilevel_split):
+        fleet, _ = _build_pair(multilevel_split)
+        fresh, _ = _build_pair(multilevel_split)
+        for _ in range(3):
+            fleet.solve_all()
+            dest, values = fleet.emit_all()
+            fleet.receive_batch(dest, values)
+        fleet.reset_state()
+        assert np.array_equal(fleet.waves, fresh.waves)
+        assert np.array_equal(fleet.u, fresh.u)
+        assert np.all(np.isnan(fleet.last_sent))
+        assert np.all(fleet.n_solves == 0)
+        assert np.all(fleet.n_received == 0)
+        assert np.all(fleet.dirty)
+
+    def test_reset_state_warm_waves(self, multilevel_split):
+        fleet, _ = _build_pair(multilevel_split)
+        warm = np.arange(fleet.n_slots_total, dtype=np.float64)
+        fleet.reset_state(warm)
+        assert np.array_equal(fleet.waves, warm)
+        with pytest.raises(ValidationError):
+            fleet.reset_state(np.zeros(fleet.n_slots_total + 1))
+
+    def test_local_set_rhs_matches_fresh_factorization(self, multilevel_split):
+        split = multilevel_split
+        net = build_dtlp_network(split, 1.0, 1.0)
+        locals_ = build_all_local_systems(split, net)
+        b2 = np.cos(np.arange(split.graph.n, dtype=np.float64))
+        rhs_list = split.spread_sources(b2)
+        for loc, rhs in zip(locals_, rhs_list):
+            loc.set_rhs(rhs)
+        from repro.graph.electric import ElectricGraph
+
+        g = split.graph
+        g2 = ElectricGraph(g.vertex_weights, b2, g.edge_u, g.edge_v,
+                           g.edge_weights)
+        split2 = split_graph(g2, split.partition,
+                             strategy=DominancePreservingSplit())
+        locals2 = build_all_local_systems(split2,
+                                          build_dtlp_network(split2, 1.0, 1.0))
+        for loc, loc2 in zip(locals_, locals2):
+            assert np.array_equal(loc.x0, loc2.x0)
+            assert loc.X is not loc2.X  # factors retained independently

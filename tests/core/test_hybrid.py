@@ -113,3 +113,35 @@ def test_periodic_resync_default_latency_is_max_delay():
     topo = custom_topology(example_5_1_delays())
     sim = PeriodicResyncDtmSimulator(split, topo, resync_period=10.0)
     assert sim.resync_latency == 6.7
+
+
+# ----------------------------------------------------------------------
+# RHS swap (plan/session amortization entry points)
+# ----------------------------------------------------------------------
+def test_clustered_swap_rhs_solves_new_system(grid_setup):
+    split, ref = grid_setup
+    topo = custom_topology({(0, 1): 20.0, (1, 0): 30.0})
+    sim = ClusteredDtmSimulator(split, topo, [[0, 1], [2, 3]],
+                                local_sweeps=3)
+    sim.run(t_max=5000.0, tol=1e-7, reference=ref)
+    b2 = np.linspace(0.2, -0.8, split.graph.n)
+    a_mat, _ = split.graph.to_system()
+    ref2 = direct_reference_solution(a_mat, b2)
+    sim.swap_rhs(b2)
+    res2 = sim.run(t_max=5000.0, tol=1e-7, reference=ref2)
+    assert res2.converged
+    assert np.allclose(res2.x, ref2, atol=1e-5)
+
+
+def test_resync_swap_rhs_solves_new_system(grid_setup):
+    split, ref = grid_setup
+    topo = mesh_topology(2, 2, delay_low=10, delay_high=30, seed=0)
+    sim = PeriodicResyncDtmSimulator(split, topo, resync_period=200.0)
+    sim.run(t_max=4000.0, tol=1e-6, reference=ref)
+    b2 = np.cos(np.arange(split.graph.n, dtype=np.float64))
+    a_mat, _ = split.graph.to_system()
+    ref2 = direct_reference_solution(a_mat, b2)
+    sim.swap_rhs(b2)
+    res2 = sim.run(t_max=4000.0, tol=1e-6, reference=ref2)
+    assert res2.converged
+    assert np.allclose(res2.x, ref2, atol=1e-4)

@@ -336,3 +336,54 @@ def test_property_grid_split_preserves_solution(seed):
         r = sub.matrix.matvec(xl) - sub.rhs
         np.add.at(total, sub.global_vertices, r)
     assert np.allclose(total, 0.0, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# source spreading (the plan/session RHS-swap primitive)
+# ----------------------------------------------------------------------
+class TestSpreadSources:
+    def test_baked_sources_reproduced_bitwise(self):
+        g = grid2d_random(9, seed=5)
+        p = grid_block_partition(9, 9, 3, 3)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        spread = res.spread_sources(g.sources)
+        for sub, rhs in zip(res.subdomains, spread):
+            assert np.array_equal(rhs, sub.rhs)
+
+    def test_new_rhs_matches_rebuilt_split_bitwise(self):
+        g = grid2d_random(8, seed=1)
+        p = grid_block_partition(8, 8, 2, 2)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        b2 = np.linspace(-1.0, 2.0, g.n)
+        g2 = ElectricGraph(g.vertex_weights, b2, g.edge_u, g.edge_v,
+                           g.edge_weights)
+        res2 = split_graph(g2, p, strategy=DominancePreservingSplit())
+        for rhs, sub2 in zip(res.spread_sources(b2), res2.subdomains):
+            assert np.array_equal(rhs, sub2.rhs)
+
+    def test_block_input_columns_match_vector_calls(self):
+        g = grid2d_random(7, seed=2)
+        p = grid_block_partition(7, 7, 2, 2)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        rng = np.random.default_rng(0)
+        B = rng.standard_normal((g.n, 3))
+        blocks = res.spread_sources(B)
+        for k in range(3):
+            cols = res.spread_sources(B[:, k])
+            for blk, col in zip(blocks, cols):
+                assert np.array_equal(blk[:, k], col)
+
+    def test_shape_validation(self):
+        g = grid2d_random(5, seed=0)
+        p = grid_block_partition(5, 5, 2, 2)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        with pytest.raises(ValidationError):
+            res.spread_sources(np.zeros(g.n + 1))
+
+    def test_legacy_split_without_fractions_raises(self):
+        g = grid2d_random(6, seed=0)
+        p = grid_block_partition(6, 6, 2, 2)
+        res = split_graph(g, p, strategy=DominancePreservingSplit())
+        res.source_fractions = {}  # simulate a pre-recording SplitResult
+        with pytest.raises(ValidationError):
+            res.spread_sources(g.sources)

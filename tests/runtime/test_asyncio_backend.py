@@ -73,3 +73,28 @@ def test_four_subdomain_mesh():
     res = solve_dtm_asyncio(split, topo, impedance=1.0, duration=12.0,
                             tol=1e-6, time_scale=1e-4)
     assert res.final_error < 1e-4
+
+
+def test_runner_from_plan_converges(setup):
+    from repro.plan import build_plan
+
+    split, topo, exact = setup
+    plan = build_plan(split=split, topology=topo,
+                      impedance=example_5_1_impedances())
+    runner = AsyncioDtmRunner(plan=plan, time_scale=1e-4)
+    res = runner.run(duration=2.0, tol=1e-6)
+    assert res.final_error < 1e-4
+    assert np.allclose(res.x, exact, atol=1e-3)
+    # the plan's template fleet stayed untouched
+    assert np.all(plan.fleet_template.waves == 0.0)
+
+
+def test_runner_plan_rejects_conflicting_arguments(setup):
+    from repro.plan import build_plan
+
+    split, topo, _ = setup
+    plan = build_plan(split=split, topology=topo)
+    with pytest.raises(ConfigurationError):
+        AsyncioDtmRunner(split, plan=plan)
+    with pytest.raises(ConfigurationError):
+        AsyncioDtmRunner()

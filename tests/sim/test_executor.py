@@ -174,3 +174,94 @@ def test_result_summary_and_stats(paper_setup):
     assert res.stats["n_dtlps"] == 2
     assert res.n_events > 0
     assert res.n_solves > 0
+
+
+# ----------------------------------------------------------------------
+# plan-backed construction, reset, RHS swap
+# ----------------------------------------------------------------------
+def test_simulator_from_plan_matches_monolithic_build():
+    from repro.plan import build_plan
+
+    g = grid2d_random(8, seed=2)
+    p = grid_block_partition(8, 8, 2, 2)
+    split = split_graph(g, p, strategy=DominancePreservingSplit())
+    topo = uniform_topology(4, delay=5.0)
+    plan = build_plan(split=split, topology=topo)
+    res_plan = DtmSimulator(plan=plan).run(300.0, tol=1e-6)
+    res_mono = DtmSimulator(split, topo).run(300.0, tol=1e-6)
+    assert np.array_equal(res_plan.x, res_mono.x)
+    assert res_plan.t_end == res_mono.t_end
+    assert res_plan.n_messages == res_mono.n_messages
+
+
+def test_simulator_plan_rejects_conflicting_arguments():
+    from repro.plan import build_plan
+
+    g = grid2d_random(6, seed=0)
+    p = grid_block_partition(6, 6, 2, 2)
+    split = split_graph(g, p, strategy=DominancePreservingSplit())
+    topo = uniform_topology(4, delay=5.0)
+    plan = build_plan(split=split, topology=topo)
+    with pytest.raises(ConfigurationError):
+        DtmSimulator(split, plan=plan)
+    with pytest.raises(ConfigurationError):
+        DtmSimulator(plan=plan, impedance=2.0)
+    with pytest.raises(ConfigurationError):
+        DtmSimulator()
+
+
+def test_reset_reproduces_first_run_bitwise(paper_setup):
+    split, topo, _ = paper_setup
+    sim = DtmSimulator(split, topo,
+                       impedance=example_5_1_impedances())
+    res1 = sim.run(100.0, tol=1e-6)
+    sim.reset()
+    res2 = sim.run(100.0, tol=1e-6)
+    assert np.array_equal(res1.x, res2.x)
+    assert res1.t_end == res2.t_end
+    assert res1.n_solves == res2.n_solves
+
+
+def test_swap_rhs_solves_the_new_system(paper_setup):
+    from repro.linalg.iterative import direct_reference_solution
+
+    split, topo, _ = paper_setup
+    sim = DtmSimulator(split, topo,
+                       impedance=example_5_1_impedances())
+    sim.run(200.0, tol=1e-7)
+    b2 = np.linspace(1.0, -2.0, split.graph.n)
+    a_mat, _ = split.graph.to_system()
+    ref2 = direct_reference_solution(a_mat, b2)
+    sim.swap_rhs(b2)
+    res2 = sim.run(200.0, tol=1e-7, reference=ref2)
+    assert res2.converged
+    assert np.allclose(res2.x, ref2, atol=1e-5)
+
+
+def test_swap_rhs_default_reference_tracks_new_system(paper_setup):
+    """After swap_rhs, run() without reference= must converge against
+    the new right-hand side (the split is re-dressed)."""
+    split, topo, _ = paper_setup
+    sim = DtmSimulator(split, topo,
+                       impedance=example_5_1_impedances())
+    sim.run(200.0, tol=1e-7)
+    b2 = np.linspace(1.0, -2.0, split.graph.n)
+    sim.swap_rhs(b2)
+    assert np.array_equal(sim.split.graph.sources, b2)
+    res2 = sim.run(200.0, tol=1e-7)  # no explicit reference
+    from repro.linalg.iterative import direct_reference_solution
+
+    a_mat, b_vec = sim.split.graph.to_system()
+    assert np.array_equal(b_vec, b2)
+    assert res2.converged
+    assert np.allclose(res2.x, direct_reference_solution(a_mat, b2),
+                       atol=1e-5)
+
+
+def test_prebuilt_state_requires_plan(paper_setup):
+    split, topo, _ = paper_setup
+    from repro.core.fleet import build_fleet  # noqa: F401 - clarity
+    with pytest.raises(ConfigurationError):
+        DtmSimulator(split, topo, fleet=object())
+    with pytest.raises(ConfigurationError):
+        DtmSimulator(split, topo, kernels=[])

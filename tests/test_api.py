@@ -68,3 +68,181 @@ def test_lazy_attribute_error():
 
     with pytest.raises(AttributeError):
         repro.no_such_function
+
+
+# ----------------------------------------------------------------------
+# plan pipeline: rhs override, cache reuse, seed-path equivalence
+# ----------------------------------------------------------------------
+def test_solve_dtm_electric_graph_with_explicit_rhs():
+    """An explicit b must override the graph's sources (it used to be
+    silently ignored on the ElectricGraph path)."""
+    from repro.linalg.iterative import direct_reference_solution
+
+    g = grid2d_random(7, seed=2)
+    b2 = np.linspace(-1.0, 1.0, g.n)
+    res = solve_dtm(g, b2, n_subdomains=4, t_max=6000.0, tol=1e-5, seed=2)
+    a_mat, _ = g.to_system()
+    ref = direct_reference_solution(a_mat, b2)
+    assert res.converged
+    assert np.allclose(res.x, ref, atol=1e-4)
+    # and it must differ from the baked-sources solve
+    res0 = solve_dtm(g, n_subdomains=4, t_max=6000.0, tol=1e-5, seed=2)
+    assert not np.array_equal(res.x, res0.x)
+
+
+def test_solve_dtm_plan_cache_reuse_is_bitwise_transparent():
+    g = grid2d_random(7, seed=6)
+    kw = dict(n_subdomains=4, t_max=4000.0, tol=1e-5, seed=6)
+    r1 = solve_dtm(g, **kw)
+    r2 = solve_dtm(g, **kw)
+    assert r2.plan_reused
+    assert r2.plan_solves > r1.plan_solves
+    assert np.array_equal(r1.x, r2.x)
+    assert r1.rms_error == r2.rms_error
+
+
+def test_vtm_plan_cache_reuse():
+    system = paper_system_3_2()
+    kw = dict(n_subdomains=2, impedance=0.2, tol=1e-9)
+    r1 = solve_vtm_system(system.matrix, system.rhs, **kw)
+    r2 = solve_vtm_system(system.matrix, system.rhs, **kw)
+    assert r2.plan_reused and np.array_equal(r1.x, r2.x)
+
+
+class TestSeedPathEquivalence:
+    """Deprecation shims: the plan pipeline must reproduce the seed
+    (monolithic) pipeline's SolveResult field for field, bitwise."""
+
+    @staticmethod
+    def _seed_solve_dtm(a, b=None, *, n_subdomains=4, topology=None,
+                        impedance=1.0, t_max=5000.0, tol=1e-8, seed=0,
+                        use_fleet=True):
+        """The pre-plan solve_dtm pipeline, verbatim."""
+        from repro.core.convergence import relative_residual, rms_error
+        from repro.graph.electric import ElectricGraph
+        from repro.linalg.iterative import direct_reference_solution
+        from repro.sim.executor import DtmSimulator
+        from repro.sim.network import complete_topology
+
+        if isinstance(a, ElectricGraph) and b is None:
+            split = prepare_split(a, a.sources, n_subdomains, seed=seed)
+        else:
+            split = prepare_split(a, b, n_subdomains, seed=seed)
+        if topology is None:
+            topology = complete_topology(split.n_parts, delay_low=10.0,
+                                         delay_high=100.0, seed=seed)
+        sim = DtmSimulator(split, topology, impedance=impedance,
+                           use_fleet=use_fleet)
+        res = sim.run(t_max, tol=tol)
+        a_mat, b_vec = split.graph.to_system()
+        ref = direct_reference_solution(a_mat, b_vec)
+        return dict(x=res.x, rms_error=rms_error(res.x, ref),
+                    relative_residual=relative_residual(a_mat, res.x,
+                                                        b_vec),
+                    converged=res.converged, iterations=res.n_solves,
+                    sim_time=res.t_end,
+                    error_values=np.asarray(res.errors.values))
+
+    def _assert_equivalent(self, new, old):
+        assert np.array_equal(new.x, old["x"])
+        assert new.rms_error == old["rms_error"]
+        assert new.relative_residual == old["relative_residual"]
+        assert new.converged == old["converged"]
+        assert new.iterations == old["iterations"]
+        assert new.sim_time == old["sim_time"]
+        assert np.array_equal(np.asarray(new.errors.values),
+                              old["error_values"])
+
+    def test_matrix_input_custom_topology(self):
+        system = paper_system_3_2()
+        kw = dict(n_subdomains=2,
+                  topology=custom_topology({(0, 1): 6.7, (1, 0): 2.9}),
+                  impedance=0.15, t_max=1000.0, tol=1e-8, seed=0)
+        new = solve_dtm(system.matrix, system.rhs, use_cache=False, **kw)
+        old = self._seed_solve_dtm(system.matrix, system.rhs, **kw)
+        self._assert_equivalent(new, old)
+
+    def test_graph_input_default_topology(self):
+        g = grid2d_random(8, seed=4)
+        kw = dict(n_subdomains=4, t_max=3000.0, tol=1e-5, seed=4)
+        new = solve_dtm(g, use_cache=False, **kw)
+        old = self._seed_solve_dtm(g, **kw)
+        self._assert_equivalent(new, old)
+
+    def test_per_kernel_path(self):
+        g = grid2d_random(7, seed=9)
+        kw = dict(n_subdomains=4, t_max=2000.0, tol=1e-5, seed=9,
+                  use_fleet=False)
+        new = solve_dtm(g, use_cache=False, **kw)
+        old = self._seed_solve_dtm(g, **kw)
+        self._assert_equivalent(new, old)
+
+    def test_vtm_system(self):
+        from repro.core.convergence import relative_residual, rms_error
+        from repro.core.vtm import VtmSolver
+        from repro.linalg.iterative import direct_reference_solution
+
+        system = paper_system_3_2()
+        split = prepare_split(system.matrix, system.rhs, 2, seed=0)
+        solver = VtmSolver(split, 0.2)
+        old = solver.run(tol=1e-9, max_iterations=10_000)
+        a_mat, b_vec = split.graph.to_system()
+        ref = direct_reference_solution(a_mat, b_vec)
+        new = solve_vtm_system(system.matrix, system.rhs, n_subdomains=2,
+                               impedance=0.2, tol=1e-9, use_cache=False)
+        assert np.array_equal(new.x, old.x)
+        assert new.iterations == old.iterations
+        assert new.converged == old.converged
+        assert new.rms_error == rms_error(old.x, ref)
+        assert new.relative_residual == relative_residual(a_mat, old.x,
+                                                          b_vec)
+        assert np.array_equal(np.asarray(new.errors.values),
+                              np.asarray(old.error_history))
+
+
+def test_plan_argument_conflicts_are_rejected():
+    from repro.plan import get_plan
+
+    g = grid2d_random(6, seed=0)
+    plan = get_plan(g, n_subdomains=4, seed=0)
+    with pytest.raises(ConfigurationError):
+        solve_dtm(g, plan=plan, impedance=2.0)
+    with pytest.raises(ConfigurationError):
+        solve_dtm(g, plan=plan, n_subdomains=8)
+    with pytest.raises(ConfigurationError):
+        solve_dtm(g, plan=plan, placement=[0, 1, 2, 3])
+    # matching/default arguments are fine
+    res = solve_dtm(g, plan=plan, t_max=500.0, tol=None)
+    assert res.plan_solves >= 1
+
+
+def test_solve_result_split_reports_the_solved_rhs():
+    g = grid2d_random(6, seed=8)
+    b2 = np.linspace(0.0, 1.0, g.n)
+    r1 = solve_dtm(g, n_subdomains=4, t_max=500.0, tol=None, seed=8)
+    r2 = solve_dtm(g, b2, n_subdomains=4, t_max=500.0, tol=None, seed=8)
+    assert r2.plan_reused  # same plan served both
+    assert np.array_equal(r1.split.graph.sources, g.sources)
+    assert np.array_equal(r2.split.graph.sources, b2)
+    # the re-dressed split shares the structural pieces
+    assert r2.split.partition is r1.split.partition
+    assert r2.split.subdomains[0].matrix is r1.split.subdomains[0].matrix
+    assert np.array_equal(r2.split.spread_sources(b2)[0],
+                          r2.split.subdomains[0].rhs)
+
+
+def test_plan_rejects_mismatched_matrix():
+    from repro.plan import get_plan
+
+    g = grid2d_random(6, seed=0)
+    other = grid2d_random(6, seed=1)
+    plan = get_plan(g, n_subdomains=4, seed=0)
+    with pytest.raises(ConfigurationError):
+        solve_dtm(other, plan=plan, t_max=500.0, tol=None)
+    # wrong size gets a clear error too (matrix input path)
+    with pytest.raises(ConfigurationError):
+        solve_dtm(np.eye(5), np.ones(5), plan=plan, t_max=500.0, tol=None)
+    # explicitly passing default values alongside plan= is fine
+    res = solve_dtm(g, plan=plan, n_subdomains=4, seed=0,
+                    placement=None, t_max=500.0, tol=None)
+    assert res.plan_solves >= 1
