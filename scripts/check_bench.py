@@ -18,6 +18,13 @@ Usage:
     python scripts/check_bench.py                 # re-run both, compare
     python scripts/check_bench.py --fresh new.json --skip-plan
     python scripts/check_bench.py --quick         # smaller sweep counts
+    python scripts/check_bench.py --json-report report.json
+
+``--json-report <path>`` additionally writes a machine-readable
+pass/fail record — verdict, per-check problems/warnings, the measured
+speedups and the fresh benchmark records — which CI uploads as an
+artifact.  The report is written on every outcome (pass, regression,
+usage error) so a red run still carries its evidence.
 """
 
 from __future__ import annotations
@@ -129,6 +136,43 @@ class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
 
+def _speedup_summary(record: dict) -> dict:
+    """Headline ratios of a benchmark record, for the JSON report."""
+    if not record:
+        return {}
+    out = {k: record[k] for k in ("speedup_at_256", "speedup_at_64")
+           if record.get(k) is not None}
+    out["cases"] = [{"n_parts": c.get("n_parts"),
+                     "speedup": c.get("speedup")}
+                    for c in record.get("cases", [])]
+    return out
+
+
+def _write_report(path: str, *, exit_code: int, problems, warnings,
+                  checked, args, kernel_fresh: dict,
+                  plan_fresh: dict, error: str = "") -> None:
+    report = {
+        "schema": "check_bench-report/1",
+        "pass": exit_code == 0,
+        "exit_code": exit_code,
+        "error": error,
+        "tolerance": args.tolerance,
+        "plan_tolerance": args.plan_tolerance,
+        "strict_time": bool(args.strict_time),
+        "quick": bool(args.quick),
+        "checked": list(checked),
+        "problems": list(problems),
+        "warnings": list(warnings),
+        "kernel": {"measured": _speedup_summary(kernel_fresh),
+                   "record": kernel_fresh},
+        "plan": {"measured": _speedup_summary(plan_fresh),
+                 "record": plan_fresh},
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {path}")
+
+
 def _load_fresh(path: str) -> dict:
     if not os.path.exists(path):
         raise _UsageError(f"fresh result {path} not found")
@@ -178,11 +222,25 @@ def main(argv=None) -> int:
                     "(machine-dependent; off by default)")
     ap.add_argument("--quick", action="store_true",
                     help="re-run with fewer sweeps/repeats")
+    ap.add_argument("--json-report", default=None, metavar="PATH",
+                    help="write a machine-readable pass/fail + measured-"
+                    "speedup report (written on every outcome)")
     args = ap.parse_args(argv)
 
     problems: list[str] = []
     warnings: list[str] = []
     checked: list[str] = []
+    fresh: dict = {}
+    plan_fresh: dict = {}
+
+    def report(code: int, error: str = "") -> int:
+        if args.json_report:
+            _write_report(args.json_report, exit_code=code,
+                          problems=problems, warnings=warnings,
+                          checked=checked, args=args,
+                          kernel_fresh=fresh, plan_fresh=plan_fresh,
+                          error=error)
+        return code
 
     try:
         if not args.skip_kernel:
@@ -207,7 +265,7 @@ def main(argv=None) -> int:
             checked.append(os.path.relpath(args.plan_baseline, _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return report(2, error=str(exc))
 
     for w in warnings:
         print(f"warning: {w}")
@@ -215,10 +273,10 @@ def main(argv=None) -> int:
         print("BENCH REGRESSION:")
         for p in problems:
             print(f"  - {p}")
-        return 1
+        return report(1)
     print(f"bench OK: within {args.tolerance:.0%} of "
           f"{' and '.join(checked) if checked else 'nothing (all skipped)'}")
-    return 0
+    return report(0)
 
 
 if __name__ == "__main__":

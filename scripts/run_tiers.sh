@@ -10,6 +10,9 @@
 #   scripts/run_tiers.sh 1          # tier-1 only
 #   scripts/run_tiers.sh 2          # tier-2 only
 #   QUICK=1 scripts/run_tiers.sh 2  # tier-2 with reduced sweep counts
+#   BENCH_JSON=report.json scripts/run_tiers.sh 2
+#                                   # also write the machine-readable
+#                                   # bench report (CI artifact)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -27,11 +30,11 @@ run_tier2() {
     echo "== tier 2: benchmark smoke =="
     python -m pytest benchmarks/bench_smoke.py -q
     echo "== tier 2: regression gate =="
-    if [ "${QUICK:-0}" = "1" ]; then
-        python scripts/check_bench.py --quick
-    else
-        python scripts/check_bench.py
-    fi
+    local gate_args=()
+    [ "${QUICK:-0}" = "1" ] && gate_args+=(--quick)
+    [ -n "${BENCH_JSON:-}" ] && gate_args+=(--json-report "$BENCH_JSON")
+    # ${arr[@]+...} keeps `set -u` happy on bash < 4.4 when no args
+    python scripts/check_bench.py ${gate_args[@]+"${gate_args[@]}"}
 }
 
 case "$TIER" in

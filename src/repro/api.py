@@ -27,6 +27,14 @@ from typing import Optional
 
 import numpy as np
 
+from .core.convergence import (
+    AnyOf,
+    HorizonRule,
+    QuiescenceRule,
+    ReferenceRule,
+    ResidualRule,
+    StoppingRule,
+)
 from .errors import ConfigurationError
 from .graph.electric import ElectricGraph
 from .graph.evs import SplitResult
@@ -39,11 +47,16 @@ from .sim.network import Topology
 __all__ = [
     "SolveResult", "SolverPlan", "SolverSession", "VtmSession",
     "prepare_split", "get_plan", "solve_dtm", "solve_vtm_system",
+    # stopping rules (re-exported from repro.core.convergence)
+    "StoppingRule", "ReferenceRule", "ResidualRule", "QuiescenceRule",
+    "HorizonRule", "AnyOf",
 ]
 
 #: keyword arguments that select the plan (cache-key material)
 _PLAN_KEYS = ("placement", "allow_indefinite")
 #: keyword arguments forwarded to SolveResult-producing run calls
+#: (``stopping`` is an explicit parameter of the wrappers, not a
+#: pass-through, so it cannot collide here)
 _RUN_KEYS = ("sample_interval", "max_events", "reference")
 
 
@@ -100,6 +113,7 @@ def _reject_plan_conflicts(plan, a, **named) -> None:
 def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               topology: Optional[Topology] = None,
               impedance=1.0, t_max: float = 5000.0, tol: float = 1e-8,
+              stopping=None,
               seed: int = 0,
               grid_shape: Optional[tuple[int, int]] = None,
               parts_shape: Optional[tuple[int, int]] = None,
@@ -123,6 +137,15 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     calls against the same matrix reuse it — ``use_cache=False`` forces
     a fresh plan, ``plan=`` supplies one explicitly.  The returned
     :class:`SolveResult` carries the reuse counters.
+
+    ``stopping`` selects the termination criterion (see
+    :mod:`repro.core.convergence`): the default is the paper's
+    reference-based rule at *tol*; reference-free rules such as
+    ``ResidualRule(tol=1e-8)`` or ``QuiescenceRule()`` terminate
+    without ever computing a direct reference solution — the
+    production mode for systems too large to direct-solve.  The result
+    then reports ``stopped_by`` / ``stop_metric`` and its
+    ``rms_error`` is ``nan`` (no oracle to compare against).
     """
     b_vec = resolve_rhs(a, b)
     plan_kwargs = {k: sim_kwargs.pop(k) for k in _PLAN_KEYS
@@ -146,11 +169,13 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
             allow_indefinite=(plan_kwargs.get("allow_indefinite", False),
                               False))
     session = SolverSession(plan, use_fleet=use_fleet, **sim_kwargs)
-    return session.solve(b_vec, t_max=t_max, tol=tol, **run_kwargs)
+    return session.solve(b_vec, t_max=t_max, tol=tol, stopping=stopping,
+                         **run_kwargs)
 
 
 def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
                      tol: float = 1e-8, max_iterations: int = 10_000,
+                     stopping=None,
                      seed: int = 0,
                      plan: Optional[SolverPlan] = None,
                      use_cache: bool = True) -> SolveResult:
@@ -158,7 +183,9 @@ def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
 
     Shares the plan/session machinery with :func:`solve_dtm` (vtm-mode
     plans: unit DTL delays, no machine topology), including the
-    in-process plan cache and right-hand-side swapping.
+    in-process plan cache, right-hand-side swapping and the
+    ``stopping=`` rules (reference-free rules skip the direct
+    reference solution entirely).
     """
     b_vec = resolve_rhs(a, b)
     if plan is None:
@@ -171,4 +198,5 @@ def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
             plan, a, n_subdomains=(n_subdomains, 4),
             impedance=(impedance, 1.0), seed=(seed, 0))
     session = VtmSession(plan)
-    return session.solve(b_vec, tol=tol, max_iterations=max_iterations)
+    return session.solve(b_vec, tol=tol, max_iterations=max_iterations,
+                         stopping=stopping)

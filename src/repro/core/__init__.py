@@ -1,7 +1,17 @@
 """DTM core: DTLs, impedances, local systems, kernels, VTM, hybrids."""
 
 from .convergence import (
+    AnyOf,
     ConvergenceTracker,
+    HorizonRule,
+    QuiescenceRule,
+    ReferenceRule,
+    ResidualRule,
+    SolveContext,
+    StateProbe,
+    StopEvent,
+    StoppingRule,
+    as_stopping_rule,
     max_error,
     relative_residual,
     rms_error,
@@ -35,7 +45,10 @@ from .local import (
 from .vtm import VtmResult, VtmSolver, solve_vtm
 
 __all__ = [
-    "ConvergenceTracker", "max_error", "relative_residual", "rms_error",
+    "AnyOf", "ConvergenceTracker", "HorizonRule", "QuiescenceRule",
+    "ReferenceRule", "ResidualRule", "SolveContext", "StateProbe",
+    "StopEvent", "StoppingRule", "as_stopping_rule",
+    "max_error", "relative_residual", "rms_error",
     "DtlEndpoint", "Dtlp", "DtlpNetwork", "build_dtlp_network",
     "delay_equation_residual", "outgoing_wave", "port_current",
     "reflected_wave",

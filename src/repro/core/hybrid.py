@@ -27,7 +27,7 @@ from ..sim.executor import DtmRunResult, DtmSimulator
 from ..sim.network import Topology
 from ..sim.processor import ComputeModel, Processor
 from ..utils.validation import require
-from .convergence import ConvergenceTracker
+from .convergence import begin_monitor, primary_tol
 from .dtl import build_dtlp_network
 from .fleet import FleetKernel, build_fleet
 from .impedance import as_impedance_strategy
@@ -242,35 +242,41 @@ class ClusteredDtmSimulator:
 
     def run(self, t_max: float, *, tol: Optional[float] = None,
             reference: Optional[np.ndarray] = None,
+            stopping=None,
             sample_interval: Optional[float] = None) -> DtmRunResult:
         if t_max <= 0:
             raise ConfigurationError("t_max must be positive")
-        if reference is None:
-            a, b = self.split.graph.to_system()
-            from ..linalg.iterative import direct_reference_solution
-
-            reference = direct_reference_solution(a, b)
+        rule, monitor, _ = begin_monitor(stopping, tol=tol,
+                                         graph=self.split.graph,
+                                         reference=reference)
         if sample_interval is None:
             sample_interval = t_max / 256.0
-        tracker = ConvergenceTracker(reference=np.asarray(reference), tol=tol)
 
         from ..sim.trace import ErrorObserver
 
         observer = ErrorObserver(self.engine, self.split, self.kernels,
-                                 tracker, sample_interval)
+                                 monitor, sample_interval,
+                                 waves_fn=lambda: self.fleet.waves.copy())
         observer.install()
         for p in self.processors:
             p.start()
         t_end = self.engine.run(until=t_max, max_events=20_000_000)
-        tracker.record(max(t_end, tracker.series.times[-1]),
-                       self.current_solution())
+        event = monitor.finalize(
+            max(t_end, monitor.series.times[-1]
+                if len(monitor.series) else t_end), observer.probe())
+        eff_tol = primary_tol(rule)  # see DtmSimulator.run
         return DtmRunResult(
-            x=self.current_solution(), errors=tracker.series,
-            converged=tracker.converged, t_end=t_end,
-            time_to_tol=tracker.time_to_tol() if tol else None,
+            x=self.current_solution(), errors=monitor.series,
+            converged=event is not None and event.converged, t_end=t_end,
+            time_to_tol=(monitor.series.first_time_below(eff_tol)
+                         if eff_tol is not None else None),
             n_solves=sum(p.n_solves for p in self.processors),
             n_messages=self._n_messages,
             n_events=self.engine.n_events_processed,
+            stopped_by=event.rule if event is not None else None,
+            stop_metric=(event.metric if event is not None
+                         else (monitor.metric
+                               if len(monitor.series) else None)),
             stats={"n_clusters": len(self.clusters),
                    "local_sweeps": self.cluster_kernels[0].local_sweeps
                    if self.cluster_kernels else 0,

@@ -22,9 +22,8 @@ import numpy as np
 
 from ..errors import ConvergenceError, ValidationError
 from ..graph.evs import SplitResult
-from ..linalg.iterative import direct_reference_solution
 from ..utils.timeseries import TimeSeries
-from .convergence import ConvergenceTracker
+from .convergence import StateProbe, begin_monitor, reuse_system
 from .dtl import DtlpNetwork, build_dtlp_network
 from .fleet import FleetKernel, FleetKernelView, build_fleet
 from .impedance import as_impedance_strategy
@@ -40,6 +39,22 @@ class VtmResult:
     error_history: np.ndarray
     converged: bool
     spectral_radius: Optional[float] = None
+    #: name of the stopping rule that ended the run (None = iteration
+    #: budget exhausted without the rule firing)
+    stopped_by: Optional[str] = None
+    #: the firing rule's final metric value
+    stop_metric: Optional[float] = None
+    #: sweep index of each ``error_history`` entry — rules that sample
+    #: sparsely (``ResidualRule(every=k)``) do not record every sweep,
+    #: so positional indices are NOT iteration numbers; default matches
+    #: the dense legacy trace
+    error_iterations: Optional[np.ndarray] = None
+
+    def error_times(self) -> np.ndarray:
+        """Sweep indices aligned with ``error_history``."""
+        if self.error_iterations is not None:
+            return np.asarray(self.error_iterations, dtype=np.float64)
+        return np.arange(len(self.error_history), dtype=np.float64)
 
     @property
     def final_error(self) -> float:
@@ -77,6 +92,7 @@ class VtmSolver:
             if plan.mode != "vtm":
                 raise ValidationError(
                     f"VtmSolver needs a vtm-mode plan, got {plan.mode!r}")
+            self.plan = plan
             self.split = plan.split
             self.network = plan.network
             self.fleet = fleet if fleet is not None else plan.fork_fleet()
@@ -85,6 +101,7 @@ class VtmSolver:
             return
         if split is None:
             raise ValidationError("VtmSolver needs a split or a plan")
+        self.plan = None
         self.split = split
         strategy = as_impedance_strategy(impedance)
         z_list = strategy.assign(split)
@@ -181,33 +198,66 @@ class VtmSolver:
         """Global solution estimate from the kernels' current waves."""
         return self.split.gather([k.full_state() for k in self.kernels])
 
+    def _probe(self) -> StateProbe:
+        return StateProbe(self.current_solution, self.get_waves)
+
     def run(self, *, tol: float = 1e-8, max_iterations: int = 10_000,
             reference: Optional[np.ndarray] = None,
+            stopping=None,
             raise_on_fail: bool = False,
             record_history: bool = True) -> VtmResult:
-        """Iterate to tolerance against the (direct) reference solution."""
-        if reference is None:
-            a, b = self.split.graph.to_system()
-            reference = direct_reference_solution(a, b)
-        tracker = ConvergenceTracker(reference=reference, tol=tol)
+        """Iterate until the stopping rule fires or the budget runs out.
+
+        The default rule is the paper's reference-based criterion at
+        *tol* (``reference`` then defaults to the direct solution).
+        Reference-free rules — ``ResidualRule``, ``QuiescenceRule`` —
+        never compute a reference; the returned ``error_history`` is
+        then the rule's own metric trace (relative residual or
+        wave-update delta).
+        """
+        rule, monitor, _ = begin_monitor(
+            stopping, tol=tol, graph=self.split.graph,
+            system=reuse_system(self.plan, self.split.graph),
+            reference=reference)
         history = TimeSeries("vtm_error")
+
+        def sample(t: float, *, final: bool = False):
+            n0 = len(monitor.series)
+            if final:
+                ev = monitor.finalize(t, self._probe())
+            else:
+                ev = monitor.update(t, self._probe())
+            if len(monitor.series) > n0:
+                history.append(t, float(monitor.series.final))
+            return ev
+
         it = 0
-        err = tracker.record(0.0, self.current_solution())
-        history.append(0.0, err)
-        while it < max_iterations and not tracker.converged:
+        event = sample(0.0)
+        while it < max_iterations and event is None:
             self.sweep()
             it += 1
             if record_history or it == max_iterations:
-                err = tracker.record(float(it), self.current_solution())
-                history.append(float(it), err)
-        converged = tracker.converged
+                event = sample(float(it))
+        if event is None:
+            # force one last check at the stop sweep: a sparsely
+            # sampling rule (ResidualRule every=k) may not have looked
+            # at the final state yet
+            event = sample(float(it), final=True)
+        converged = event is not None and event.converged
         if not converged and raise_on_fail:
             raise ConvergenceError(
                 f"VTM failed to reach tol={tol:g} within {max_iterations} "
-                f"iterations (error {tracker.final_error:.3e})")
+                f"iterations ({monitor.series.name} "
+                f"{monitor.metric:.3e})")
         return VtmResult(x=self.current_solution(), iterations=it,
                          error_history=history.values,
-                         converged=converged)
+                         error_iterations=history.times,
+                         converged=converged,
+                         stopped_by=event.rule if event else None,
+                         stop_metric=(event.metric if event
+                                      else (monitor.metric
+                                            if len(monitor.series)
+                                            else None)))
 
 
 def solve_vtm(split: SplitResult, impedance=1.0, *, tol: float = 1e-8,

@@ -3,8 +3,10 @@
 A plan captures everything about a DTM/VTM solve that depends only on
 the *matrix* (and the machine): electric graph, partition, EVS split,
 DTLP network, factored per-subdomain local systems, the packed
-:class:`~repro.core.fleet.FleetKernel` arrays and a cached reference
-factor of the assembled global system.  Executing against a new
+:class:`~repro.core.fleet.FleetKernel` arrays and a *lazily built*
+reference factor of the assembled global system (materialized on the
+first :meth:`SolverPlan.reference` call; solves that use
+reference-free stopping rules never build it).  Executing against a new
 right-hand side then costs one back-substitution per subdomain plus the
 run itself — no re-partitioning, no re-factorization, no re-packing.
 
@@ -295,14 +297,48 @@ class SolverPlan:
         """Per-subdomain local right-hand sides for a global *b*."""
         return self.split.spread_sources(b)
 
+    @property
+    def reference_materialized(self) -> bool:
+        """True once any reference machinery has been built.
+
+        A plan whose solves all used reference-free stopping rules
+        stays ``False``: no dense factor, no cached reference
+        solutions — the invariant the production stopping-rule tests
+        assert.
+        """
+        with self._lock:
+            return self._ref_factor is not None or bool(self._ref_cache)
+
+    def _wants_dense_reference(self) -> bool:
+        return not (isinstance(self.a_mat, CsrMatrix)
+                    and self.a_mat.nrows > DENSE_REFERENCE_LIMIT)
+
+    def _reference_factor(self) -> Optional[SpdFactor]:
+        """The dense reference factor, built lazily on first use.
+
+        Planning no longer pays for it: a plan whose solves use
+        reference-free stopping rules never factors the assembled
+        global system at all.  The factor lives on the *root* plan so
+        every :meth:`with_base_rhs` view shares one copy.
+        """
+        if not self._wants_dense_reference():
+            return None
+        root = self._root()
+        with root._lock:
+            if root._ref_factor is None:
+                root._ref_factor = factor_spd(self.a_mat.to_dense())
+            if root is not self:
+                self._ref_factor = root._ref_factor
+            return root._ref_factor
+
     def reference(self, b) -> np.ndarray:
         """High-accuracy reference solution of ``A x = b`` (cached).
 
         Bitwise-identical to ``direct_reference_solution(a_mat, b)``:
-        below the dense crossover the cached factor is the same factor
-        that call would compute; above it the identical CG call runs
-        (and is cached per right-hand side, which is what amortizes
-        repeated solves against one *b*).
+        below the dense crossover the (lazily built) cached factor is
+        the same factor that call would compute; above it the identical
+        CG call runs (and is cached per right-hand side, which is what
+        amortizes repeated solves against one *b*).
         """
         b = np.asarray(b, dtype=np.float64)
         key = b.tobytes()
@@ -310,8 +346,9 @@ class SolverPlan:
             hit = self._ref_cache.get(key)
         if hit is not None:
             return hit
-        if self._ref_factor is not None:
-            ref = self._ref_factor.solve(b)
+        factor = self._reference_factor()
+        if factor is not None:
+            ref = factor.solve(b)
         else:
             ref = direct_reference_solution(self.a_mat, b)
         with self._lock:
@@ -328,8 +365,9 @@ class SolverPlan:
         path: per-column (each cached).
         """
         B = np.asarray(B, dtype=np.float64)
-        if self._ref_factor is not None:
-            out = self._ref_factor.solve(B)
+        factor = self._reference_factor()
+        if factor is not None:
+            out = factor.solve(B)
             with self._lock:
                 for k in range(B.shape[1]):
                     if len(self._ref_cache) < _REF_CACHE_LIMIT:
@@ -422,17 +460,16 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
     fleet_template = build_fleet(split, network, base_locals)
 
     a_mat, base_b = graph.to_system()
-    ref_factor = None
-    if not (isinstance(a_mat, CsrMatrix) and a_mat.nrows > DENSE_REFERENCE_LIMIT):
-        ref_factor = factor_spd(a_mat.to_dense())
-
+    # NB: the dense reference factor is NOT built here — it
+    # materializes lazily on the first reference() call, so plans
+    # whose solves use reference-free stopping rules never pay for
+    # (or even touch) a direct solution of the global system.
     return SolverPlan(
         mode=mode, graph=graph, split=split, topology=topology,
         placement=placement, impedance=impedance, network=network,
         base_locals=base_locals, fleet_template=fleet_template,
         a_mat=a_mat, base_b=base_b,
-        build_seconds=time.perf_counter() - t0, key=key,
-        _ref_factor=ref_factor)
+        build_seconds=time.perf_counter() - t0, key=key)
 
 
 def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,

@@ -31,7 +31,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.convergence import relative_residual, rms_error
+from ..core.convergence import (
+    as_stopping_rule,
+    relative_residual,
+    rms_error,
+)
 from ..core.kernel import build_kernels
 from ..errors import ConfigurationError, ValidationError
 from ..graph.evs import SplitResult
@@ -41,7 +45,13 @@ from ..utils.timeseries import TimeSeries
 
 @dataclass
 class SolveResult:
-    """Solution plus diagnostics from the high-level entry points."""
+    """Solution plus diagnostics from the high-level entry points.
+
+    ``rms_error`` needs the direct reference solution; on solves that
+    used a reference-free stopping rule it is ``nan`` (no reference
+    was ever computed) — use ``relative_residual`` / ``stop_metric``
+    instead, which are reference-free by construction.
+    """
 
     x: np.ndarray
     rms_error: float
@@ -58,6 +68,18 @@ class SolveResult:
     plan_solves: int = 0
     #: True when the wave state was seeded from a previous solve.
     warm_started: bool = False
+    #: Name of the stopping rule that ended the run (None when the run
+    #: exhausted its horizon/budget without any rule firing).
+    stopped_by: Optional[str] = None
+    #: Final value of the firing rule's metric (reference error,
+    #: relative residual or wave-update delta, by rule).
+    stop_metric: Optional[float] = None
+
+    @property
+    def stop_iterations(self) -> int:
+        """Iterations (subdomain solves / VTM sweeps) until the run
+        ended — the stopping-rule-diagnostics alias of ``iterations``."""
+        return self.iterations
 
 
 def _as_rhs(b, n: int) -> np.ndarray:
@@ -164,10 +186,15 @@ class _SessionBase:
         path, so the results are bitwise-identical to
         ``[session.solve(B[:, k]) for k]``.  ``warm_start=True`` chains
         the columns: each warm-starts from its predecessor's waves.
+        With a reference-free ``stopping=`` rule the block reference
+        solve is skipped entirely.
         """
         B = _as_rhs_block(B, self.plan.n)
         x0_blocks = self._batched_x0(B)
-        self.plan.reference_block(B)  # populate the per-rhs cache
+        rule = as_stopping_rule(solve_kwargs.get("stopping"),
+                                tol=solve_kwargs.get("tol", 1e-8))
+        if rule.needs_reference:
+            self.plan.reference_block(B)  # populate the per-rhs cache
         out = []
         for k in range(B.shape[1]):
             out.append(self.solve(
@@ -203,17 +230,24 @@ class SolverSession(_SessionBase):
     def _make_sim(self, warm_waves: Optional[np.ndarray]) -> DtmSimulator:
         if self.use_fleet:
             self.fleet.reset_state(warm_waves)
-            return DtmSimulator(plan=self.plan, fleet=self.fleet,
+            sim = DtmSimulator(plan=self.plan, fleet=self.fleet,
                                use_fleet=True, **self._sim_opts)
-        kernels = build_kernels(self.plan.split, self.plan.network,
-                                self.locals,
-                                send_threshold=self.send_threshold)
-        if warm_waves is not None:
-            offsets = self.plan.fleet_template.slot_offsets
-            for q, k in enumerate(kernels):
-                k.waves[:] = warm_waves[offsets[q]:offsets[q + 1]]
-        return DtmSimulator(plan=self.plan, use_fleet=False,
-                            kernels=kernels, **self._sim_opts)
+        else:
+            kernels = build_kernels(self.plan.split, self.plan.network,
+                                    self.locals,
+                                    send_threshold=self.send_threshold)
+            if warm_waves is not None:
+                offsets = self.plan.fleet_template.slot_offsets
+                for q, k in enumerate(kernels):
+                    k.waves[:] = warm_waves[offsets[q]:offsets[q + 1]]
+            sim = DtmSimulator(plan=self.plan, use_fleet=False,
+                               kernels=kernels, **self._sim_opts)
+        # the plan's split carries the BUILD rhs; point the simulator at
+        # the session's current one (mirrors DtmSimulator.swap_rhs), so
+        # reference-free stopping rules monitor ‖b_now − A x‖, not the
+        # residual of whatever rhs the plan was built with
+        sim.split = self._current_split
+        return sim
 
     def _gather_waves(self, sim: DtmSimulator) -> np.ndarray:
         if sim.fleet is not None:
@@ -223,6 +257,7 @@ class SolverSession(_SessionBase):
 
     def solve(self, b=None, *, t_max: float = 5000.0,
               tol: Optional[float] = 1e-8,
+              stopping=None,
               warm_start: bool = False,
               sample_interval: Optional[float] = None,
               max_events: Optional[int] = None,
@@ -233,27 +268,36 @@ class SolverSession(_SessionBase):
         ``warm_start`` seeds the wave state from the previous solve on
         this session — the accelerator for slowly varying right-hand
         sides; the first solve of a session always starts cold.
+        ``stopping`` selects the termination criterion (default: the
+        paper's reference-based rule at *tol*); with a reference-free
+        rule the plan's direct reference solution is never computed and
+        the result's ``rms_error`` is ``nan``.
         """
         b_vec = self._resolve_rhs(b)
         reused = self._reused()
         self._swap_to(b_vec, x0_list=_x0_list)
         warm = self._warm_waves(warm_start)
         sim = self._make_sim(warm)
-        if reference is None:
+        rule = as_stopping_rule(stopping, tol=tol)
+        if rule.needs_reference and reference is None:
             reference = self.plan.reference(b_vec)
-        res = sim.run(t_max, tol=tol, reference=reference,
+        res = sim.run(t_max, tol=tol, stopping=stopping,
+                      reference=reference,
                       sample_interval=sample_interval,
                       max_events=max_events)
         served = self._finish(self._gather_waves(sim))
         return SolveResult(
-            x=res.x, rms_error=rms_error(res.x, reference),
+            x=res.x,
+            rms_error=(rms_error(res.x, reference)
+                       if reference is not None else np.nan),
             relative_residual=relative_residual(self.plan.a_mat, res.x,
                                                 b_vec),
             converged=res.converged, iterations=res.n_solves,
             sim_time=res.t_end, errors=res.errors,
             split=self._current_split,
             plan_reused=reused, plan_solves=served,
-            warm_started=warm is not None)
+            warm_started=warm is not None,
+            stopped_by=res.stopped_by, stop_metric=res.stop_metric)
 
 class VtmSession(_SessionBase):
     """Repeated synchronous VTM solves over one vtm-mode plan."""
@@ -267,10 +311,17 @@ class VtmSession(_SessionBase):
 
     def solve(self, b=None, *, tol: float = 1e-8,
               max_iterations: int = 10_000,
+              stopping=None,
               warm_start: bool = False,
               reference: Optional[np.ndarray] = None,
               _x0_list: Optional[list] = None) -> SolveResult:
-        """One synchronous VTM solve against *b*."""
+        """One synchronous VTM solve against *b*.
+
+        ``stopping`` selects the termination criterion (default: the
+        paper's reference-based rule at *tol*); with a reference-free
+        rule no direct reference is computed and ``rms_error`` is
+        ``nan``.
+        """
         from ..core.vtm import VtmSolver
 
         b_vec = self._resolve_rhs(b)
@@ -279,20 +330,29 @@ class VtmSession(_SessionBase):
         warm = self._warm_waves(warm_start)
         self.fleet.reset_state(warm)
         solver = VtmSolver(plan=self.plan, fleet=self.fleet)
-        if reference is None:
+        # as in _make_sim: the solver must see the session's current
+        # rhs (mirrors VtmSolver.swap_rhs's own split re-dressing)
+        solver.split = self._current_split
+        rule = as_stopping_rule(stopping, tol=tol)
+        if rule.needs_reference and reference is None:
             reference = self.plan.reference(b_vec)
         res = solver.run(tol=tol, max_iterations=max_iterations,
-                         reference=reference)
+                         stopping=stopping, reference=reference)
         served = self._finish(self.fleet.waves)
         series = TimeSeries("vtm_error")
-        for k, e in enumerate(res.error_history):
-            series.append(float(k), float(e))
+        # sparse rules don't record every sweep: use the recorded sweep
+        # indices, not positional enumeration
+        for t, e in zip(res.error_times(), res.error_history):
+            series.append(float(t), float(e))
         return SolveResult(
-            x=res.x, rms_error=rms_error(res.x, reference),
+            x=res.x,
+            rms_error=(rms_error(res.x, reference)
+                       if reference is not None else np.nan),
             relative_residual=relative_residual(self.plan.a_mat, res.x,
                                                 b_vec),
             converged=res.converged, iterations=res.iterations,
             sim_time=float(res.iterations), errors=series,
             split=self._current_split,
             plan_reused=reused, plan_solves=served,
-            warm_started=warm is not None)
+            warm_started=warm is not None,
+            stopped_by=res.stopped_by, stop_metric=res.stop_metric)

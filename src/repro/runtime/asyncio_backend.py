@@ -21,14 +21,32 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.convergence import (
+    AnyOf,
+    QuiescenceRule,
+    StateProbe,
+    begin_monitor,
+    reuse_system,
+)
 from ..core.dtl import build_dtlp_network
 from ..core.fleet import build_fleet
 from ..core.impedance import as_impedance_strategy
 from ..core.local import build_all_local_systems
 from ..errors import ConfigurationError
 from ..graph.evs import SplitResult
-from ..linalg.iterative import direct_reference_solution
 from ..sim.network import Topology
+
+
+def _quiescence_member(rule) -> Optional[QuiescenceRule]:
+    """The first QuiescenceRule inside *rule*'s tree, if any."""
+    if isinstance(rule, QuiescenceRule):
+        return rule
+    if isinstance(rule, AnyOf):
+        for member in rule.rules:
+            found = _quiescence_member(member)
+            if found is not None:
+                return found
+    return None
 
 
 @dataclass
@@ -41,6 +59,11 @@ class AsyncRunResult:
     n_messages: int
     elapsed_wall: float
     converged: bool
+    #: name of the stopping rule that ended the run (None = wall-clock
+    #: duration elapsed without the rule firing)
+    stopped_by: Optional[str] = None
+    #: the firing rule's final metric value
+    stop_metric: Optional[float] = None
 
 
 class AsyncioDtmRunner:
@@ -69,6 +92,7 @@ class AsyncioDtmRunner:
             if plan.mode != "dtm" or plan.topology is None:
                 raise ConfigurationError(
                     "AsyncioDtmRunner needs a dtm-mode plan")
+            self.plan = plan
             self.split = plan.split
             self.topology = plan.topology
             self.time_scale = float(time_scale)
@@ -83,6 +107,7 @@ class AsyncioDtmRunner:
             raise ConfigurationError(
                 "AsyncioDtmRunner needs either (split, topology) or a "
                 "plan")
+        self.plan = None
         self.split = split
         self.topology = topology
         self.time_scale = float(time_scale)
@@ -154,42 +179,74 @@ class AsyncioDtmRunner:
             queue.put_nowait(item)
 
     # ------------------------------------------------------------------
+    def _gather(self) -> np.ndarray:
+        return self.split.gather([k.full_state() for k in self.kernels])
+
+    def _probe(self) -> StateProbe:
+        return StateProbe(self._gather, lambda: self.fleet.waves.copy())
+
     async def run_async(self, *, duration: float = 1.0, tol: float = 1e-8,
                         reference: Optional[np.ndarray] = None,
                         poll_interval: float = 0.02,
-                        quiet_threshold: float = 0.0) -> AsyncRunResult:
-        """Run for up to *duration* wall seconds or until *tol* is met."""
+                        quiet_threshold: Optional[float] = None,
+                        stopping=None) -> AsyncRunResult:
+        """Run for up to *duration* wall seconds or until the rule fires.
+
+        The default ``stopping`` rule is the paper's reference-based
+        criterion at *tol*; reference-free rules never compute a
+        reference solution.  When ``quiet_threshold`` is left at its
+        default (``None``), a :class:`QuiescenceRule` anywhere in the
+        rule tree supplies the per-task send-suppression threshold
+        (formerly the ad-hoc ``quiet_threshold`` check), so outbound
+        traffic dies down as the waves settle and the run terminates on
+        the same criterion that silenced it.  An explicit value —
+        including ``0.0`` (never suppress) — always wins.
+        """
         loop = asyncio.get_running_loop()
         start = loop.time()
-        if reference is None:
-            a, b = self.split.graph.to_system()
-            reference = direct_reference_solution(a, b)
+        rule, monitor, reference = begin_monitor(
+            stopping, tol=tol, graph=self.split.graph,
+            system=reuse_system(self.plan, self.split.graph),
+            reference=reference)
+        if quiet_threshold is None:
+            quiescence = _quiescence_member(rule)
+            quiet_threshold = quiescence.threshold \
+                if quiescence is not None else 0.0
         queues = [asyncio.Queue() for _ in self.kernels]
         stop = asyncio.Event()
         tasks = [loop.create_task(
             self._subdomain_task(q, queues, stop, quiet_threshold))
             for q in range(self.split.n_parts)]
-        converged = False
+        event = None
         try:
             while loop.time() - start < duration:
                 await asyncio.sleep(poll_interval)
-                x = self.split.gather(
-                    [k.full_state() for k in self.kernels])
-                err = float(np.sqrt(np.mean((x - reference) ** 2)))
-                if err < tol:
-                    converged = True
+                event = monitor.update(loop.time() - start, self._probe())
+                if event is not None:
                     break
         finally:
             stop.set()
             await asyncio.gather(*tasks, return_exceptions=True)
-        x = self.split.gather([k.full_state() for k in self.kernels])
-        err = float(np.sqrt(np.mean((x - reference) ** 2)))
+        if event is None:
+            event = monitor.finalize(loop.time() - start, self._probe())
+        x = self._gather()
+        if reference is not None:
+            err = float(np.sqrt(np.mean(
+                (x - np.asarray(reference, dtype=np.float64)) ** 2)))
+        else:
+            err = np.nan  # reference-free run: see stop_metric instead
+        converged = (event is not None and event.converged) \
+            or (reference is not None and err <= tol)
         return AsyncRunResult(
             x=x, final_error=err,
             n_solves=sum(k.n_solves for k in self.kernels),
             n_messages=self.n_messages,
             elapsed_wall=loop.time() - start,
-            converged=converged or err < tol)
+            converged=converged,
+            stopped_by=event.rule if event is not None else None,
+            stop_metric=(event.metric if event is not None
+                         else (monitor.metric
+                               if len(monitor.series) else None)))
 
     def run(self, **kwargs) -> AsyncRunResult:
         """Synchronous wrapper around :meth:`run_async`."""

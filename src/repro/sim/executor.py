@@ -22,7 +22,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.convergence import ConvergenceTracker
+from ..core.convergence import (
+    StopEvent,
+    begin_monitor,
+    primary_tol,
+    reuse_system,
+)
 from ..core.dtl import DtlpNetwork, build_dtlp_network
 from ..core.fleet import build_fleet
 from ..core.impedance import as_impedance_strategy
@@ -30,7 +35,6 @@ from ..core.kernel import build_kernels
 from ..core.local import build_all_local_systems
 from ..errors import ConfigurationError
 from ..graph.evs import SplitResult
-from ..linalg.iterative import direct_reference_solution
 from ..utils.timeseries import TimeSeries
 from .engine import Engine
 from .network import Topology
@@ -54,6 +58,12 @@ class DtmRunResult:
     port_probe: Optional[PortProbe] = None
     message_log: Optional[MessageLog] = None
     solve_log: Optional[SolveLog] = None
+    #: name of the stopping rule that ended the run (None = horizon or
+    #: engine quiescence without a rule firing)
+    stopped_by: Optional[str] = None
+    #: the firing rule's final metric value (or the primary rule's last
+    #: recorded metric when no rule fired)
+    stop_metric: Optional[float] = None
 
     @property
     def final_error(self) -> float:
@@ -361,26 +371,39 @@ class DtmSimulator:
         """Global solution estimate from the kernels' current state."""
         return self.split.gather([k.full_state() for k in self.kernels])
 
+    def _current_waves(self) -> np.ndarray:
+        """Snapshot of the global wave vector (for quiescence rules)."""
+        if self.fleet is not None:
+            return self.fleet.waves.copy()
+        return np.concatenate([k.waves for k in self.kernels]) \
+            if self.kernels else np.zeros(0)
+
     def run(self, t_max: float, *, tol: Optional[float] = None,
             reference: Optional[np.ndarray] = None,
+            stopping=None,
             sample_interval: Optional[float] = None,
             max_events: Optional[int] = None) -> DtmRunResult:
-        """Simulate until *t_max*, the tolerance, or quiescence.
+        """Simulate until *t_max*, the stopping rule, or quiescence.
 
-        ``reference`` defaults to the direct solution of the original
-        system; ``sample_interval`` to ``t_max / 256``.
+        ``stopping`` selects the termination criterion (see
+        :mod:`repro.core.convergence`); the default is the paper's
+        reference-based rule at *tol*, for which ``reference`` defaults
+        to the direct solution of the original system.  Reference-free
+        rules (``ResidualRule``, ``QuiescenceRule``) never compute a
+        reference at all.  ``sample_interval`` defaults to
+        ``t_max / 256``.
         """
         if t_max <= 0:
             raise ConfigurationError("t_max must be positive")
-        if reference is None:
-            a, b = self.split.graph.to_system()
-            reference = direct_reference_solution(a, b)
+        rule, monitor, _ = begin_monitor(
+            stopping, tol=tol, graph=self.split.graph,
+            system=reuse_system(self.plan, self.split.graph),
+            reference=reference)
         if sample_interval is None:
             sample_interval = t_max / 256.0
-        tracker = ConvergenceTracker(reference=np.asarray(reference),
-                                     tol=tol)
         observer = ErrorObserver(self.engine, self.split, self.kernels,
-                                 tracker, sample_interval)
+                                 monitor, sample_interval,
+                                 waves_fn=self._current_waves)
         observer.install()
         self._install_extras()
         for proc in self.processors:
@@ -395,18 +418,29 @@ class DtmSimulator:
                              + 200_000)
         t_end = self.engine.run(until=t_max, max_events=max_events)
         # final sample at the stop time
-        tracker.record(max(t_end, tracker.series.times[-1]
-                           if len(tracker.series) else t_end),
-                       self.current_solution())
+        final_t = max(t_end, monitor.series.times[-1]
+                      if len(monitor.series) else t_end)
+        event: Optional[StopEvent] = monitor.finalize(
+            final_t, observer.probe())
+        # time-to-tolerance is a statement about the PRIMARY metric
+        # trace, so it uses that rule's own tolerance (never the
+        # run-level reference tol, which lives in a different metric
+        # domain for residual/quiescence rules)
+        eff_tol = primary_tol(rule)
         return DtmRunResult(
             x=self.current_solution(),
-            errors=tracker.series,
-            converged=tracker.converged,
+            errors=monitor.series,
+            converged=event is not None and event.converged,
             t_end=t_end,
-            time_to_tol=(tracker.time_to_tol() if tol else None),
+            time_to_tol=(monitor.series.first_time_below(eff_tol)
+                         if eff_tol is not None else None),
             n_solves=sum(p.n_solves for p in self.processors),
             n_messages=self._n_messages,
             n_events=self.engine.n_events_processed,
+            stopped_by=event.rule if event is not None else None,
+            stop_metric=(event.metric if event is not None
+                         else (monitor.metric
+                               if len(monitor.series) else None)),
             stats={
                 "n_parts": self.split.n_parts,
                 "n_dtlps": len(self.network.dtlps),
@@ -426,7 +460,7 @@ def solve_dtm_simulated(split: SplitResult, topology: Topology, *,
                         tol: Optional[float] = None,
                         **kwargs) -> DtmRunResult:
     """One-shot convenience wrapper around :class:`DtmSimulator`."""
-    run_keys = {"reference", "sample_interval", "max_events"}
+    run_keys = {"reference", "sample_interval", "max_events", "stopping"}
     run_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in run_keys}
     sim = DtmSimulator(split, topology, impedance=impedance, **kwargs)
     return sim.run(t_max, tol=tol, **run_kwargs)

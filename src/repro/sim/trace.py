@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.convergence import ConvergenceTracker
+from ..core.convergence import ConvergenceTracker, RuleMonitor, StateProbe
 from ..core.kernel import DtmKernel
 from ..errors import ValidationError
 from ..utils.timeseries import TimeSeries
@@ -25,24 +25,35 @@ class ErrorObserver:
     """Samples the globally gathered solution on a fixed time grid.
 
     The gather needs one full-state reconstruction per subdomain, so it
-    runs at observer cadence, not per event.  When a tolerance is set
-    and reached, the engine is stopped early.
+    runs at observer cadence, not per event.  The fourth argument is
+    either a :class:`ConvergenceTracker` (the paper's reference-based
+    error trace) or a :class:`~repro.core.convergence.RuleMonitor`
+    (any stopping rule, including reference-free ones); when the
+    tracker converges or the monitor fires, the engine is stopped
+    early.
     """
 
     def __init__(self, engine: Engine, split, kernels: Sequence[DtmKernel],
-                 tracker: ConvergenceTracker, interval: float, *,
+                 tracker, interval: float, *,
                  stop_on_converged: bool = True,
-                 detect_quiescence: bool = True) -> None:
+                 detect_quiescence: bool = True,
+                 waves_fn=None) -> None:
         if interval <= 0:
             raise ValidationError("observer interval must be positive")
         self.engine = engine
         self.split = split
         self.kernels = kernels
-        self.tracker = tracker
+        if isinstance(tracker, RuleMonitor):
+            self.monitor: RuleMonitor | None = tracker
+            self.tracker = getattr(tracker, "tracker", None)
+        else:
+            self.monitor = None
+            self.tracker = tracker
         self.interval = float(interval)
         self.stop_on_converged = stop_on_converged
         self.detect_quiescence = detect_quiescence
         self.stopped_quiescent = False
+        self._waves_fn = waves_fn
 
     def install(self) -> None:
         self.engine.schedule_at(self.engine.now, self._sample)
@@ -50,9 +61,21 @@ class ErrorObserver:
     def current_solution(self) -> np.ndarray:
         return self.split.gather([k.full_state() for k in self.kernels])
 
-    def _sample(self) -> None:
+    def probe(self) -> StateProbe:
+        """Lazy state view for rule monitors at the current instant."""
+        return StateProbe(self.current_solution, self._waves_fn)
+
+    def _stop_wanted(self) -> bool:
+        """Sample once; True when the rule/tracker says to stop."""
+        if self.monitor is not None:
+            event = self.monitor.update(self.engine.now, self.probe())
+            return event is not None
         self.tracker.record(self.engine.now, self.current_solution())
-        if self.stop_on_converged and self.tracker.converged:
+        return self.tracker.converged \
+            or self.tracker.exhausted(self.engine.now)
+
+    def _sample(self) -> None:
+        if self._stop_wanted() and self.stop_on_converged:
             self.engine.stop()
             return
         if self.detect_quiescence and self.engine.idle:

@@ -88,13 +88,17 @@ class TimeSeries:
         return np.asarray([self.at(t) for t in grid])
 
     def first_time_below(self, threshold: float) -> float | None:
-        """First sample time whose scalar value drops below *threshold*.
+        """First sample time whose scalar value is at or below *threshold*.
 
-        Returns ``None`` if the series never goes below the threshold.
-        Used to report "time to tolerance" in the experiments.
+        The comparison is inclusive (``value <= threshold``), matching
+        :attr:`repro.core.convergence.ConvergenceTracker.converged` and
+        the CG convention in :mod:`repro.linalg.iterative` — a value
+        exactly at the tolerance counts as having reached it.  Returns
+        ``None`` if the series never reaches the threshold.  Used to
+        report "time to tolerance" in the experiments.
         """
         for t, v in zip(self._times, self._values):
-            if float(v) < threshold:
+            if float(v) <= threshold:
                 return t
         return None
 

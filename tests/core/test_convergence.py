@@ -78,6 +78,38 @@ def test_tracker_bad_tol():
         ConvergenceTracker(reference=np.zeros(1), tol=0.0)
 
 
+def test_tracker_exactly_tol_converges():
+    # convergence is inclusive (err <= tol), matching the CG convention
+    # in linalg.iterative; time_to_tol uses the same comparison
+    tr = ConvergenceTracker(reference=np.zeros(1), tol=0.25)
+    tr.record(0.0, np.array([1.0]))
+    assert not tr.converged
+    tr.record(3.0, np.array([0.25]))  # exactly tol
+    assert tr.converged
+    assert tr.time_to_tol() == 3.0
+
+
+def test_tracker_horizon_validated_like_tol():
+    with pytest.raises(ValidationError):
+        ConvergenceTracker(reference=np.zeros(1), horizon=0.0)
+    with pytest.raises(ValidationError):
+        ConvergenceTracker(reference=np.zeros(1), horizon=-5.0)
+    tr = ConvergenceTracker(reference=np.zeros(1), horizon=10.0)
+    assert not tr.exhausted(9.9)
+    assert tr.exhausted(10.0)
+    assert not ConvergenceTracker(reference=np.zeros(1)).exhausted(1e9)
+
+
+def test_first_time_below_inclusive():
+    from repro.utils.timeseries import TimeSeries
+
+    ts = TimeSeries("err")
+    ts.append(0.0, 1.0)
+    ts.append(1.0, 0.5)
+    assert ts.first_time_below(0.5) == 1.0  # inclusive comparison
+    assert ts.first_time_below(0.49) is None
+
+
 def test_tracker_record_without_reference():
     tr = ConvergenceTracker(tol=0.5)
     with pytest.raises(ValidationError):

@@ -1,0 +1,344 @@
+"""Unit tests for the stopping-rule subsystem (repro.core.convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    AnyOf,
+    HorizonRule,
+    QuiescenceRule,
+    ReferenceRule,
+    ResidualRule,
+    SolveContext,
+    StateProbe,
+    StoppingRule,
+    as_stopping_rule,
+)
+from repro.errors import ConfigurationError, ValidationError
+
+
+def _probe(x=None, waves=None, *, x_calls=None):
+    """Probe over fixed state; optionally counts x gathers."""
+
+    def x_fn():
+        if x_calls is not None:
+            x_calls.append(1)
+        return np.asarray(x, dtype=np.float64)
+
+    waves_fn = None if waves is None else \
+        (lambda: np.asarray(waves, dtype=np.float64))
+    return StateProbe(x_fn, waves_fn)
+
+
+# ----------------------------------------------------------------------
+# ReferenceRule
+# ----------------------------------------------------------------------
+class TestReferenceRule:
+    def test_needs_reference(self):
+        assert ReferenceRule(tol=1e-8).needs_reference
+        assert not ReferenceRule(tol=1e-8).needs_system
+        assert not ReferenceRule(tol=1e-8).needs_waves
+
+    def test_fires_at_tol_inclusive(self):
+        rule = ReferenceRule(tol=0.5)
+        mon = rule.begin(SolveContext(reference=np.zeros(1)))
+        assert mon.update(0.0, _probe(x=[1.0])) is None
+        ev = mon.update(1.0, _probe(x=[0.5]))  # exactly tol
+        assert ev is not None and ev.converged and ev.rule == "reference"
+        assert ev.metric == pytest.approx(0.5)
+
+    def test_tol_none_never_fires_but_records(self):
+        rule = ReferenceRule(tol=None)
+        mon = rule.begin(SolveContext(reference=np.zeros(2)))
+        assert mon.update(0.0, _probe(x=[1.0, 1.0])) is None
+        assert mon.update(1.0, _probe(x=[0.0, 0.0])) is None
+        assert len(mon.series) == 2
+
+    def test_missing_reference_raises(self):
+        rule = ReferenceRule(tol=1e-8)
+        with pytest.raises(ConfigurationError):
+            rule.begin(SolveContext())
+
+    def test_lazy_reference_supplier(self):
+        calls = []
+
+        def supplier():
+            calls.append(1)
+            return np.zeros(1)
+
+        mon = ReferenceRule(tol=1.0).begin(SolveContext(reference=supplier))
+        assert len(calls) == 1  # invoked once at begin, then cached
+        mon.update(0.0, _probe(x=[0.0]))
+        assert len(calls) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ReferenceRule(tol=-1.0)
+        with pytest.raises(ValidationError):
+            ReferenceRule(metric="median")
+
+
+# ----------------------------------------------------------------------
+# ResidualRule
+# ----------------------------------------------------------------------
+class TestResidualRule:
+    A = np.array([[2.0, 0.0], [0.0, 4.0]])
+    B = np.array([2.0, 4.0])
+
+    def _ctx(self):
+        return SolveContext(a=self.A, b=self.B)
+
+    def test_reference_free(self):
+        rule = ResidualRule(tol=1e-8)
+        assert not rule.needs_reference
+        assert rule.needs_system
+
+    def test_fires_on_exact_solution(self):
+        mon = ResidualRule(tol=1e-12).begin(self._ctx())
+        assert mon.update(0.0, _probe(x=[0.0, 0.0])) is None
+        ev = mon.update(1.0, _probe(x=[1.0, 1.0]))
+        assert ev is not None and ev.converged and ev.rule == "residual"
+        assert ev.metric == 0.0
+
+    def test_every_skips_gathers(self):
+        calls = []
+        mon = ResidualRule(tol=1e-12, every=3).begin(self._ctx())
+        for t in range(6):
+            mon.update(float(t), _probe(x=[0.0, 0.0], x_calls=calls))
+        # samples 0 and 3 checked; 1, 2, 4, 5 skipped without gathering
+        assert len(calls) == 2
+        assert len(mon.series) == 2
+
+    def test_finalize_forces_check(self):
+        mon = ResidualRule(tol=1e-12, every=100).begin(self._ctx())
+        mon.update(0.0, _probe(x=[0.0, 0.0]))
+        mon.update(1.0, _probe(x=[1.0, 1.0]))  # skipped by `every`
+        ev = mon.finalize(2.0, _probe(x=[1.0, 1.0]))
+        assert ev is not None and ev.converged
+
+    def test_requires_system(self):
+        with pytest.raises(ConfigurationError):
+            ResidualRule(tol=1e-8).begin(SolveContext())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ResidualRule(tol=0.0)
+        with pytest.raises(ValidationError):
+            ResidualRule(tol=1e-8, every=0)
+
+
+# ----------------------------------------------------------------------
+# QuiescenceRule
+# ----------------------------------------------------------------------
+class TestQuiescenceRule:
+    def test_reference_free_needs_waves(self):
+        rule = QuiescenceRule()
+        assert not rule.needs_reference
+        assert rule.needs_waves
+
+    def test_fires_after_patience_quiet_samples(self):
+        mon = QuiescenceRule(threshold=1e-6, patience=2).begin(
+            SolveContext())
+        assert mon.update(0.0, _probe(waves=[0.0, 0.0])) is None
+        assert mon.update(1.0, _probe(waves=[1.0, 0.5])) is None  # active
+        assert mon.update(2.0, _probe(waves=[1.0, 0.5])) is None  # quiet 1
+        ev = mon.update(3.0, _probe(waves=[1.0, 0.5]))  # quiet 2 -> fire
+        assert ev is not None and ev.converged and ev.rule == "quiescence"
+        assert ev.metric == 0.0
+
+    def test_does_not_fire_at_idle_startup(self):
+        # waves that never move from zero = nothing happened yet
+        mon = QuiescenceRule(threshold=1e-6, patience=1).begin(
+            SolveContext())
+        for t in range(5):
+            assert mon.update(float(t), _probe(waves=[0.0, 0.0])) is None
+
+    def test_movement_resets_patience(self):
+        mon = QuiescenceRule(threshold=1e-6, patience=2).begin(
+            SolveContext())
+        mon.update(0.0, _probe(waves=[0.0]))
+        mon.update(1.0, _probe(waves=[1.0]))
+        assert mon.update(2.0, _probe(waves=[1.0])) is None  # quiet 1
+        assert mon.update(3.0, _probe(waves=[2.0])) is None  # moved: reset
+        assert mon.update(4.0, _probe(waves=[2.0])) is None  # quiet 1
+        assert mon.update(5.0, _probe(waves=[2.0])) is not None
+
+    def test_finalize_same_instant_does_not_fabricate_quiet(self):
+        mon = QuiescenceRule(threshold=1e-6, patience=1).begin(
+            SolveContext())
+        mon.update(0.0, _probe(waves=[0.0]))
+        mon.update(1.0, _probe(waves=[1.0]))
+        # re-probing the very same instant must not read as quiescence
+        assert mon.finalize(1.0, _probe(waves=[1.0])) is None
+
+    def test_finalize_after_single_snapshot_does_not_fire(self):
+        # the first update records nothing in the series (it only
+        # snapshots), so the guard must key on the update time, not on
+        # the series: a warm-started run stopped at its very first
+        # sample must not be declared quiescent against itself
+        mon = QuiescenceRule(threshold=1e-6, patience=1).begin(
+            SolveContext())
+        mon.update(0.0, _probe(waves=[1.0, 2.0]))  # warm: active state
+        assert mon.finalize(0.0, _probe(waves=[1.0, 2.0])) is None
+        # a LATER finalize sees a genuine unchanged state and may fire
+        assert mon.finalize(5.0, _probe(waves=[1.0, 2.0])) is not None
+
+    def test_probe_without_waves_raises(self):
+        mon = QuiescenceRule().begin(SolveContext())
+        with pytest.raises(ConfigurationError):
+            mon.update(0.0, _probe(x=[1.0]))
+            mon.update(1.0, _probe(x=[1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            QuiescenceRule(threshold=-1.0)
+        with pytest.raises(ValidationError):
+            QuiescenceRule(patience=0)
+
+
+# ----------------------------------------------------------------------
+# HorizonRule / AnyOf
+# ----------------------------------------------------------------------
+class TestHorizonRule:
+    def test_t_max_fires_not_converged(self):
+        mon = HorizonRule(t_max=10.0).begin(SolveContext())
+        assert mon.update(5.0, _probe(x=[0.0])) is None
+        ev = mon.update(10.0, _probe(x=[0.0]))
+        assert ev is not None and not ev.converged and ev.rule == "horizon"
+
+    def test_max_updates(self):
+        mon = HorizonRule(max_updates=3).begin(SolveContext())
+        assert mon.update(0.0, _probe(x=[0.0])) is None
+        assert mon.update(1.0, _probe(x=[0.0])) is None
+        assert mon.update(2.0, _probe(x=[0.0])) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HorizonRule()
+        with pytest.raises(ValidationError):
+            HorizonRule(t_max=0.0)
+        with pytest.raises(ValidationError):
+            HorizonRule(max_updates=0)
+
+
+class TestAnyOf:
+    A = np.eye(2)
+    B = np.array([1.0, 1.0])
+
+    def test_aggregates_needs(self):
+        combo = AnyOf(ResidualRule(tol=1e-8), ReferenceRule(tol=1e-8),
+                      QuiescenceRule())
+        assert combo.needs_reference
+        assert combo.needs_system
+        assert combo.needs_waves
+        free = AnyOf(ResidualRule(tol=1e-8), HorizonRule(t_max=1.0))
+        assert not free.needs_reference
+
+    def test_flattens_nested(self):
+        combo = AnyOf(AnyOf(ResidualRule(tol=1e-8)), HorizonRule(t_max=1.0))
+        assert len(combo.rules) == 2
+
+    def test_or_operator(self):
+        combo = ResidualRule(tol=1e-8) | HorizonRule(t_max=1.0)
+        assert isinstance(combo, AnyOf)
+        assert len(combo.rules) == 2
+
+    def test_first_fired_wins(self):
+        combo = AnyOf(ResidualRule(tol=1e-12), HorizonRule(max_updates=1))
+        mon = combo.begin(SolveContext(a=self.A, b=self.B))
+        # both children fire on the first sample; residual is first
+        ev = mon.update(0.0, _probe(x=[1.0, 1.0]))
+        assert ev is not None and ev.rule == "residual" and ev.converged
+
+    def test_horizon_backstop(self):
+        combo = AnyOf(ResidualRule(tol=1e-30), HorizonRule(max_updates=2))
+        mon = combo.begin(SolveContext(a=self.A, b=self.B))
+        assert mon.update(0.0, _probe(x=[0.5, 0.5])) is None
+        ev = mon.update(1.0, _probe(x=[0.5, 0.5]))
+        assert ev is not None and ev.rule == "horizon" and not ev.converged
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AnyOf()
+        with pytest.raises(ValidationError):
+            AnyOf("residual")  # members must be rule objects
+
+
+# ----------------------------------------------------------------------
+# as_stopping_rule / StateProbe
+# ----------------------------------------------------------------------
+class TestAsStoppingRule:
+    def test_none_is_reference_rule_at_tol(self):
+        rule = as_stopping_rule(None, tol=1e-6)
+        assert isinstance(rule, ReferenceRule)
+        assert rule.tol == 1e-6
+
+    def test_passthrough(self):
+        rule = ResidualRule(tol=1e-8)
+        assert as_stopping_rule(rule) is rule
+
+    def test_string_aliases(self):
+        assert isinstance(as_stopping_rule("reference", tol=1e-8),
+                          ReferenceRule)
+        assert isinstance(as_stopping_rule("residual", tol=1e-8),
+                          ResidualRule)
+        assert isinstance(as_stopping_rule("quiescence"), QuiescenceRule)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            as_stopping_rule("oracle")
+        with pytest.raises(ValidationError):
+            as_stopping_rule(42)
+
+
+class TestStateProbe:
+    def test_lazy_and_cached(self):
+        calls = []
+
+        def x_fn():
+            calls.append(1)
+            return np.ones(2)
+
+        probe = StateProbe(x_fn)
+        assert not calls
+        probe.x
+        probe.x
+        assert len(calls) == 1
+
+    def test_missing_waves_raises(self):
+        probe = StateProbe(lambda: np.ones(1))
+        with pytest.raises(ConfigurationError):
+            probe.waves
+
+
+def test_stopping_rule_base_is_abstract():
+    with pytest.raises(NotImplementedError):
+        StoppingRule().begin(SolveContext())
+
+
+def test_primary_tol_follows_primary_rule():
+    from repro.core.convergence import primary_tol
+
+    assert primary_tol(ReferenceRule(tol=1e-6)) == 1e-6
+    assert primary_tol(ResidualRule(tol=1e-4)) == 1e-4
+    assert primary_tol(QuiescenceRule()) is None
+    assert primary_tol(HorizonRule(t_max=1.0)) is None
+    # AnyOf's series is its first member's, so its tol governs
+    combo = AnyOf(ResidualRule(tol=1e-4), HorizonRule(t_max=1.0))
+    assert primary_tol(combo) == 1e-4
+
+
+def test_begin_monitor_prefers_explicit_system():
+    from repro.core.convergence import begin_monitor
+
+    class NoSystemGraph:
+        def to_system(self):  # pragma: no cover - must not run
+            raise AssertionError("graph re-assembled despite system=")
+
+    a = np.eye(2)
+    b = np.array([1.0, 1.0])
+    rule, mon, ref = begin_monitor(ResidualRule(tol=1e-12),
+                                   graph=NoSystemGraph(), system=(a, b))
+    assert ref is None  # reference-free
+    ev = mon.update(0.0, _probe(x=[1.0, 1.0]))
+    assert ev is not None and ev.converged

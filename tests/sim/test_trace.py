@@ -161,3 +161,21 @@ def test_error_observer_quiescence_stop():
     eng.run(until=50.0)
     assert obs.stopped_quiescent
     assert eng.now < 50.0
+
+
+def test_error_observer_honors_tracker_horizon():
+    # ConvergenceTracker.horizon is the tracker-path time budget: the
+    # observer stops the engine once a sample reaches it
+    split = paper_split()
+    eng = Engine()
+    tracker = ConvergenceTracker(reference=np.ones(4), tol=1e-12,
+                                 horizon=5.0)
+    kernels = [_StubKernel(np.zeros(3)), _StubKernel(np.zeros(3))]
+    obs = ErrorObserver(eng, split, kernels, tracker, interval=1.0,
+                        detect_quiescence=False)
+    obs.install()
+    for t in range(60):
+        eng.schedule_at(float(t), lambda: None)
+    eng.run(until=50.0)
+    assert not tracker.converged
+    assert eng.now == 5.0
