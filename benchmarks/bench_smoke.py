@@ -1,14 +1,15 @@
-"""Tier-2 smoke targets for the kernel and plan-reuse benchmarks.
+"""Tier-2 smoke targets for the kernel, plan-reuse and multiproc benches.
 
-Fast sanity passes over :mod:`bench_kernel_micro` and
-:mod:`bench_plan_reuse`: run a small case each, check the built-in
-equivalence guards fired (they raise on divergence), the JSON records
-have the expected shape, and the architectural win is present at all
-(fleet not slower than the Python loop; cached setup not slower than
-re-planning).  They deliberately do *not* assert the full headline
-ratios (that is the full benches' job, checked against the committed
-baselines by ``scripts/check_bench.py``) so the smoke tests stay robust
-on loaded CI machines.
+Fast sanity passes over :mod:`bench_kernel_micro`,
+:mod:`bench_plan_reuse` and :mod:`bench_multiproc`: run a small case
+each, check the built-in equivalence guards fired (they raise on
+divergence), the JSON records have the expected shape, and the
+architectural win is present at all (fleet not slower than the Python
+loop; cached setup not slower than re-planning; sharded solves
+converge to tolerance).  They deliberately do *not* assert the full
+headline ratios (that is the full benches' job, checked against the
+committed baselines by ``scripts/check_bench.py``) so the smoke tests
+stay robust on loaded CI machines.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
 """
@@ -20,6 +21,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_kernel_micro import bench_case, run_bench  # noqa: E402
+from bench_multiproc import bench_case as mp_bench_case  # noqa: E402
 from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
 
 
@@ -45,6 +47,20 @@ def test_bench_case_rejects_unknown_partition():
         assert "unsupported n_parts" in str(exc)
     else:  # pragma: no cover
         raise AssertionError("expected ValueError for n_parts=7")
+
+
+def test_multiproc_bench_smoke():
+    case = mp_bench_case(40, n_parts=4, parts_shape=(2, 2),
+                         shards=(2,), wall_budget=120.0)
+    assert case["n"] == 1600
+    assert case["baseline_s"] > 0
+    rec = case["shards"]["2"]
+    assert rec["solve_s"] > 0
+    assert rec["relative_residual"] <= case["tol"]
+    # the tiny case makes no headline claim (no 4-shard run), only that
+    # the sharded runtime converged and produced a well-formed record
+    assert case["speedup_at_4"] is None
+    assert len(rec["sweeps"]) == 2
 
 
 def test_plan_bench_smoke(tmp_path):

@@ -10,8 +10,6 @@ run's trajectory different; Theorem 6.1 makes the destination the same.
 Run:  python examples/asyncio_realtime.py
 """
 
-import numpy as np
-
 from repro.graph import DominancePreservingSplit, grid_block_partition, \
     split_graph
 from repro.linalg import conjugate_gradient

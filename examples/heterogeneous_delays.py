@@ -11,8 +11,6 @@ rest — no barrier ever waits for it.
 Run:  python examples/heterogeneous_delays.py
 """
 
-import numpy as np
-
 from repro.core.impedance import GeometricMeanImpedance
 from repro.graph import DominancePreservingSplit, multilevel_partition, \
     split_graph

@@ -12,8 +12,6 @@ Compares three execution disciplines on one n=289 workload:
 Run:  python examples/hybrid_sync_async.py
 """
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.core.hybrid import ClusteredDtmSimulator, \
     PeriodicResyncDtmSimulator

@@ -9,8 +9,6 @@ range from 10 ms to 99 ms with no synchronisation anywhere.
 Run:  python examples/poisson_cluster.py
 """
 
-import numpy as np
-
 from repro.core.impedance import GeometricMeanImpedance
 from repro.graph import DominancePreservingSplit, grid_block_partition, \
     split_graph

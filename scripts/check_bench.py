@@ -1,21 +1,28 @@
 """Fail when a committed benchmark baseline regresses.
 
-Compares fresh runs of :mod:`benchmarks.bench_kernel_micro` and
-:mod:`benchmarks.bench_plan_reuse` (or previously written JSONs passed
-via ``--fresh`` / ``--fresh-plan``) against the committed
-``benchmarks/BENCH_kernel.json`` and ``benchmarks/BENCH_plan.json``.
-A case **regresses** when its speedup ratio — a machine-relative
-number, robust on hosts slower than the one that wrote the baseline —
-drops by more than ``--tolerance`` (default 20%): the kernel bench's
-fleet-vs-per-kernel ratio (and headline ``speedup_at_256``), and the
-plan bench's cached-vs-replanned setup ratio (and headline
-``speedup_at_64``).  Absolute kernel sweep times exceeding the baseline
-print warnings only, unless ``--strict-time`` promotes them to
-failures.  Exit code 0 = pass, 1 = regression, 2 = usage/baseline
-problems.
+Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
+:mod:`benchmarks.bench_plan_reuse` and
+:mod:`benchmarks.bench_multiproc` (or previously written JSONs passed
+via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc``) against the
+committed ``benchmarks/BENCH_kernel.json``, ``BENCH_plan.json`` and
+``BENCH_multiproc.json``.  A case **regresses** when its speedup
+ratio — a machine-relative number, robust on hosts slower than the one
+that wrote the baseline — drops by more than ``--tolerance`` (default
+20%): the kernel bench's fleet-vs-per-kernel ratio (headline
+``speedup_at_256``), the plan bench's cached-vs-replanned setup ratio
+(headline ``speedup_at_64``), and the multiproc bench's
+sharded-vs-simulator wall-clock ratio (headline ``speedup_at_4``,
+which additionally must clear the absolute 1.5x floor).  Absolute
+kernel sweep times exceeding the baseline print warnings only, unless
+``--strict-time`` promotes them to failures.  Exit code 0 = pass,
+1 = regression, 2 = usage/baseline problems.
+
+A **missing or malformed baseline file is a hard failure** (exit 2),
+never a silent skip: CI must not green-light an ungated bench.  Use
+the explicit ``--skip-*`` flags to exclude a check on purpose.
 
 Usage:
-    python scripts/check_bench.py                 # re-run both, compare
+    python scripts/check_bench.py                 # re-run all, compare
     python scripts/check_bench.py --fresh new.json --skip-plan
     python scripts/check_bench.py --quick         # smaller sweep counts
     python scripts/check_bench.py --json-report report.json
@@ -41,6 +48,15 @@ sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
 DEFAULT_BASELINE = os.path.join(_ROOT, "benchmarks", "BENCH_kernel.json")
 DEFAULT_PLAN_BASELINE = os.path.join(_ROOT, "benchmarks",
                                      "BENCH_plan.json")
+DEFAULT_MULTIPROC_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                          "BENCH_multiproc.json")
+
+#: bench script that regenerates each baseline, for error messages
+_REGEN = {
+    "BENCH_kernel.json": "benchmarks/bench_kernel_micro.py",
+    "BENCH_plan.json": "benchmarks/bench_plan_reuse.py",
+    "BENCH_multiproc.json": "benchmarks/bench_multiproc.py",
+}
 
 
 def _load(path: str) -> dict:
@@ -132,6 +148,51 @@ def compare_plan(baseline: dict, fresh: dict, tolerance: float
     return problems
 
 
+def compare_multiproc(baseline: dict, fresh: dict, tolerance: float, *,
+                      require_all: bool = True
+                      ) -> tuple[list[str], list[str]]:
+    """Compare a fresh multiproc-sharding record against the baseline.
+
+    The failing signal is the per-case 4-shard **wall-clock speedup**
+    over the single-process fleet simulator (same machine and run),
+    plus the absolute floor recorded in the baseline (1.5x, the ISSUE 4
+    acceptance criterion).  With ``require_all=False`` (quick mode)
+    baseline cases absent from the fresh run — the large acceptance
+    workload — downgrade to warnings; the cases that *did* run are
+    still fully gated.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = float(baseline.get("speedup_floor", 1.5))
+    base_cases = {c["nx"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["nx"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("multiproc fresh record has no cases")
+        return problems, warnings
+    for nx, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(nx)
+        if cur is None:
+            msg = f"multiproc nx={nx}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        speedup = cur.get("speedup_at_4")
+        base_speedup = base.get("speedup_at_4")
+        if speedup is None:
+            problems.append(
+                f"multiproc nx={nx}: fresh case lacks speedup_at_4")
+            continue
+        if speedup < floor:
+            problems.append(
+                f"multiproc nx={nx}: 4-shard speedup {speedup:.2f}x is "
+                f"below the {floor}x floor")
+        if base_speedup and speedup < base_speedup * (1.0 - tolerance):
+            problems.append(
+                f"multiproc nx={nx}: 4-shard speedup fell from "
+                f"{base_speedup:.1f}x to {speedup:.1f}x (more than "
+                f"{tolerance:.0%} drop)")
+    return problems, warnings
+
+
 class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
@@ -140,24 +201,28 @@ def _speedup_summary(record: dict) -> dict:
     """Headline ratios of a benchmark record, for the JSON report."""
     if not record:
         return {}
-    out = {k: record[k] for k in ("speedup_at_256", "speedup_at_64")
+    out = {k: record[k]
+           for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4")
            if record.get(k) is not None}
-    out["cases"] = [{"n_parts": c.get("n_parts"),
-                     "speedup": c.get("speedup")}
+    out["cases"] = [{k: c.get(k)
+                     for k in ("n_parts", "nx", "speedup", "speedup_at_4")
+                     if c.get(k) is not None}
                     for c in record.get("cases", [])]
     return out
 
 
 def _write_report(path: str, *, exit_code: int, problems, warnings,
                   checked, args, kernel_fresh: dict,
-                  plan_fresh: dict, error: str = "") -> None:
+                  plan_fresh: dict, multiproc_fresh: dict,
+                  error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/1",
+        "schema": "check_bench-report/2",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
         "tolerance": args.tolerance,
         "plan_tolerance": args.plan_tolerance,
+        "multiproc_tolerance": args.multiproc_tolerance,
         "strict_time": bool(args.strict_time),
         "quick": bool(args.quick),
         "checked": list(checked),
@@ -167,6 +232,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                    "record": kernel_fresh},
         "plan": {"measured": _speedup_summary(plan_fresh),
                  "record": plan_fresh},
+        "multiproc": {"measured": _speedup_summary(multiproc_fresh),
+                      "record": multiproc_fresh},
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -177,6 +244,31 @@ def _load_fresh(path: str) -> dict:
     if not os.path.exists(path):
         raise _UsageError(f"fresh result {path} not found")
     return _load(path)
+
+
+def _require_baseline(path: str) -> dict:
+    """Load a baseline, hard-failing (exit 2) on absence or emptiness.
+
+    CI must not green-light an ungated bench: a missing ``BENCH_*``
+    file means the gate would silently pass, so it is treated exactly
+    like a usage error, with the regeneration command spelled out.
+    """
+    if not os.path.exists(path):
+        regen = _REGEN.get(os.path.basename(path), "its bench script")
+        raise _UsageError(
+            f"baseline {path} is missing — the bench it gates would go "
+            f"unchecked; regenerate it with `PYTHONPATH=src python "
+            f"{regen}` (or pass the matching --skip-* flag to exclude "
+            "the check on purpose)")
+    try:
+        baseline = _load(path)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise _UsageError(f"baseline {path} is unreadable: {exc}")
+    if not baseline.get("cases"):
+        raise _UsageError(
+            f"baseline {path} has no cases; it gates nothing — "
+            "regenerate it")
+    return baseline
 
 
 def _load_or_run_kernel(args, baseline: dict) -> dict:
@@ -199,24 +291,48 @@ def _load_or_run_plan(args, baseline: dict) -> dict:
     return run_bench(parts or (16, 64), out="", **kwargs)
 
 
+def _load_or_run_multiproc(args, baseline: dict) -> dict:
+    if args.fresh_multiproc:
+        return _load_fresh(args.fresh_multiproc)
+    from bench_multiproc import QUICK_CASES, run_bench
+
+    cases = tuple(sorted(c["nx"] for c in baseline.get("cases", [])))
+    if args.quick:
+        cases = tuple(nx for nx in cases if nx in QUICK_CASES) \
+            or QUICK_CASES
+    return run_bench(cases, out="")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
     ap.add_argument("--plan-baseline", default=DEFAULT_PLAN_BASELINE)
+    ap.add_argument("--multiproc-baseline",
+                    default=DEFAULT_MULTIPROC_BASELINE)
     ap.add_argument("--fresh", default=None,
                     help="pre-computed fresh kernel JSON; omit to re-run")
     ap.add_argument("--fresh-plan", default=None,
                     help="pre-computed fresh plan JSON; omit to re-run")
+    ap.add_argument("--fresh-multiproc", default=None,
+                    help="pre-computed fresh multiproc JSON; omit to "
+                    "re-run")
     ap.add_argument("--skip-plan", action="store_true",
-                    help="only check the kernel baseline")
+                    help="skip the plan baseline")
     ap.add_argument("--skip-kernel", action="store_true",
-                    help="only check the plan baseline")
+                    help="skip the kernel baseline")
+    ap.add_argument("--skip-multiproc", action="store_true",
+                    help="skip the multiproc baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
     ap.add_argument("--plan-tolerance", type=float, default=0.50,
                     help="allowed relative regression for the plan "
                     "bench's setup-speedup ratios (noisier; default "
                     "0.50)")
+    ap.add_argument("--multiproc-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the "
+                    "multiproc bench's wall-clock speedups (scheduler-"
+                    "noisy on small cases; the absolute 1.5x floor is "
+                    "the hard backstop; default 0.50)")
     ap.add_argument("--strict-time", action="store_true",
                     help="also fail on absolute fleet sweep times "
                     "(machine-dependent; off by default)")
@@ -232,6 +348,7 @@ def main(argv=None) -> int:
     checked: list[str] = []
     fresh: dict = {}
     plan_fresh: dict = {}
+    multiproc_fresh: dict = {}
 
     def report(code: int, error: str = "") -> int:
         if args.json_report:
@@ -239,14 +356,13 @@ def main(argv=None) -> int:
                           problems=problems, warnings=warnings,
                           checked=checked, args=args,
                           kernel_fresh=fresh, plan_fresh=plan_fresh,
+                          multiproc_fresh=multiproc_fresh,
                           error=error)
         return code
 
     try:
         if not args.skip_kernel:
-            if not os.path.exists(args.baseline):
-                raise _UsageError(f"baseline {args.baseline} not found")
-            baseline = _load(args.baseline)
+            baseline = _require_baseline(args.baseline)
             fresh = _load_or_run_kernel(args, baseline)
             p, w = compare(baseline, fresh, args.tolerance,
                            strict_time=args.strict_time)
@@ -255,14 +371,22 @@ def main(argv=None) -> int:
             checked.append(os.path.relpath(args.baseline, _ROOT))
 
         if not args.skip_plan:
-            if not os.path.exists(args.plan_baseline):
-                raise _UsageError(
-                    f"baseline {args.plan_baseline} not found")
-            plan_baseline = _load(args.plan_baseline)
+            plan_baseline = _require_baseline(args.plan_baseline)
             plan_fresh = _load_or_run_plan(args, plan_baseline)
             problems += compare_plan(plan_baseline, plan_fresh,
                                      args.plan_tolerance)
             checked.append(os.path.relpath(args.plan_baseline, _ROOT))
+
+        if not args.skip_multiproc:
+            mp_baseline = _require_baseline(args.multiproc_baseline)
+            multiproc_fresh = _load_or_run_multiproc(args, mp_baseline)
+            p, w = compare_multiproc(mp_baseline, multiproc_fresh,
+                                     args.multiproc_tolerance,
+                                     require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.multiproc_baseline,
+                                           _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)
         return report(2, error=str(exc))

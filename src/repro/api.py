@@ -120,6 +120,9 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               use_fleet: bool = True,
               plan: Optional[SolverPlan] = None,
               use_cache: bool = True,
+              backend: str = "sim",
+              shards: int = 2,
+              wall_budget: float = 60.0,
               **sim_kwargs) -> SolveResult:
     """Solve an SPD system with asynchronous DTM on a simulated machine.
 
@@ -146,7 +149,21 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     production mode for systems too large to direct-solve.  The result
     then reports ``stopped_by`` / ``stop_metric`` and its
     ``rms_error`` is ``nan`` (no oracle to compare against).
+
+    ``backend`` selects the execution engine: ``"sim"`` (default) runs
+    the discrete-event simulator on a modelled machine; ``"multiproc"``
+    runs *shards* genuinely parallel worker processes over shared
+    memory (see :class:`repro.runtime.MultiprocDtmRunner`) with
+    reference-free stopping at every shard count (``stopping=None``
+    becomes ``ResidualRule(tol)``).  With ``shards>1`` the run is
+    bounded by ``wall_budget`` wall-clock seconds and ``t_max`` has no
+    meaning; ``shards=1`` executes the simulator's fleet path
+    (bitwise-identical to it), keeps ``t_max`` and may use an explicit
+    reference-needing rule.
     """
+    if backend not in ("sim", "multiproc"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose 'sim' or 'multiproc'")
     b_vec = resolve_rhs(a, b)
     plan_kwargs = {k: sim_kwargs.pop(k) for k in _PLAN_KEYS
                    if k in sim_kwargs}
@@ -168,6 +185,28 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
             placement=(plan_kwargs.get("placement"), None),
             allow_indefinite=(plan_kwargs.get("allow_indefinite", False),
                               False))
+    if backend == "multiproc":
+        if not use_fleet:
+            raise ConfigurationError(
+                "the multiproc backend always runs the fleet packing; "
+                "use_fleet=False only applies to backend='sim'")
+        if sim_kwargs:
+            raise ConfigurationError(
+                "simulator options "
+                f"{sorted(sim_kwargs)} do not apply to "
+                "backend='multiproc'")
+        if run_kwargs.get("reference") is not None:
+            raise ConfigurationError(
+                "backend='multiproc' is reference-free; reference= "
+                "only applies to backend='sim'")
+        from .runtime.multiproc import MultiprocDtmRunner
+
+        with MultiprocDtmRunner(plan, shards=shards) as runner:
+            return runner.solve(
+                b_vec, t_max=t_max, tol=tol, stopping=stopping,
+                wall_budget=wall_budget,
+                sample_interval=run_kwargs.get("sample_interval"),
+                max_events=run_kwargs.get("max_events"))
     session = SolverSession(plan, use_fleet=use_fleet, **sim_kwargs)
     return session.solve(b_vec, t_max=t_max, tol=tol, stopping=stopping,
                          **run_kwargs)

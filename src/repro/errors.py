@@ -50,3 +50,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A solver/executor was configured with incompatible options."""
+
+
+class MultiprocError(ReproError):
+    """The multiprocess sharded runtime lost or timed out a worker."""

@@ -74,6 +74,9 @@ class SolveResult:
     #: Final value of the firing rule's metric (reference error,
     #: relative residual or wave-update delta, by rule).
     stop_metric: Optional[float] = None
+    #: Per-shard diagnostics of a multiprocess solve (None on the
+    #: single-process backends); see :class:`repro.sim.trace.ShardReport`.
+    shard_reports: Optional[list] = None
 
     @property
     def stop_iterations(self) -> int:

@@ -1,5 +1,35 @@
-"""Real execution backends (asyncio) for genuinely asynchronous DTM."""
+"""Real execution backends: asyncio tasks and multiprocess shards.
+
+The simulator (:mod:`repro.sim`) models DTM's asynchrony in virtual
+time; these backends run it for real — :class:`AsyncioDtmRunner` with
+one cooperative task per subdomain, :class:`MultiprocDtmRunner` with
+one OS process per shard over ``multiprocessing.shared_memory``, and
+:class:`DtmServer` serving warm sharded runners over a shared
+:class:`PlanStore`.
+"""
 
 from .asyncio_backend import AsyncioDtmRunner, AsyncRunResult, solve_dtm_asyncio
+from .multiproc import EdgeMailbox, MultiprocDtmRunner, solve_dtm_multiproc
+from .server import (
+    DtmServer,
+    PlanStore,
+    ServeRequest,
+    ServeResponse,
+    ServerStats,
+    plan_hash,
+)
 
-__all__ = ["AsyncioDtmRunner", "AsyncRunResult", "solve_dtm_asyncio"]
+__all__ = [
+    "AsyncioDtmRunner",
+    "AsyncRunResult",
+    "solve_dtm_asyncio",
+    "EdgeMailbox",
+    "MultiprocDtmRunner",
+    "solve_dtm_multiproc",
+    "DtmServer",
+    "PlanStore",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerStats",
+    "plan_hash",
+]

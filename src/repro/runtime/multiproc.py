@@ -1,0 +1,679 @@
+"""True-parallel DTM: sharded workers over ``multiprocessing.shared_memory``.
+
+The simulator backends *model* asynchrony; this runtime **executes**
+it.  A :class:`MultiprocDtmRunner` cuts an immutable
+:class:`~repro.plan.SolverPlan` into contiguous shards (see
+:mod:`repro.plan.shard`), spawns one worker process per shard, and
+lets every worker free-run the paper's Table 1 loop over its
+subdomains — resolve, emit ``b = 2u − a``, deliver — with **no global
+barrier and no locks**:
+
+* the global wave vector lives in one ``shared_memory`` array; every
+  slot has exactly one writer (the twin slot's owning shard), so a
+  delivery is an aligned 8-byte overwrite — the latest-wins semantics
+  of the simulator's ``receive_batch``, realized by cache coherence
+  instead of an event queue;
+* cross-shard traffic is organized as per-edge
+  :class:`EdgeMailbox` channels (one per directed shard pair), each a
+  batch of latest-wins slots;
+* stopping is **reference-free**: the parent process acts as the
+  designated coordinator, periodically gathering the shared state
+  buffer and running a :class:`~repro.core.convergence.ResidualRule` /
+  ``QuiescenceRule`` monitor against wall-clock time — the plan's
+  dense reference factor is never touched
+  (``plan.reference_materialized`` stays ``False``).
+
+Numerical contract
+------------------
+``shards=1`` executes the event-driven fleet simulator path through a
+:class:`~repro.plan.session.SolverSession` and is therefore
+**bitwise-identical** to ``DtmSimulator`` with ``use_fleet=True`` —
+the degenerate shard count runs the proven reference implementation.
+``shards>1`` free-runs with real (hardware) delays, so trajectories
+are scheduling-dependent; the contract is convergence to the same
+tolerance, asserted by the runner itself: a residual stop is only
+reported ``converged`` after re-verification on a *consistent* final
+state (workers quiesce, publish, then the coordinator re-measures).
+
+Memory-ordering note: workers and coordinator exchange float64 waves
+and int64 control words through aligned shared-memory cells with
+single-writer discipline; on the cache-coherent platforms CPython
+supports this yields latest-wins visibility without locks (torn
+8-byte reads do not occur on aligned cells).  Residual probes may
+observe a *mix* of sweep generations — harmless for monitoring, which
+is why the final convergence check re-runs on quiesced state.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import time
+import traceback
+import weakref
+from multiprocessing import get_context, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from ..core.convergence import (
+    QuiescenceRule,
+    ResidualRule,
+    StateProbe,
+    StoppingRule,
+    as_stopping_rule,
+    begin_monitor,
+    relative_residual,
+)
+from ..errors import ConfigurationError, MultiprocError
+from ..plan.session import SolveResult, SolverSession, _as_rhs
+from ..plan.shard import MailboxSpec, ShardSpec, extract_shards
+from ..sim.trace import (
+    ShardReport,
+    gather_shard_states,
+    merge_shard_series,
+)
+
+# ----------------------------------------------------------------------
+# control-block layout (int64 words, single-writer per cell)
+# ----------------------------------------------------------------------
+_STOP = 0       # coordinator → workers: end the current epoch
+_EPOCH = 1      # coordinator → workers: bumped to start an epoch
+_SHUTDOWN = 2   # coordinator → workers: exit the idle loop
+_ERR = 3        # workers → coordinator: 1 + index of a failed shard
+_PER_SHARD = 4  # then: sweeps[n], acks[n], probe-request[n]
+
+
+def _ctrl_size(n_shards: int) -> int:
+    return _PER_SHARD + 3 * n_shards
+
+
+def _sweep_cell(i: int) -> int:
+    return _PER_SHARD + i
+
+
+def _ack_cell(n_shards: int, i: int) -> int:
+    return _PER_SHARD + n_shards + i
+
+
+def _probe_cell(n_shards: int, i: int) -> int:
+    return _PER_SHARD + 2 * n_shards + i
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a coordinator-owned segment from a worker.
+
+    Only the coordinator unlinks segments.  On Python 3.13+ the worker
+    attaches untracked (``track=False``); earlier versions register the
+    attach with the *shared* resource tracker (workers inherit the
+    coordinator's tracker through the spawn machinery), whose cache is
+    a set — the duplicate registration is harmless and the
+    coordinator's single ``unlink`` retires it.  Do **not** unregister
+    here: that would remove the name from the shared cache early and
+    make the coordinator's later unlink crash the tracker loop.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: tracked attach (see above)
+        return shared_memory.SharedMemory(name=name)
+
+
+class EdgeMailbox:
+    """Lock-free latest-wins wave channel of one directed shard pair.
+
+    Binds a :class:`~repro.plan.shard.MailboxSpec` to the (shared)
+    global wave array.  :meth:`post` is the entire delivery protocol:
+    one fancy-indexed scatter of the sender's outgoing waves into the
+    receiver's slots — no queue, no lock, later posts simply overwrite
+    earlier ones, exactly the per-message FIFO-overwrite semantics the
+    simulator's ``receive_batch`` implements.
+    """
+
+    __slots__ = ("spec", "waves")
+
+    def __init__(self, spec: MailboxSpec, waves: np.ndarray) -> None:
+        self.spec = spec
+        self.waves = waves
+
+    def post(self, outgoing: np.ndarray) -> None:
+        """Deliver the channel's share of a sweep's outgoing waves."""
+        self.waves[self.spec.dest_slots] = outgoing[self.spec.emit_pos]
+
+    def peek(self) -> np.ndarray:
+        """Snapshot of the channel's current slot values (reader side)."""
+        return self.waves[self.spec.dest_slots].copy()
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(payload: bytes, names: dict, n_slots_total: int,
+                 n_states_total: int, idle_sleep: float,
+                 probe_every: int) -> None:
+    """Entry point of one shard worker (must be module-level for spawn).
+
+    Protocol: idle-poll the control block for an epoch bump; on one,
+    reload the zero-wave states, then free-run sweeps until the stop
+    flag rises; publish final states and ack the epoch; repeat until
+    shutdown.  Any exception marks the error cell before exiting, so
+    the coordinator fails fast instead of hanging on acks.
+    """
+    spec = ShardSpec.from_payload(payload)
+    n_shards = spec.n_shards
+    i = spec.index
+    shms = {key: _attach_shm(name) for key, name in names.items()}
+    try:
+        waves = np.ndarray((n_slots_total,), dtype=np.float64,
+                           buffer=shms["waves"].buf)
+        x0buf = np.ndarray((n_states_total,), dtype=np.float64,
+                           buffer=shms["x0"].buf)
+        states = np.ndarray((n_states_total,), dtype=np.float64,
+                            buffer=shms["states"].buf)
+        ctrl = np.ndarray((_ctrl_size(n_shards),), dtype=np.int64,
+                          buffer=shms["ctrl"].buf)
+        kern = spec.kernel
+        lo, hi = spec.slot_lo, spec.slot_hi
+        st_lo, st_hi = spec.state_lo, spec.state_hi
+        loopback = EdgeMailbox(spec.loopback, waves)
+        outboxes = [EdgeMailbox(box, waves) for box in spec.outboxes]
+        sweep_cell = _sweep_cell(i)
+        ack_cell = _ack_cell(n_shards, i)
+        probe_cell = _probe_cell(n_shards, i)
+        total_sweeps = 0
+        last_epoch = 0
+
+        while True:
+            if ctrl[_SHUTDOWN]:
+                return
+            epoch = int(ctrl[_EPOCH])
+            if epoch == last_epoch:
+                time.sleep(idle_sleep)
+                continue
+            last_epoch = epoch
+            # the coordinator clears STOP *before* bumping the epoch;
+            # wait out any stale STOP observation (weakly ordered
+            # platforms) instead of acking a zero-sweep epoch
+            while ctrl[_STOP] and not ctrl[_SHUTDOWN]:
+                time.sleep(idle_sleep)
+            kern.load_x0(x0buf[st_lo:st_hi])
+            # publish the zero-sweep state so early coordinator probes
+            # see x0-consistent values instead of stale zeros
+            states[st_lo:st_hi] = kern.full_states(
+                np.array(waves[lo:hi]))
+            since_probe = 0
+            last_a: Optional[np.ndarray] = None
+            while not ctrl[_STOP]:
+                a = np.array(waves[lo:hi])  # one latest-wins snapshot
+                if last_a is not None and np.array_equal(a, last_a):
+                    # arrival-triggered solves (Table 1): no new
+                    # boundary information means a resolve would emit
+                    # the identical waves — nap instead of burning the
+                    # timeslice, so a busy sibling shard gets the core
+                    if ctrl[probe_cell]:
+                        states[st_lo:st_hi] = kern.full_states(a)
+                        ctrl[probe_cell] = 0
+                    time.sleep(idle_sleep)
+                    continue
+                out = kern.sweep(a)
+                last_a = a
+                loopback.post(out)
+                for box in outboxes:
+                    box.post(out)
+                total_sweeps += 1
+                since_probe += 1
+                ctrl[sweep_cell] = total_sweeps
+                if ctrl[probe_cell] or since_probe >= probe_every:
+                    states[st_lo:st_hi] = kern.full_states(
+                        np.array(waves[lo:hi]))
+                    ctrl[probe_cell] = 0
+                    since_probe = 0
+            # quiesced: publish one final consistent state, then ack
+            states[st_lo:st_hi] = kern.full_states(
+                np.array(waves[lo:hi]))
+            ctrl[ack_cell] = epoch
+    except Exception:  # pragma: no cover - exercised via dead-worker test
+        try:
+            ctrl = np.ndarray((_ctrl_size(n_shards),), dtype=np.int64,
+                              buffer=shms["ctrl"].buf)
+            ctrl[_ERR] = i + 1
+        except Exception:
+            pass
+        traceback.print_exc()
+        raise
+    finally:
+        for shm in shms.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+def _cleanup_segments(segments: list) -> None:
+    """Close+unlink owned segments (idempotent; weakref finalizer)."""
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _residual_tol(rule: StoppingRule) -> Optional[float]:
+    """Tolerance of the first ResidualRule in *rule*'s tree, if any."""
+    if isinstance(rule, ResidualRule):
+        return rule.tol
+    for member in getattr(rule, "rules", ()):
+        tol = _residual_tol(member)
+        if tol is not None:
+            return tol
+    return None
+
+
+def _quiescence_threshold(rule: StoppingRule) -> Optional[float]:
+    """Threshold of the first QuiescenceRule in *rule*'s tree, if any."""
+    if isinstance(rule, QuiescenceRule):
+        return rule.threshold
+    for member in getattr(rule, "rules", ()):
+        thr = _quiescence_threshold(member)
+        if thr is not None:
+            return thr
+    return None
+
+
+class MultiprocDtmRunner:
+    """Sharded, truly parallel DTM execution over a shared plan.
+
+    Parameters
+    ----------
+    plan:
+        A dtm-mode :class:`~repro.plan.SolverPlan`.  Everything
+        matrix-dependent (factors, packing, routing) is reused; the
+        runner adds only the shard cut and the worker pool.
+    shards:
+        Worker process count.  ``1`` executes the event-driven fleet
+        simulator in-process (bitwise-identical to ``DtmSimulator``
+        with ``use_fleet=True``); ``>1`` runs free-running workers.
+    probe_every:
+        Worker-side fallback cadence (in sweeps) for refreshing the
+        shared state buffer; coordinator probe requests override it.
+    poll_interval:
+        Coordinator sampling period in wall seconds.
+    mp_context:
+        ``multiprocessing`` start method (default ``"spawn"``, the
+        start method that is safe regardless of parent threads; pass
+        ``"fork"`` on POSIX for faster worker startup).
+    ack_timeout:
+        Seconds to wait for workers to acknowledge epoch transitions
+        before declaring them lost.
+
+    Workers persist across :meth:`solve` calls (epochs), which is what
+    makes a warm runner a *serving* unit: right-hand-side swaps cost
+    one back-substitution per subdomain plus a shared-memory write.
+    """
+
+    def __init__(self, plan, shards: int = 2, *, probe_every: int = 8,
+                 poll_interval: float = 0.01, idle_sleep: float = 0.001,
+                 mp_context: str = "spawn",
+                 ack_timeout: float = 30.0) -> None:
+        if plan.mode != "dtm":
+            raise ConfigurationError(
+                f"MultiprocDtmRunner needs a dtm-mode plan, got "
+                f"{plan.mode!r}")
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if probe_every < 1:
+            raise ConfigurationError("probe_every must be >= 1")
+        if poll_interval <= 0 or idle_sleep <= 0:
+            raise ConfigurationError(
+                "poll_interval and idle_sleep must be positive")
+        self.plan = plan
+        self.shards = int(shards)
+        self.probe_every = int(probe_every)
+        self.poll_interval = float(poll_interval)
+        self.idle_sleep = float(idle_sleep)
+        self.ack_timeout = float(ack_timeout)
+        self._last_waves: Optional[np.ndarray] = None
+        self.n_solves = 0
+        self._closed = False
+        self._procs: list = []
+        self._segments: list = []
+        self._finalizer = None
+
+        if self.shards == 1:
+            self._session: Optional[SolverSession] = SolverSession(plan)
+            self.specs: list[ShardSpec] = []
+            return
+        self._session = None
+        self.specs = extract_shards(plan, self.shards)
+        plan.record_session()
+        self._state_off = np.concatenate(
+            [[0], np.cumsum([loc.n_local for loc in plan.base_locals])]
+        ).astype(np.int64)
+        self._n_states = int(self._state_off[-1])
+        self._n_slots = int(plan.fleet_template.n_slots_total)
+        #: state-buffer rows holding each part's port potentials, in
+        #: the fleet's port_offsets order (for _wave_fixed_point_delta)
+        self._port_rows = np.concatenate(
+            [self._state_off[q] + np.arange(loc.n_ports, dtype=np.int64)
+             for q, loc in enumerate(plan.base_locals)]) \
+            if self._n_states else np.zeros(0, dtype=np.int64)
+        self._ctx = get_context(mp_context)
+        self._make_segments()
+        self._spawn_workers()
+
+    # -- lifecycle ------------------------------------------------------
+    def _make_segments(self) -> None:
+        base = f"dtm{os.getpid():x}{secrets.token_hex(4)}"
+        sizes = {
+            "waves": max(self._n_slots, 1) * 8,
+            "x0": max(self._n_states, 1) * 8,
+            "states": max(self._n_states, 1) * 8,
+            "ctrl": _ctrl_size(self.shards) * 8,
+        }
+        self._shm = {}
+        self._names = {}
+        for key, size in sizes.items():
+            shm = shared_memory.SharedMemory(
+                create=True, size=size, name=f"{base}-{key}")
+            self._shm[key] = shm
+            self._names[key] = shm.name
+            self._segments.append(shm)
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, self._segments)
+        self._waves = np.ndarray((self._n_slots,), dtype=np.float64,
+                                 buffer=self._shm["waves"].buf)
+        self._x0 = np.ndarray((self._n_states,), dtype=np.float64,
+                              buffer=self._shm["x0"].buf)
+        self._states = np.ndarray((self._n_states,), dtype=np.float64,
+                                  buffer=self._shm["states"].buf)
+        self._ctrl = np.ndarray((_ctrl_size(self.shards),),
+                                dtype=np.int64,
+                                buffer=self._shm["ctrl"].buf)
+        self._waves[:] = 0.0
+        self._x0[:] = 0.0
+        self._states[:] = 0.0
+        self._ctrl[:] = 0
+
+    def _spawn_workers(self) -> None:
+        for spec in self.specs:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(spec.to_payload(), self._names, self._n_slots,
+                      self._n_states, self.idle_sleep, self.probe_every),
+                name=f"dtm-shard-{spec.index}",
+                daemon=True)
+            proc.start()
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._session is not None:
+            return
+        self._ctrl[_SHUTDOWN] = 1
+        deadline = time.perf_counter() + 5.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.perf_counter()))
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._finalizer is not None:
+            self._finalizer()  # close+unlink, exactly once
+
+    def __enter__(self) -> "MultiprocDtmRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- health ---------------------------------------------------------
+    def _check_workers(self) -> None:
+        if self._ctrl[_ERR]:
+            shard = int(self._ctrl[_ERR]) - 1
+            raise MultiprocError(
+                f"shard worker {shard} raised (see its stderr "
+                "traceback); the runner cannot continue")
+        dead = [p.name for p in self._procs if not p.is_alive()]
+        if dead:
+            raise MultiprocError(
+                f"worker processes died without error marker: {dead} "
+                "(killed or crashed hard); restart the runner")
+
+    def _wait_acks(self, epoch: int) -> None:
+        deadline = time.perf_counter() + self.ack_timeout
+        pending = set(range(self.shards))
+        while pending:
+            self._check_workers()
+            done = {i for i in pending
+                    if int(self._ctrl[_ack_cell(self.shards, i)]) >= epoch}
+            pending -= done
+            if not pending:
+                return
+            if time.perf_counter() > deadline:
+                raise MultiprocError(
+                    f"shards {sorted(pending)} did not acknowledge "
+                    f"epoch {epoch} within {self.ack_timeout:.0f}s")
+            time.sleep(self.idle_sleep)
+
+    # -- coordinator-side measurement -----------------------------------
+    def _gather(self) -> np.ndarray:
+        return gather_shard_states(self.plan.split, self._states,
+                                   self._state_off)
+
+    def _request_probes(self) -> None:
+        for i in range(self.shards):
+            self._ctrl[_probe_cell(self.shards, i)] = 1
+
+    def _wave_fixed_point_delta(self) -> float:
+        """Max wave change one more lockstep sweep would produce.
+
+        Computed on the *quiesced* state from data the coordinator
+        already has: the published port potentials (``states``) and
+        the wave vector give every slot's outgoing wave ``b = 2u − a``,
+        and the routing permutation says which slot it would overwrite.
+        Genuine quiescence (a wave fixed point) has delta ≈ 0; a
+        scheduling stall (workers preempted, waves merely *unchanged*,
+        not converged) has a large delta — the check that keeps a
+        wall-clock QuiescenceRule from conflating the two.
+        """
+        fleet = self.plan.fleet_template
+        if self._n_slots == 0:
+            return 0.0
+        u = self._states[self._port_rows]
+        out = 2.0 * u[fleet.slot_port_global] - self._waves
+        return float(np.max(np.abs(
+            out - self._waves[fleet.route_dest_slot_global])))
+
+    def _sweep_counts(self) -> np.ndarray:
+        return np.array([int(self._ctrl[_sweep_cell(i)])
+                         for i in range(self.shards)], dtype=np.int64)
+
+    def shard_reports(self, base: Optional[np.ndarray] = None
+                      ) -> list[ShardReport]:
+        counts = self._sweep_counts()
+        if base is not None:
+            counts = counts - base
+        return [
+            ShardReport(
+                shard=spec.index,
+                part_lo=int(spec.parts[0]),
+                part_hi=int(spec.parts[-1]) + 1,
+                sweeps=int(counts[spec.index]),
+                n_slots=spec.slot_hi - spec.slot_lo,
+                state_rows=spec.state_hi - spec.state_lo)
+            for spec in self.specs
+        ]
+
+    # -- the solve ------------------------------------------------------
+    def _resolve_rule(self, stopping, tol: Optional[float]
+                      ) -> StoppingRule:
+        if stopping is None:
+            return ResidualRule(tol=tol if tol is not None else 1e-8)
+        rule = as_stopping_rule(stopping, tol=tol)
+        if rule.needs_reference:
+            raise ConfigurationError(
+                "the multiproc backend is reference-free by contract; "
+                "use ResidualRule / QuiescenceRule (or shards=1 for "
+                "the simulator path with reference rules)")
+        return rule
+
+    def solve(self, b=None, *, tol: Optional[float] = 1e-8,
+              stopping=None, warm_start: bool = False,
+              wall_budget: float = 60.0, max_rounds: int = 4,
+              t_max: float = 5000.0,
+              sample_interval: Optional[float] = None,
+              max_events: Optional[int] = None) -> SolveResult:
+        """One sharded solve against *b* (default: the plan's rhs).
+
+        ``stopping=None`` means ``ResidualRule(tol)`` at every shard
+        count — the runner is reference-free by default.  ``shards=1``
+        delegates to the fleet-simulator session
+        (``t_max``/``sample_interval``/``max_events`` apply, and an
+        explicit reference-needing rule is allowed there — the
+        simulator path can afford the oracle).  With ``shards>1`` the
+        run is wall-clock bounded by ``wall_budget`` seconds and
+        reference-needing rules are rejected.  A residual or
+        quiescence stop is re-verified on the quiesced final state
+        (residual: the rule's tolerance on a consistent gather;
+        quiescence: the wave fixed-point delta, so a scheduling stall
+        is not mistaken for convergence); a premature trigger resumes
+        sweeping, up to *max_rounds* times.
+        """
+        if self._closed:
+            raise MultiprocError("runner is closed")
+        if self._session is not None:
+            if stopping is None:
+                stopping = ResidualRule(
+                    tol=tol if tol is not None else 1e-8)
+            return self._session.solve(
+                b, t_max=t_max, tol=tol, stopping=stopping,
+                warm_start=warm_start, sample_interval=sample_interval,
+                max_events=max_events)
+        if sample_interval is not None or max_events is not None:
+            raise ConfigurationError(
+                "sample_interval/max_events are simulator knobs; with "
+                "shards>1 use poll_interval and wall_budget")
+        if wall_budget <= 0:
+            raise ConfigurationError("wall_budget must be positive")
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+        plan = self.plan
+        b_vec = plan.base_b if b is None else _as_rhs(b, plan.n)
+        rule = self._resolve_rule(stopping, tol)
+        res_tol = _residual_tol(rule)
+        quiet_thr = _quiescence_threshold(rule)
+
+        # rhs swap, coordinator-side: one back-substitution per
+        # subdomain against the plan's retained factors, then one
+        # shared-memory publish
+        rhs_list = plan.spread_sources(b_vec)
+        for loc, rhs in zip(plan.base_locals, rhs_list):
+            if loc.n_local:
+                self._x0[self._state_off[loc.part]:
+                         self._state_off[loc.part + 1]] = \
+                    loc.response_for(rhs)
+        warm = warm_start and self._last_waves is not None
+        self._waves[:] = self._last_waves if warm else 0.0
+        self._check_workers()
+
+        t0 = time.perf_counter()
+        base_sweeps = self._sweep_counts()
+        deadline = t0 + wall_budget
+        waves_fn = self._waves.copy
+        event = None
+        final_rr = np.inf
+        series_parts = []
+        x = None
+        for _ in range(max_rounds):
+            _, monitor, _ = begin_monitor(
+                rule, tol=tol, system=(plan.a_mat, b_vec))
+            epoch = int(self._ctrl[_EPOCH]) + 1
+            self._ctrl[_STOP] = 0
+            self._ctrl[_EPOCH] = epoch
+            while True:
+                self._request_probes()
+                time.sleep(self.poll_interval)
+                self._check_workers()
+                t = time.perf_counter() - t0
+                probe = StateProbe(self._gather, waves_fn)
+                event = monitor.update(t, probe)
+                if event is not None or time.perf_counter() > deadline:
+                    break
+            self._ctrl[_STOP] = 1
+            self._wait_acks(epoch)
+            # consistent post-quiescence measurement
+            t = time.perf_counter() - t0
+            x = self._gather()
+            final_rr = relative_residual(plan.a_mat, x, b_vec)
+            if event is None:
+                event = monitor.finalize(
+                    t, StateProbe(lambda: x, waves_fn))
+            series_parts.append(monitor.series)
+            if event is None:  # budget exhausted without a stop
+                break
+            # re-verify convergence claims on the quiesced state: a
+            # residual stop may have fired on a torn probe, and a
+            # quiescence stop may have sampled a scheduling stall
+            # (waves unchanged because workers were preempted, not
+            # because they converged)
+            verified = True
+            if event.rule == "residual" and res_tol is not None:
+                verified = final_rr <= res_tol
+            elif event.rule == "quiescence" and quiet_thr is not None:
+                verified = self._wave_fixed_point_delta() <= quiet_thr
+            if verified or time.perf_counter() > deadline:
+                break
+            event = None  # premature: resume sweeping on live state
+
+        wall = time.perf_counter() - t0
+        self._last_waves = self._waves.copy()
+        self.n_solves += 1
+        served = plan.record_solve()
+        reports = self.shard_reports(base_sweeps)
+        converged = event is not None and event.converged
+        if converged and event.rule == "residual" \
+                and res_tol is not None:
+            converged = final_rr <= res_tol
+        if converged and event.rule == "quiescence" \
+                and quiet_thr is not None:
+            converged = self._wave_fixed_point_delta() <= quiet_thr
+        return SolveResult(
+            x=x,
+            rms_error=np.nan,
+            relative_residual=final_rr,
+            converged=converged,
+            iterations=int(sum(r.subdomain_solves for r in reports)),
+            sim_time=wall,
+            errors=merge_shard_series(series_parts, rule.name),
+            split=plan.split.with_sources(b_vec, rhs_list),
+            plan_reused=plan.from_cache or served > 1,
+            plan_solves=served,
+            warm_started=warm,
+            stopped_by=event.rule if event is not None else None,
+            stop_metric=(event.metric if event is not None
+                         else final_rr),
+            shard_reports=reports,
+        )
+
+
+def solve_dtm_multiproc(plan, b=None, *, shards: int = 2,
+                        **solve_kwargs) -> SolveResult:
+    """One-shot convenience wrapper: spawn, solve, tear down."""
+    with MultiprocDtmRunner(plan, shards=shards) as runner:
+        return runner.solve(b, **solve_kwargs)
+
+
+__all__ = [
+    "EdgeMailbox",
+    "MultiprocDtmRunner",
+    "solve_dtm_multiproc",
+]

@@ -1,0 +1,249 @@
+"""Serving DTM: long-lived sharded sessions over a shared plan store.
+
+The production shape the ROADMAP names: planning is expensive and
+matrix-bound, execution is cheap and right-hand-side-bound, so a
+server keeps **plans** in a content-addressed store and **warm sharded
+runners** (worker pools with the factored shard payloads already
+resident) keyed by plan hash.  A ``solve(plan_id, b)`` request costs
+one back-substitution per subdomain plus the parallel run itself — no
+re-partitioning, no re-factorization, no process spawn.
+
+This module is transport-agnostic: :meth:`DtmServer.serve` is a plain
+request loop over an iterable (tests and the demo drive it with
+lists/generators); putting it behind a socket or HTTP front end is a
+framing exercise, not a solver one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..plan import SolverPlan, get_plan
+from ..plan.session import SolveResult
+from .multiproc import MultiprocDtmRunner
+
+
+def plan_hash(plan: SolverPlan) -> str:
+    """Content hash identifying a plan in the store.
+
+    Covers the matrix fingerprint and every plan-affecting input (the
+    plan cache key), *not* the right-hand side: all solves against one
+    matrix/configuration share one entry, which is exactly the reuse
+    unit a warm runner amortizes.
+    """
+    h = hashlib.sha256()
+    h.update(plan.fingerprint().encode())
+    h.update(repr(plan.key).encode())
+    return h.hexdigest()[:16]
+
+
+class PlanStore:
+    """Thread-safe content-addressed store of immutable plans."""
+
+    def __init__(self) -> None:
+        self._plans: dict[str, SolverPlan] = {}
+        self._lock = threading.Lock()
+
+    def put(self, plan: SolverPlan) -> str:
+        key = plan_hash(plan)
+        with self._lock:
+            # first write wins: plans are immutable and content-keyed,
+            # so re-registering is a no-op returning the same id
+            self._plans.setdefault(key, plan)
+        return key
+
+    def get(self, key: str) -> SolverPlan:
+        with self._lock:
+            plan = self._plans.get(key)
+        if plan is None:
+            raise KeyError(f"no plan {key!r} in the store")
+        return plan
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._plans)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One solve request for :meth:`DtmServer.serve`."""
+
+    plan_id: str
+    b: np.ndarray
+    tol: float = 1e-8
+    stopping: object = None
+    warm_start: bool = False
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One served solve: the result plus queue/latency accounting."""
+
+    plan_id: str
+    result: SolveResult
+    seq: int
+    wall_seconds: float
+    tag: object = None
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving counters (what a dashboard would scrape)."""
+
+    n_registered: int = 0
+    n_solves: int = 0
+    n_warm_hits: int = 0
+    total_solve_seconds: float = 0.0
+    per_plan_solves: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        return {
+            "n_registered": self.n_registered,
+            "n_solves": self.n_solves,
+            "n_warm_hits": self.n_warm_hits,
+            "total_solve_seconds": self.total_solve_seconds,
+            "per_plan_solves": dict(self.per_plan_solves),
+        }
+
+
+class DtmServer:
+    """Long-lived sharded solve service over a :class:`PlanStore`.
+
+    Parameters
+    ----------
+    shards:
+        Worker processes per runner (``1`` = in-process fleet path).
+    store:
+        Shared :class:`PlanStore` (a fresh private one by default) —
+        several servers can serve one store.
+    runner_opts:
+        Extra :class:`MultiprocDtmRunner` keyword arguments applied to
+        every runner the server creates.
+    """
+
+    def __init__(self, *, shards: int = 2,
+                 store: Optional[PlanStore] = None,
+                 **runner_opts) -> None:
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        self.shards = int(shards)
+        self.store = store if store is not None else PlanStore()
+        self._runner_opts = dict(runner_opts)
+        self._runners: dict[str, MultiprocDtmRunner] = {}
+        self._lock = threading.Lock()
+        self.stats = ServerStats()
+        self._seq = 0
+        self._closed = False
+
+    # -- registration ---------------------------------------------------
+    def register(self, a=None, b=None, *,
+                 plan: Optional[SolverPlan] = None,
+                 **plan_kwargs) -> str:
+        """Admit a system (or prebuilt plan) and return its plan id.
+
+        Building goes through the in-process plan cache, so two
+        registrations of the same matrix/configuration return the same
+        id and share one plan object.
+        """
+        if self._closed:
+            raise ConfigurationError("server is closed")
+        if plan is None:
+            if a is None:
+                raise ConfigurationError(
+                    "register needs a system or a plan")
+            plan = get_plan(a, b, mode="dtm", **plan_kwargs)
+        elif plan.mode != "dtm":
+            raise ConfigurationError(
+                f"DtmServer serves dtm-mode plans, got {plan.mode!r}")
+        key = self.store.put(plan)
+        self.stats.n_registered = len(self.store)
+        return key
+
+    # -- dispatch -------------------------------------------------------
+    def runner(self, plan_id: str) -> MultiprocDtmRunner:
+        """The warm sharded runner of *plan_id* (created on first use)."""
+        with self._lock:
+            runner = self._runners.get(plan_id)
+            if runner is None:
+                plan = self.store.get(plan_id)
+                runner = MultiprocDtmRunner(plan, shards=self.shards,
+                                            **self._runner_opts)
+                self._runners[plan_id] = runner
+            else:
+                self.stats.n_warm_hits += 1
+        return runner
+
+    def solve(self, plan_id: str, b=None, **solve_kwargs) -> SolveResult:
+        """Solve against a registered plan on its warm worker pool."""
+        if self._closed:
+            raise ConfigurationError("server is closed")
+        t0 = time.perf_counter()
+        result = self.runner(plan_id).solve(b, **solve_kwargs)
+        wall = time.perf_counter() - t0
+        self.stats.n_solves += 1
+        self.stats.total_solve_seconds += wall
+        self.stats.per_plan_solves[plan_id] = \
+            self.stats.per_plan_solves.get(plan_id, 0) + 1
+        return result
+
+    def serve(self, requests: Iterable[ServeRequest]
+              ) -> Iterator[ServeResponse]:
+        """The server loop: drain *requests*, yield responses in order.
+
+        Lazily evaluated so a caller can stream an unbounded request
+        source; runners stay warm across requests for the same plan.
+        """
+        for req in requests:
+            t0 = time.perf_counter()
+            result = self.solve(req.plan_id, req.b, tol=req.tol,
+                                stopping=req.stopping,
+                                warm_start=req.warm_start)
+            self._seq += 1
+            yield ServeResponse(plan_id=req.plan_id, result=result,
+                                seq=self._seq,
+                                wall_seconds=time.perf_counter() - t0,
+                                tag=req.tag)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down every warm runner (plans stay in the store)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            runners = list(self._runners.values())
+            self._runners.clear()
+        for runner in runners:
+            runner.close()
+
+    def __enter__(self) -> "DtmServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "DtmServer",
+    "PlanStore",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerStats",
+    "plan_hash",
+]

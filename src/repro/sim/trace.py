@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.convergence import ConvergenceTracker, RuleMonitor, StateProbe
+from ..core.convergence import RuleMonitor, StateProbe
 from ..core.kernel import DtmKernel
 from ..errors import ValidationError
 from ..utils.timeseries import TimeSeries
@@ -175,6 +175,67 @@ class MessageLog:
             out.setdefault((r.src_proc, r.dst_proc), []).append(
                 r.t_arrive - r.t_send)
         return out
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard diagnostics of one multiprocess solve.
+
+    The sharded runtime owns no per-event log (workers free-run), so
+    the measurement story is coarser than the simulator's: sweep
+    counts, the part range each worker owned, and the flat state-row
+    slice it published through shared memory.
+    """
+
+    shard: int
+    part_lo: int
+    part_hi: int
+    sweeps: int
+    n_slots: int
+    state_rows: int
+
+    @property
+    def n_parts(self) -> int:
+        return self.part_hi - self.part_lo
+
+    @property
+    def subdomain_solves(self) -> int:
+        """Subdomain resolves this shard performed (sweeps x parts)."""
+        return self.sweeps * self.n_parts
+
+
+def gather_shard_states(split, states: np.ndarray,
+                        state_offsets: np.ndarray,
+                        mode: str = "average") -> np.ndarray:
+    """Assemble the global solution from a flat shared state buffer.
+
+    *states* holds every subdomain's full local state ``[u; y]``
+    back-to-back in part order (the multiprocess runtime's
+    shared-memory layout); *state_offsets* is the CSR-style row offset
+    table (``part q`` owns rows ``[off[q], off[q+1])``).  Split-vertex
+    copies are combined exactly as :meth:`SplitResult.gather` does, so
+    a sharded run's result assembly matches the single-process path.
+    """
+    locals_states = [
+        states[state_offsets[q]:state_offsets[q + 1]]
+        for q in range(len(state_offsets) - 1)
+    ]
+    return split.gather(locals_states, mode=mode)
+
+
+def merge_shard_series(series_list: Sequence[TimeSeries],
+                       name: str = "residual") -> TimeSeries:
+    """Merge per-round monitor traces into one diagnostic series.
+
+    Rounds are sequential in wall time, so a simple ordered re-append
+    suffices; same-instant duplicates collapse latest-wins (the
+    :class:`TimeSeries` convention).
+    """
+    out = TimeSeries(name)
+    for series in series_list:
+        for t, v in zip(series.times, series.values):
+            out.append(float(t), float(v))
+    return out
 
 
 @dataclass

@@ -2,9 +2,6 @@
 
 import os
 
-import numpy as np
-import pytest
-
 from repro.analysis.reporting import (
     ExperimentRecord,
     ascii_curve,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.hybrid import (
     ClusteredDtmSimulator,
-    ClusterKernel,
     PeriodicResyncDtmSimulator,
 )
 from repro.errors import ConfigurationError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import PartitionError
-from repro.graph.electric import ElectricGraph
 from repro.graph.partition import Partition, Subdomain, TwinLink
 from repro.linalg.sparse import CsrMatrix
 from repro.workloads.paper import paper_partition, paper_system_3_2

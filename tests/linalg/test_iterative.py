@@ -11,7 +11,7 @@ from repro.linalg.iterative import (
     jacobi,
     sor,
 )
-from repro.linalg.sparse import CsrMatrix, laplacian_like
+from repro.linalg.sparse import laplacian_like
 
 
 def grid_system(side, boost=0.2, seed=0):

@@ -1,0 +1,500 @@
+"""The multiprocess sharded runtime (ISSUE 4).
+
+Covers the numerical contract end to end:
+
+* shard extraction — contiguous balanced cuts, routing/mailbox
+  consistency, payload serialization;
+* the :class:`ShardKernel` repack — *lockstep* shard sweeps are
+  bitwise-identical to the fleet kernel's ``solve_all``/``emit_all``;
+* ``MultiprocDtmRunner(shards=1)`` — bitwise-identical to the fleet
+  simulator (circuit and Poisson workloads);
+* ``shards>1`` — true-parallel workers converge to the same tolerance
+  with reference-free stopping, never materializing the plan's
+  reference factor;
+* the per-edge mailbox property — latest-wins delivery under
+  arbitrary (fair, boundedly stale) interleavings preserves the
+  stopping-rule invariants of ``tests/test_stopping_integration.py``;
+* the serving layer — plan store keying, warm runners, the serve loop.
+"""
+
+import faulthandler
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import QuiescenceRule, ReferenceRule, ResidualRule, solve_dtm
+from repro.core.convergence import StateProbe, begin_monitor, relative_residual
+from repro.core.fleet import ShardKernel, extract_shard_kernel
+from repro.errors import ConfigurationError, MultiprocError, ValidationError
+from repro.plan import build_plan
+from repro.plan.session import SolverSession
+from repro.plan.shard import (
+    MailboxSpec,
+    ShardSpec,
+    extract_shards,
+    shard_bounds,
+)
+from repro.runtime.multiproc import EdgeMailbox, MultiprocDtmRunner
+from repro.runtime.server import DtmServer, PlanStore, ServeRequest, plan_hash
+from repro.workloads.circuits import resistor_grid
+from repro.workloads.poisson import grid2d_poisson
+
+# a CI hang in this file should dump stacks, not eat the runner cap
+faulthandler.enable()
+
+TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def poisson_plan():
+    return build_plan(grid2d_poisson(20), n_subdomains=8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def circuit_plan():
+    return build_plan(resistor_grid(9, 9, seed=3), n_subdomains=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def runner(poisson_plan):
+    """One warm 3-shard worker pool shared by the solve tests."""
+    with MultiprocDtmRunner(poisson_plan, shards=3) as r:
+        yield r
+
+
+def direct_solution(plan, b=None):
+    """Dense oracle that bypasses the plan's reference machinery."""
+    b = plan.base_b if b is None else np.asarray(b, dtype=np.float64)
+    return np.linalg.solve(plan.a_mat.to_dense(), b)
+
+
+# ----------------------------------------------------------------------
+# shard extraction
+# ----------------------------------------------------------------------
+class TestShardBounds:
+    def test_covers_everything_contiguously(self):
+        bounds = shard_bounds([5, 1, 1, 1, 5, 1, 1, 5], 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 8
+        for (lo_a, hi_a), (lo_b, _) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+            assert hi_a > lo_a
+
+    def test_balances_weight(self):
+        # heavy head: the first shard should not swallow everything
+        bounds = shard_bounds([100, 1, 1, 1], 2)
+        assert bounds == [(0, 1), (1, 4)]
+
+    def test_degenerate_counts(self):
+        assert shard_bounds([1, 1], 1) == [(0, 2)]
+        assert shard_bounds([1, 1], 2) == [(0, 1), (1, 2)]
+        with pytest.raises(ConfigurationError):
+            shard_bounds([1, 1], 3)
+        with pytest.raises(ConfigurationError):
+            shard_bounds([1, 1], 0)
+
+
+class TestShardExtraction:
+    @pytest.mark.parametrize("n_shards", [2, 3, 8])
+    def test_partition_of_parts_and_slots(self, poisson_plan, n_shards):
+        specs = extract_shards(poisson_plan, n_shards)
+        fleet = poisson_plan.fleet_template
+        parts = np.concatenate([s.parts for s in specs])
+        assert np.array_equal(parts, np.arange(fleet.n_parts))
+        assert specs[0].slot_lo == 0
+        assert specs[-1].slot_hi == fleet.n_slots_total
+        for a, b in zip(specs, specs[1:]):
+            assert a.slot_hi == b.slot_lo
+            assert a.state_hi == b.state_lo
+
+    def test_mailboxes_cover_owned_slots_once(self, poisson_plan):
+        specs = extract_shards(poisson_plan, 3)
+        fleet = poisson_plan.fleet_template
+        for spec in specs:
+            n_owned = spec.slot_hi - spec.slot_lo
+            pos = np.concatenate(
+                [spec.loopback.emit_pos]
+                + [box.emit_pos for box in spec.outboxes])
+            assert np.array_equal(np.sort(pos), np.arange(n_owned))
+            dest = np.concatenate(
+                [spec.loopback.dest_slots]
+                + [box.dest_slots for box in spec.outboxes])
+            owned = np.arange(spec.slot_lo, spec.slot_hi)
+            assert np.array_equal(
+                np.sort(dest),
+                np.sort(fleet.route_dest_slot_global[owned]))
+
+    def test_every_global_slot_has_one_writer(self, poisson_plan):
+        specs = extract_shards(poisson_plan, 3)
+        dest = np.concatenate(
+            [np.concatenate([spec.loopback.dest_slots]
+                            + [b.dest_slots for b in spec.outboxes])
+             for spec in specs])
+        # the routing is a permutation: each slot written exactly once
+        assert np.array_equal(
+            np.sort(dest),
+            np.arange(poisson_plan.fleet_template.n_slots_total))
+
+    def test_payload_roundtrip(self, poisson_plan):
+        spec = extract_shards(poisson_plan, 2)[1]
+        clone = ShardSpec.from_payload(spec.to_payload())
+        assert clone.index == spec.index
+        assert np.array_equal(clone.parts, spec.parts)
+        assert clone.slot_lo == spec.slot_lo
+        assert np.array_equal(clone.loopback.dest_slots,
+                              spec.loopback.dest_slots)
+
+    def test_payload_schema_checked(self, poisson_plan):
+        import pickle
+
+        bad = pickle.dumps(("something-else/9", None))
+        with pytest.raises(ValidationError):
+            ShardSpec.from_payload(bad)
+
+    def test_vtm_plan_rejected(self):
+        plan = build_plan(grid2d_poisson(6), mode="vtm", n_subdomains=4)
+        with pytest.raises(ConfigurationError):
+            extract_shards(plan, 2)
+
+
+class TestShardKernel:
+    def test_requires_loaded_x0(self, poisson_plan):
+        kern = extract_shard_kernel(poisson_plan.fleet_template, 0, 2)
+        with pytest.raises(ValidationError):
+            kern.sweep(np.zeros(kern.n_slots))
+
+    def test_rejects_non_contiguous_parts(self, poisson_plan):
+        locs = poisson_plan.base_locals
+        with pytest.raises(ValidationError):
+            ShardKernel(np.array([0, 2]), [locs[0], locs[2]])
+
+    def test_rejects_bad_x0_shape(self, poisson_plan):
+        kern = extract_shard_kernel(poisson_plan.fleet_template, 0, 2)
+        with pytest.raises(ValidationError):
+            kern.load_x0(np.zeros(kern.n_states + 1))
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3])
+    def test_lockstep_sweeps_bitwise_match_fleet(self, poisson_plan,
+                                                 n_shards):
+        """Synchronous shard sweeps == fleet solve_all/emit_all, bitwise.
+
+        This is the regrouping half of the numerical contract: cutting
+        the fleet into shards must not change a single bit of any
+        subdomain's resolve or emission.
+        """
+        plan = poisson_plan
+        fleet = plan.fork_fleet()
+        specs = extract_shards(plan, n_shards)
+        x0_flat = np.concatenate([loc.x0 for loc in plan.base_locals])
+        for spec in specs:
+            spec.kernel.load_x0(x0_flat[spec.state_lo:spec.state_hi])
+        waves = np.zeros(fleet.n_slots_total)
+        for _ in range(4):
+            fleet.solve_all()
+            dest, vals = fleet.emit_all()
+            outs = [(spec, spec.kernel.sweep(
+                waves[spec.slot_lo:spec.slot_hi].copy()))
+                for spec in specs]
+            next_waves = waves.copy()
+            for spec, out in outs:
+                EdgeMailbox(spec.loopback, next_waves).post(out)
+                for box in spec.outboxes:
+                    EdgeMailbox(box, next_waves).post(out)
+            fleet.receive_batch(dest, vals)
+            waves = next_waves
+            assert np.array_equal(waves, fleet.waves)
+        states = np.concatenate(
+            [spec.kernel.full_states(
+                waves[spec.slot_lo:spec.slot_hi].copy())
+             for spec in specs])
+        ref = np.concatenate([v.full_state() for v in fleet.views()])
+        assert np.array_equal(states, ref)
+
+
+# ----------------------------------------------------------------------
+# the mailbox property (satellite): latest-wins under interleavings
+# ----------------------------------------------------------------------
+class TestMailboxProperty:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_latest_wins_per_slot(self, data):
+        """Posts overwrite; the final value is the last post per slot,
+        however the posts were grouped or interleaved."""
+        n_slots = data.draw(st.integers(4, 24))
+        waves = np.zeros(n_slots)
+        last = {}
+        n_posts = data.draw(st.integers(1, 30))
+        for _ in range(n_posts):
+            k = data.draw(st.integers(1, n_slots))
+            slots = np.array(data.draw(st.lists(
+                st.integers(0, n_slots - 1), min_size=k, max_size=k)))
+            values = np.array(data.draw(st.lists(
+                st.floats(-10, 10), min_size=k, max_size=k)))
+            box = EdgeMailbox(
+                MailboxSpec(0, 1, np.arange(k), slots), waves)
+            box.post(values)
+            # the receiver-side view agrees with the raw array
+            assert np.array_equal(box.peek(), waves[slots])
+            for s, v in zip(slots, values):
+                last[int(s)] = v  # later duplicates win, as in the post
+        for s, v in last.items():
+            assert waves[s] == v
+
+    @given(seed=st.integers(0, 10_000), max_lag=st.integers(0, 3))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_interleavings_preserve_stopping_invariants(self, seed,
+                                                        max_lag):
+        """Chaotic shard scheduling with delayed, overwritten deliveries
+        still converges under a reference-free rule — and the run never
+        materializes the plan's reference factor while reporting
+        ``stopped_by`` (the ``test_stopping_integration`` invariants).
+        """
+        plan = build_plan(grid2d_poisson(8), n_subdomains=4, seed=0)
+        specs = extract_shards(plan, 2)
+        rng = np.random.default_rng(seed)
+        waves = np.zeros(plan.fleet_template.n_slots_total)
+        x0_flat = np.concatenate([loc.x0 for loc in plan.base_locals])
+        state_off = np.concatenate(
+            [[0], np.cumsum([loc.n_local for loc in plan.base_locals])])
+        for spec in specs:
+            spec.kernel.load_x0(x0_flat[spec.state_lo:spec.state_hi])
+
+        def gather():
+            states = np.concatenate(
+                [spec.kernel.full_states(
+                    waves[spec.slot_lo:spec.slot_hi].copy())
+                 for spec in specs])
+            return plan.split.gather(
+                [states[state_off[q]:state_off[q + 1]]
+                 for q in range(plan.n_parts)])
+
+        rule, monitor, _ = begin_monitor(
+            ResidualRule(tol=1e-6), tol=None,
+            system=(plan.a_mat, plan.base_b))
+        pending: list[tuple[int, EdgeMailbox, np.ndarray]] = []
+        event = None
+        for rnd in range(600):
+            # fair but arbitrary: each round sweeps every shard once in
+            # a drawn order; cross-shard posts may lag up to max_lag
+            # rounds and are applied in a drawn order (so an older
+            # in-flight wave can be overwritten by a newer one — the
+            # latest-wins semantics under test)
+            for k in rng.permutation(len(specs)):
+                spec = specs[k]
+                out = spec.kernel.sweep(
+                    waves[spec.slot_lo:spec.slot_hi].copy())
+                EdgeMailbox(spec.loopback, waves).post(out)
+                for box in spec.outboxes:
+                    lag = int(rng.integers(0, max_lag + 1))
+                    pending.append(
+                        (rnd + lag, EdgeMailbox(box, waves), out.copy()))
+            due = [p for p in pending if p[0] <= rnd]
+            pending = [p for p in pending if p[0] > rnd]
+            for i in rng.permutation(len(due)):
+                _, box, out = due[i]
+                box.post(out)
+            event = monitor.update(float(rnd + 1), StateProbe(gather))
+            if event is not None:
+                break
+        assert event is not None, "chaotic schedule failed to converge"
+        assert event.rule == "residual"  # stopped_by is reported
+        assert event.converged
+        assert not plan.reference_materialized
+        assert relative_residual(plan.a_mat, gather(), plan.base_b) \
+            <= 1e-6
+
+
+# ----------------------------------------------------------------------
+# shards=1: the bitwise contract
+# ----------------------------------------------------------------------
+class TestShardsOneBitwise:
+    @pytest.mark.parametrize("plan_fixture",
+                             ["poisson_plan", "circuit_plan"])
+    def test_bitwise_identical_to_fleet_session(self, plan_fixture,
+                                                request):
+        plan = request.getfixturevalue(plan_fixture)
+        rule = ResidualRule(tol=1e-8)
+        with MultiprocDtmRunner(plan, shards=1) as runner:
+            got = runner.solve(stopping=rule, t_max=50_000, tol=None)
+        want = SolverSession(plan).solve(stopping=rule, t_max=50_000,
+                                         tol=None)
+        assert np.array_equal(got.x, want.x)
+        assert got.iterations == want.iterations
+        assert got.stopped_by == want.stopped_by
+        assert got.converged and want.converged
+
+    def test_reference_rule_allowed_on_simulator_path(self, circuit_plan):
+        with MultiprocDtmRunner(circuit_plan, shards=1) as runner:
+            res = runner.solve(stopping=ReferenceRule(tol=1e-8),
+                               t_max=50_000)
+        assert res.converged
+
+
+# ----------------------------------------------------------------------
+# shards>1: true-parallel convergence to tolerance
+# ----------------------------------------------------------------------
+class TestMultiprocSolve:
+    def test_residual_converges_to_tolerance(self, poisson_plan, runner):
+        res = runner.solve(stopping=ResidualRule(tol=TOL),
+                           wall_budget=60.0)
+        assert res.converged
+        assert res.stopped_by == "residual"
+        assert res.relative_residual <= TOL
+        assert np.isnan(res.rms_error)
+        assert not poisson_plan.reference_materialized
+        x_ref = direct_solution(poisson_plan)
+        assert np.max(np.abs(res.x - x_ref)) < 1e-5
+        assert res.shard_reports is not None
+        assert len(res.shard_reports) == 3
+        assert all(rep.sweeps > 0 for rep in res.shard_reports)
+        assert res.iterations == sum(rep.subdomain_solves
+                                     for rep in res.shard_reports)
+
+    def test_rhs_swap_on_warm_pool(self, poisson_plan, runner):
+        rng = np.random.default_rng(7)
+        b2 = rng.standard_normal(poisson_plan.n)
+        res = runner.solve(b2, stopping=ResidualRule(tol=TOL),
+                           wall_budget=60.0)
+        assert res.converged
+        assert relative_residual(poisson_plan.a_mat, res.x, b2) <= TOL
+        assert np.max(np.abs(res.x - direct_solution(poisson_plan, b2))) \
+            < 1e-5
+        assert res.plan_reused
+
+    def test_warm_start_flag(self, runner):
+        cold = runner.solve(stopping=ResidualRule(tol=TOL))
+        warm = runner.solve(stopping=ResidualRule(tol=TOL),
+                            warm_start=True)
+        assert not cold.warm_started
+        assert warm.warm_started
+        assert warm.converged
+
+    def test_quiescence_rule(self, poisson_plan, runner):
+        res = runner.solve(stopping=QuiescenceRule(threshold=1e-10),
+                           wall_budget=60.0)
+        assert res.converged
+        assert res.stopped_by == "quiescence"
+        assert res.relative_residual < 1e-6
+        assert not poisson_plan.reference_materialized
+
+    def test_default_stopping_is_residual(self, runner):
+        res = runner.solve(tol=1e-7)
+        assert res.stopped_by == "residual"
+        assert res.relative_residual <= 1e-7
+
+    def test_four_shards(self, poisson_plan):
+        with MultiprocDtmRunner(poisson_plan, shards=4) as r:
+            res = r.solve(stopping=ResidualRule(tol=TOL),
+                          wall_budget=60.0)
+        assert res.converged
+        assert res.relative_residual <= TOL
+
+    def test_reference_rule_rejected(self, runner):
+        with pytest.raises(ConfigurationError):
+            runner.solve(stopping=ReferenceRule(tol=1e-8))
+
+    def test_too_many_shards_rejected(self, poisson_plan):
+        with pytest.raises(ConfigurationError):
+            MultiprocDtmRunner(poisson_plan,
+                               shards=poisson_plan.n_parts + 1)
+
+    def test_vtm_plan_rejected(self):
+        plan = build_plan(grid2d_poisson(6), mode="vtm", n_subdomains=4)
+        with pytest.raises(ConfigurationError):
+            MultiprocDtmRunner(plan, shards=2)
+
+    def test_closed_runner_raises(self, poisson_plan):
+        r = MultiprocDtmRunner(poisson_plan, shards=2)
+        r.close()
+        with pytest.raises(MultiprocError):
+            r.solve()
+        r.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# api backend switch
+# ----------------------------------------------------------------------
+class TestApiBackend:
+    def test_multiproc_backend(self):
+        g = grid2d_poisson(16)
+        res = solve_dtm(g, n_subdomains=6, seed=2, backend="multiproc",
+                        shards=2, stopping=ResidualRule(tol=1e-7),
+                        wall_budget=60.0)
+        assert res.converged
+        assert res.relative_residual <= 1e-7
+        assert res.shard_reports is not None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_dtm(grid2d_poisson(6), backend="threads")
+
+    def test_sim_options_rejected_for_multiproc(self):
+        with pytest.raises(ConfigurationError):
+            solve_dtm(grid2d_poisson(6), backend="multiproc",
+                      log_messages=True)
+
+    def test_reference_kw_rejected_for_multiproc(self):
+        g = grid2d_poisson(6)
+        with pytest.raises(ConfigurationError):
+            solve_dtm(g, backend="multiproc",
+                      reference=np.zeros(g.n))
+
+
+# ----------------------------------------------------------------------
+# serving layer
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_register_is_content_keyed(self, poisson_plan):
+        store = PlanStore()
+        with DtmServer(shards=2, store=store) as server:
+            key1 = server.register(plan=poisson_plan)
+            key2 = server.register(plan=poisson_plan)
+            assert key1 == key2
+            assert key1 == plan_hash(poisson_plan)
+            assert len(store) == 1
+
+    def test_solve_and_stats(self, poisson_plan):
+        with DtmServer(shards=2) as server:
+            key = server.register(plan=poisson_plan)
+            rng = np.random.default_rng(3)
+            b = rng.standard_normal(poisson_plan.n)
+            res1 = server.solve(key, b, stopping=ResidualRule(tol=1e-7))
+            res2 = server.solve(key, stopping=ResidualRule(tol=1e-7))
+            assert res1.converged and res2.converged
+            snap = server.stats.snapshot()
+            assert snap["n_solves"] == 2
+            assert snap["n_warm_hits"] == 1  # second solve reused pool
+            assert snap["per_plan_solves"][key] == 2
+
+    def test_serve_loop(self, poisson_plan):
+        with DtmServer(shards=2) as server:
+            key = server.register(plan=poisson_plan)
+            rng = np.random.default_rng(5)
+            reqs = [ServeRequest(plan_id=key,
+                                 b=rng.standard_normal(poisson_plan.n),
+                                 tol=1e-7, tag=i)
+                    for i in range(3)]
+            responses = list(server.serve(iter(reqs)))
+        assert [r.tag for r in responses] == [0, 1, 2]
+        assert [r.seq for r in responses] == [1, 2, 3]
+        for req, resp in zip(reqs, responses):
+            assert resp.result.converged
+            assert relative_residual(poisson_plan.a_mat,
+                                     resp.result.x, req.b) <= 1e-7
+
+    def test_unknown_plan_id(self):
+        with DtmServer(shards=2) as server:
+            with pytest.raises(KeyError):
+                server.solve("deadbeef", np.zeros(3))
+
+    def test_closed_server_rejects(self, poisson_plan):
+        server = DtmServer(shards=2)
+        key = server.register(plan=poisson_plan)
+        server.close()
+        with pytest.raises(ConfigurationError):
+            server.solve(key)
+        with pytest.raises(ConfigurationError):
+            server.register(plan=poisson_plan)

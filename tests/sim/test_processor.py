@@ -1,6 +1,5 @@
 """Tests for the processor model (compute latency + coalescing)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError
