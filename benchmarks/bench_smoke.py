@@ -1,15 +1,16 @@
-"""Tier-2 smoke targets for the kernel, plan-reuse and multiproc benches.
+"""Tier-2 smoke targets for the kernel, plan, multiproc, net benches.
 
 Fast sanity passes over :mod:`bench_kernel_micro`,
-:mod:`bench_plan_reuse` and :mod:`bench_multiproc`: run a small case
-each, check the built-in equivalence guards fired (they raise on
-divergence), the JSON records have the expected shape, and the
-architectural win is present at all (fleet not slower than the Python
-loop; cached setup not slower than re-planning; sharded solves
-converge to tolerance).  They deliberately do *not* assert the full
-headline ratios (that is the full benches' job, checked against the
-committed baselines by ``scripts/check_bench.py``) so the smoke tests
-stay robust on loaded CI machines.
+:mod:`bench_plan_reuse`, :mod:`bench_multiproc` and
+:mod:`bench_net`: run a small case each, check the built-in
+equivalence guards fired (they raise on divergence), the JSON records
+have the expected shape, and the architectural win is present at all
+(fleet not slower than the Python loop; cached setup not slower than
+re-planning; sharded solves converge to tolerance; the TCP fabric
+converges to the same tolerance as shm).  They deliberately do *not*
+assert the full headline ratios (that is the full benches' job,
+checked against the committed baselines by ``scripts/check_bench.py``)
+so the smoke tests stay robust on loaded CI machines.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
 """
@@ -22,6 +23,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_kernel_micro import bench_case, run_bench  # noqa: E402
 from bench_multiproc import bench_case as mp_bench_case  # noqa: E402
+from bench_net import bench_case as net_bench_case  # noqa: E402
 from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
 
 
@@ -61,6 +63,22 @@ def test_multiproc_bench_smoke():
     # the sharded runtime converged and produced a well-formed record
     assert case["speedup_at_4"] is None
     assert len(rec["sweeps"]) == 2
+
+
+def test_net_bench_smoke():
+    case = net_bench_case(40, n_parts=4, parts_shape=(2, 2),
+                          wall_budget=120.0)
+    assert case["n"] == 1600
+    assert case["shards"] == 2
+    # both fabrics converged to the same reference-free tolerance
+    assert case["shm"]["relative_residual"] <= case["tol"]
+    assert case["tcp"]["relative_residual"] <= case["tol"]
+    assert case["client"]["relative_residual"] <= case["tol"]
+    assert case["shm"]["solve_s"] > 0
+    assert case["tcp"]["solve_s"] > 0
+    assert case["client"]["roundtrip_s"] > 0
+    assert case["tcp_vs_shm"] > 0
+    assert len(case["tcp"]["sweeps"]) == 2
 
 
 def test_plan_bench_smoke(tmp_path):

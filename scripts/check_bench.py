@@ -1,21 +1,24 @@
 """Fail when a committed benchmark baseline regresses.
 
 Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
-:mod:`benchmarks.bench_plan_reuse` and
-:mod:`benchmarks.bench_multiproc` (or previously written JSONs passed
-via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc``) against the
-committed ``benchmarks/BENCH_kernel.json``, ``BENCH_plan.json`` and
-``BENCH_multiproc.json``.  A case **regresses** when its speedup
-ratio — a machine-relative number, robust on hosts slower than the one
-that wrote the baseline — drops by more than ``--tolerance`` (default
-20%): the kernel bench's fleet-vs-per-kernel ratio (headline
-``speedup_at_256``), the plan bench's cached-vs-replanned setup ratio
-(headline ``speedup_at_64``), and the multiproc bench's
-sharded-vs-simulator wall-clock ratio (headline ``speedup_at_4``,
-which additionally must clear the absolute 1.5x floor).  Absolute
-kernel sweep times exceeding the baseline print warnings only, unless
-``--strict-time`` promotes them to failures.  Exit code 0 = pass,
-1 = regression, 2 = usage/baseline problems.
+:mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`
+and :mod:`benchmarks.bench_net` (or previously written JSONs passed
+via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc`` /
+``--fresh-net``) against the committed
+``benchmarks/BENCH_kernel.json``, ``BENCH_plan.json``,
+``BENCH_multiproc.json`` and ``BENCH_net.json``.  A case
+**regresses** when its speedup ratio — a machine-relative number,
+robust on hosts slower than the one that wrote the baseline — drops
+by more than ``--tolerance`` (default 20%): the kernel bench's
+fleet-vs-per-kernel ratio (headline ``speedup_at_256``), the plan
+bench's cached-vs-replanned setup ratio (headline ``speedup_at_64``),
+the multiproc bench's sharded-vs-simulator wall-clock ratio (headline
+``speedup_at_4``, which additionally must clear the absolute 1.5x
+floor), and the net bench's tcp-vs-shm warm-solve ratio (headline
+``tcp_vs_shm_at_2``, floored by the baseline's ``ratio_floor``).
+Absolute kernel sweep times exceeding the baseline print warnings
+only, unless ``--strict-time`` promotes them to failures.  Exit code
+0 = pass, 1 = regression, 2 = usage/baseline problems.
 
 A **missing or malformed baseline file is a hard failure** (exit 2),
 never a silent skip: CI must not green-light an ungated bench.  Use
@@ -50,12 +53,15 @@ DEFAULT_PLAN_BASELINE = os.path.join(_ROOT, "benchmarks",
                                      "BENCH_plan.json")
 DEFAULT_MULTIPROC_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_multiproc.json")
+DEFAULT_NET_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                    "BENCH_net.json")
 
 #: bench script that regenerates each baseline, for error messages
 _REGEN = {
     "BENCH_kernel.json": "benchmarks/bench_kernel_micro.py",
     "BENCH_plan.json": "benchmarks/bench_plan_reuse.py",
     "BENCH_multiproc.json": "benchmarks/bench_multiproc.py",
+    "BENCH_net.json": "benchmarks/bench_net.py",
 }
 
 
@@ -193,6 +199,49 @@ def compare_multiproc(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_net(baseline: dict, fresh: dict, tolerance: float, *,
+                require_all: bool = True) -> tuple[list[str], list[str]]:
+    """Compare a fresh net-transport record against the baseline.
+
+    The failing signal is the per-case warm **tcp_vs_shm** solve-time
+    ratio (same machine and run — shm's solve is the in-run control),
+    plus the absolute floor recorded in the baseline: a healthy socket
+    fabric sits near 1.0, and a frame-thrash regression (e.g. losing
+    the post-emission yield) collapses the ratio by an order of
+    magnitude.  With ``require_all=False`` (quick mode) baseline cases
+    absent from the fresh run — the 10k-unknown acceptance workload —
+    downgrade to warnings; the cases that *did* run are fully gated.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = float(baseline.get("ratio_floor", 0.2))
+    base_cases = {c["nx"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["nx"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("net fresh record has no cases")
+        return problems, warnings
+    for nx, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(nx)
+        if cur is None:
+            msg = f"net nx={nx}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        ratio = cur.get("tcp_vs_shm")
+        base_ratio = base.get("tcp_vs_shm")
+        if ratio is None:
+            problems.append(f"net nx={nx}: fresh case lacks tcp_vs_shm")
+            continue
+        if ratio < floor:
+            problems.append(
+                f"net nx={nx}: tcp_vs_shm ratio {ratio:.2f} is below "
+                f"the {floor} floor (socket fabric regressed)")
+        if base_ratio and ratio < base_ratio * (1.0 - tolerance):
+            problems.append(
+                f"net nx={nx}: tcp_vs_shm fell from {base_ratio:.2f} "
+                f"to {ratio:.2f} (more than {tolerance:.0%} drop)")
+    return problems, warnings
+
+
 class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
@@ -202,10 +251,12 @@ def _speedup_summary(record: dict) -> dict:
     if not record:
         return {}
     out = {k: record[k]
-           for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4")
+           for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4",
+                     "tcp_vs_shm_at_2")
            if record.get(k) is not None}
     out["cases"] = [{k: c.get(k)
-                     for k in ("n_parts", "nx", "speedup", "speedup_at_4")
+                     for k in ("n_parts", "nx", "speedup", "speedup_at_4",
+                               "tcp_vs_shm")
                      if c.get(k) is not None}
                     for c in record.get("cases", [])]
     return out
@@ -214,15 +265,16 @@ def _speedup_summary(record: dict) -> dict:
 def _write_report(path: str, *, exit_code: int, problems, warnings,
                   checked, args, kernel_fresh: dict,
                   plan_fresh: dict, multiproc_fresh: dict,
-                  error: str = "") -> None:
+                  net_fresh: dict, error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/2",
+        "schema": "check_bench-report/3",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
         "tolerance": args.tolerance,
         "plan_tolerance": args.plan_tolerance,
         "multiproc_tolerance": args.multiproc_tolerance,
+        "net_tolerance": args.net_tolerance,
         "strict_time": bool(args.strict_time),
         "quick": bool(args.quick),
         "checked": list(checked),
@@ -234,6 +286,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                  "record": plan_fresh},
         "multiproc": {"measured": _speedup_summary(multiproc_fresh),
                       "record": multiproc_fresh},
+        "net": {"measured": _speedup_summary(net_fresh),
+                "record": net_fresh},
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -303,12 +357,25 @@ def _load_or_run_multiproc(args, baseline: dict) -> dict:
     return run_bench(cases, out="")
 
 
+def _load_or_run_net(args, baseline: dict) -> dict:
+    if args.fresh_net:
+        return _load_fresh(args.fresh_net)
+    from bench_net import QUICK_CASES, run_bench
+
+    cases = tuple(sorted(c["nx"] for c in baseline.get("cases", [])))
+    if args.quick:
+        cases = tuple(nx for nx in cases if nx in QUICK_CASES) \
+            or QUICK_CASES
+    return run_bench(cases, out="")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
     ap.add_argument("--plan-baseline", default=DEFAULT_PLAN_BASELINE)
     ap.add_argument("--multiproc-baseline",
                     default=DEFAULT_MULTIPROC_BASELINE)
+    ap.add_argument("--net-baseline", default=DEFAULT_NET_BASELINE)
     ap.add_argument("--fresh", default=None,
                     help="pre-computed fresh kernel JSON; omit to re-run")
     ap.add_argument("--fresh-plan", default=None,
@@ -316,12 +383,16 @@ def main(argv=None) -> int:
     ap.add_argument("--fresh-multiproc", default=None,
                     help="pre-computed fresh multiproc JSON; omit to "
                     "re-run")
+    ap.add_argument("--fresh-net", default=None,
+                    help="pre-computed fresh net JSON; omit to re-run")
     ap.add_argument("--skip-plan", action="store_true",
                     help="skip the plan baseline")
     ap.add_argument("--skip-kernel", action="store_true",
                     help="skip the kernel baseline")
     ap.add_argument("--skip-multiproc", action="store_true",
                     help="skip the multiproc baseline")
+    ap.add_argument("--skip-net", action="store_true",
+                    help="skip the net-transport baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
     ap.add_argument("--plan-tolerance", type=float, default=0.50,
@@ -333,6 +404,11 @@ def main(argv=None) -> int:
                     "multiproc bench's wall-clock speedups (scheduler-"
                     "noisy on small cases; the absolute 1.5x floor is "
                     "the hard backstop; default 0.50)")
+    ap.add_argument("--net-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the net "
+                    "bench's tcp-vs-shm warm-solve ratio (scheduler-"
+                    "noisy; the baseline's ratio_floor is the hard "
+                    "backstop; default 0.50)")
     ap.add_argument("--strict-time", action="store_true",
                     help="also fail on absolute fleet sweep times "
                     "(machine-dependent; off by default)")
@@ -349,6 +425,7 @@ def main(argv=None) -> int:
     fresh: dict = {}
     plan_fresh: dict = {}
     multiproc_fresh: dict = {}
+    net_fresh: dict = {}
 
     def report(code: int, error: str = "") -> int:
         if args.json_report:
@@ -357,6 +434,7 @@ def main(argv=None) -> int:
                           checked=checked, args=args,
                           kernel_fresh=fresh, plan_fresh=plan_fresh,
                           multiproc_fresh=multiproc_fresh,
+                          net_fresh=net_fresh,
                           error=error)
         return code
 
@@ -387,6 +465,16 @@ def main(argv=None) -> int:
             warnings += w
             checked.append(os.path.relpath(args.multiproc_baseline,
                                            _ROOT))
+
+        if not args.skip_net:
+            net_baseline = _require_baseline(args.net_baseline)
+            net_fresh = _load_or_run_net(args, net_baseline)
+            p, w = compare_net(net_baseline, net_fresh,
+                               args.net_tolerance,
+                               require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.net_baseline, _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)
         return report(2, error=str(exc))

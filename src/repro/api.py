@@ -39,6 +39,7 @@ from .errors import ConfigurationError
 from .graph.electric import ElectricGraph
 from .graph.evs import SplitResult
 from .linalg.sparse import CsrMatrix
+from .net.client import DtmClient
 from .plan import SolverPlan, SolverSession, VtmSession, get_plan
 from .plan.plan import make_split, resolve_rhs
 from .plan.session import SolveResult
@@ -47,6 +48,8 @@ from .sim.network import Topology
 __all__ = [
     "SolveResult", "SolverPlan", "SolverSession", "VtmSession",
     "prepare_split", "get_plan", "solve_dtm", "solve_vtm_system",
+    # remote serving (re-exported from repro.net)
+    "DtmClient", "connect_dtm",
     # stopping rules (re-exported from repro.core.convergence)
     "StoppingRule", "ReferenceRule", "ResidualRule", "QuiescenceRule",
     "HorizonRule", "AnyOf",
@@ -123,6 +126,7 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               backend: str = "sim",
               shards: int = 2,
               wall_budget: float = 60.0,
+              transport: str = "shm",
               **sim_kwargs) -> SolveResult:
     """Solve an SPD system with asynchronous DTM on a simulated machine.
 
@@ -160,10 +164,20 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     meaning; ``shards=1`` executes the simulator's fleet path
     (bitwise-identical to it), keeps ``t_max`` and may use an explicit
     reference-needing rule.
+
+    ``transport`` selects the multiproc backend's wave fabric (see
+    :mod:`repro.net.transport`): ``"shm"`` (default) runs workers over
+    shared memory on this machine; ``"tcp"`` runs the same latest-wins
+    mailbox frames over loopback sockets — the fabric that also spans
+    machines (a :class:`repro.net.TcpTransport` instance bound to a
+    LAN address accepts remote workers).
     """
     if backend not in ("sim", "multiproc"):
         raise ConfigurationError(
             f"unknown backend {backend!r}; choose 'sim' or 'multiproc'")
+    if transport != "shm" and backend != "multiproc":
+        raise ConfigurationError(
+            "transport= only applies to backend='multiproc'")
     b_vec = resolve_rhs(a, b)
     plan_kwargs = {k: sim_kwargs.pop(k) for k in _PLAN_KEYS
                    if k in sim_kwargs}
@@ -201,7 +215,8 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
                 "only applies to backend='sim'")
         from .runtime.multiproc import MultiprocDtmRunner
 
-        with MultiprocDtmRunner(plan, shards=shards) as runner:
+        with MultiprocDtmRunner(plan, shards=shards,
+                                transport=transport) as runner:
             return runner.solve(
                 b_vec, t_max=t_max, tol=tol, stopping=stopping,
                 wall_budget=wall_budget,
@@ -239,3 +254,16 @@ def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
     session = VtmSession(plan)
     return session.solve(b_vec, tol=tol, max_iterations=max_iterations,
                          stopping=stopping)
+
+
+def connect_dtm(address, *, token: Optional[str] = None,
+                timeout: Optional[float] = 300.0) -> DtmClient:
+    """Connect to a remote DTM serving front end.
+
+    *address* is ``(host, port)`` or ``"host:port"`` — the listen
+    address of a :class:`repro.net.DtmTcpFrontend`.  Returns a
+    :class:`~repro.net.client.DtmClient` (also usable as a context
+    manager) with ``register`` / ``solve`` / ``solve_many`` /
+    ``stats`` / ``shutdown``.  See ``examples/remote_client.py``.
+    """
+    return DtmClient(address, token=token, timeout=timeout)

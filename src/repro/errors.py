@@ -54,3 +54,15 @@ class ConfigurationError(ReproError):
 
 class MultiprocError(ReproError):
     """The multiprocess sharded runtime lost or timed out a worker."""
+
+
+class TransportError(ReproError):
+    """A network transport failed (connect, handshake, framing, EOF)."""
+
+
+class ProtocolError(TransportError):
+    """A peer sent bytes that violate the repro wire protocol."""
+
+
+class RemoteError(ReproError):
+    """A remote DTM server reported a failure for a client request."""

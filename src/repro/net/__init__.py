@@ -1,0 +1,48 @@
+"""Network layer: machine-spanning transports and the serving front end.
+
+Two halves, mirroring the runtime/serving split:
+
+* :mod:`repro.net.transport` — the :class:`Transport` abstraction the
+  sharded runtime executes over: :class:`ShmTransport` (one machine,
+  ``multiprocessing.shared_memory``, the PR-4 fabric) and
+  :class:`TcpTransport` (length-prefixed latest-wins wave frames over
+  loopback/LAN sockets; workers may join from other machines via
+  ``python -m repro.net.worker``);
+* :mod:`repro.net.frontend` / :mod:`repro.net.client` — a socket front
+  end for :class:`~repro.runtime.server.DtmServer` plus the matching
+  :class:`DtmClient` (``register`` / ``solve`` / ``solve_many`` /
+  ``stats`` / ``shutdown`` over a JSON+binary wire protocol).
+"""
+
+from .transport import (
+    EdgeMailbox,
+    ShmTransport,
+    TcpTransport,
+    Transport,
+    resolve_transport,
+)
+
+__all__ = [
+    "DtmClient",
+    "DtmTcpFrontend",
+    "EdgeMailbox",
+    "ShmTransport",
+    "TcpTransport",
+    "Transport",
+    "resolve_transport",
+]
+
+
+def __getattr__(name: str):
+    # the front-end half imports the runtime (which imports the
+    # transport half of this package); resolving it lazily keeps
+    # `repro.runtime` -> `repro.net.transport` cycle-free
+    if name == "DtmClient":
+        from .client import DtmClient
+
+        return DtmClient
+    if name == "DtmTcpFrontend":
+        from .frontend import DtmTcpFrontend
+
+        return DtmTcpFrontend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,256 @@
+"""DtmClient: solve against a remote DTM server over one socket.
+
+The client half of the serving front end
+(:class:`~repro.net.frontend.DtmTcpFrontend`): register a system once,
+then stream right-hand sides —
+
+.. code-block:: python
+
+    from repro.net import DtmClient
+
+    with DtmClient(("127.0.0.1", 7070)) as client:
+        plan_id = client.register(a, b, n_subdomains=16)
+        res = client.solve(plan_id, b, tol=1e-6)
+        print(res.converged, res.relative_residual)
+
+Results come back as the same :class:`~repro.plan.session.SolveResult`
+the in-process API returns (wire-transportable fields only: the error
+time series, split and shard reports stay server-side).  Remote
+failures raise :class:`~repro.errors.RemoteError` with the server's
+``"Type: message"`` detail.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    ProtocolError,
+    RemoteError,
+    TransportError,
+)
+from ..graph.electric import ElectricGraph
+from ..linalg.sparse import CsrMatrix
+from ..plan.session import SolveResult
+from . import wire
+
+
+def _parse_address(address) -> tuple:
+    """Accept ``(host, port)`` or ``"host:port"``."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(f"address {address!r} is not 'host:port'")
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+def _as_system(a, b) -> tuple:
+    """Normalize a register() input to ``(CsrMatrix, b_or_None)``."""
+    if isinstance(a, ElectricGraph):
+        mat = a.to_matrix()
+        b_vec = a.sources if b is None else b
+    elif isinstance(a, CsrMatrix):
+        mat, b_vec = a, b
+    else:
+        mat = CsrMatrix.from_dense(np.asarray(a, dtype=np.float64))
+        b_vec = b
+    if b_vec is not None:
+        b_vec = np.asarray(b_vec, dtype=np.float64)
+    return mat, b_vec
+
+
+def _result_from_wire(header: dict, arrays: dict) -> SolveResult:
+    fields = header["result"]
+    stop_metric = fields.get("stop_metric")
+    if stop_metric is not None:
+        stop_metric = float(stop_metric)
+    return SolveResult(
+        x=arrays["x"],
+        rms_error=float(fields["rms_error"]),
+        relative_residual=float(fields["relative_residual"]),
+        converged=bool(fields["converged"]),
+        iterations=int(fields["iterations"]),
+        sim_time=float(fields["sim_time"]),
+        plan_reused=bool(fields["plan_reused"]),
+        plan_solves=int(fields["plan_solves"]),
+        warm_started=bool(fields["warm_started"]),
+        stopped_by=fields.get("stopped_by"),
+        stop_metric=stop_metric,
+    )
+
+
+class DtmClient:
+    """One-connection client of a :class:`DtmTcpFrontend`.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` tuple or ``"host:port"`` string.
+    token:
+        Shared secret, when the front end requires one.
+    timeout:
+        Socket timeout in seconds for connect and each response
+        (``None`` blocks indefinitely — solves can be long).
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        token: Optional[str] = None,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        host, port = _parse_address(address)
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to DTM server at {host}:{port}: {exc}"
+            ) from exc
+        sock.settimeout(timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self.token = token
+        self._closed = False
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self,
+        header: dict,
+        arrays: Optional[dict] = None,
+    ) -> tuple:
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        if self.token is not None:
+            header = dict(header, token=self.token)
+        wire.send_message(self._sock, wire.T_REQUEST, header, arrays)
+        ftype, obj, arrays_out, _blob = wire.recv_message(self._sock)
+        if ftype != wire.T_RESPONSE:
+            raise ProtocolError(f"expected a response frame, got {ftype}")
+        return obj, arrays_out
+
+    @staticmethod
+    def _require_ok(obj: dict) -> dict:
+        if not obj.get("ok"):
+            raise RemoteError(obj.get("error") or "unknown remote error")
+        return obj
+
+    # -- operations -----------------------------------------------------
+    def ping(self) -> bool:
+        obj, _ = self._request({"op": "ping"})
+        self._require_ok(obj)
+        return True
+
+    def register(self, a, b=None, **plan_kwargs) -> str:
+        """Ship a system to the server; returns its plan id.
+
+        *a* may be a :class:`CsrMatrix`, a dense array or an
+        :class:`ElectricGraph` (whose sources provide *b* when
+        omitted).  Plan kwargs (``n_subdomains``, ``seed``,
+        ``grid_shape``, ...) must be JSON-serializable — machine
+        topologies and custom impedance objects cannot cross the wire;
+        configure those server-side.
+        """
+        mat, b_vec = _as_system(a, b)
+        try:
+            json.dumps(plan_kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"plan kwargs must be JSON-serializable: {exc}"
+            ) from exc
+        arrays = {
+            "data": mat.data,
+            "indices": mat.indices,
+            "indptr": mat.indptr,
+        }
+        if b_vec is not None:
+            arrays["b"] = b_vec
+        header = {
+            "op": "register",
+            "shape": [mat.nrows, mat.ncols],
+            "plan": plan_kwargs,
+        }
+        obj, _ = self._request(header, arrays)
+        self._require_ok(obj)
+        return str(obj["plan_id"])
+
+    def solve(
+        self,
+        plan_id: str,
+        b,
+        *,
+        tol: float = 1e-8,
+        stopping=None,
+        warm_start: bool = False,
+        tag=None,
+    ) -> SolveResult:
+        """One remote solve; raises :class:`RemoteError` on failure."""
+        header = {
+            "op": "solve",
+            "plan_id": plan_id,
+            "tol": float(tol),
+            "stopping": wire.stopping_to_spec(stopping),
+            "warm_start": bool(warm_start),
+            "tag": tag,
+        }
+        b_vec = np.asarray(b, dtype=np.float64)
+        obj, arrays = self._request(header, {"b": b_vec})
+        self._require_ok(obj)
+        return _result_from_wire(obj, arrays)
+
+    def solve_many(self, plan_id: str, B, **solve_kwargs) -> list:
+        """Solve every column of ``B`` (shape ``(n, k)``) in order.
+
+        Columns are solved one by one over the warm remote runner —
+        the same per-column semantics as
+        :meth:`SolverSession.solve_many`.
+        """
+        blk = np.asarray(B, dtype=np.float64)
+        if blk.ndim != 2:
+            raise ConfigurationError(
+                f"solve_many needs a 2-d column block, got {blk.shape}"
+            )
+        return [
+            self.solve(plan_id, blk[:, j], **solve_kwargs)
+            for j in range(blk.shape[1])
+        ]
+
+    def stats(self) -> dict:
+        """Server + plan-store counters, as one dict."""
+        obj, _ = self._request({"op": "stats"})
+        self._require_ok(obj)
+        return {"server": obj.get("stats"), "store": obj.get("store")}
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down, then close this client."""
+        obj, _ = self._request({"op": "shutdown"})
+        self._require_ok(obj)
+        self.close()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+
+    def __enter__(self) -> "DtmClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "DtmClient",
+]

@@ -1,0 +1,1152 @@
+"""Transports: machine-spanning shard mailboxes behind one protocol.
+
+The multiprocess runtime (:mod:`repro.runtime.multiproc`) runs one
+worker per shard against two tiny port interfaces defined here:
+
+* :class:`WorkerPort` — what the shard loop needs: a latest-wins
+  snapshot of its incoming wave slots, ``post_waves`` delivery along
+  its :class:`~repro.plan.shard.MailboxSpec` channels, state
+  publication, and the coordinator's control words;
+* :class:`CoordinatorPort` — what the coordinator needs: epoch and
+  stop control, right-hand-side/wave publication, and consistent
+  gathers of the published states.
+
+A :class:`Transport` binds the two sides together.  Two
+implementations ship:
+
+:class:`ShmTransport`
+    The PR-4 ``multiprocessing.shared_memory`` fabric, refactored out
+    of the runtime verbatim: one global wave array, single writer per
+    cell, a delivery is an aligned 8-byte overwrite.  Workers must
+    share the coordinator's machine.
+
+:class:`TcpTransport`
+    The same frames over length-prefixed loopback/LAN sockets.  Every
+    worker keeps a private copy of its owned wave slots; cross-shard
+    emissions travel as ``T_WAVES`` frames through a coordinator-side
+    router and are applied on receive — TCP's per-connection FIFO plus
+    apply-on-arrival overwrite realizes exactly the latest-wins
+    semantics of the shared-memory scatter, with no queue growth.
+    Workers need no shared address space: a remote machine can join
+    with ``python -m repro.net.worker`` given host, port and token.
+
+Torn reads cannot occur on either fabric: shm cells are aligned
+8-byte values with one writer, and TCP frames are applied whole under
+the GIL (a reader thread's fancy-index scatter and the solve loop's
+snapshot copy are serialized).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import threading
+import time
+import weakref
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, ProtocolError, TransportError
+from ..plan.shard import MailboxSpec, ShardSpec
+from . import wire
+
+# ----------------------------------------------------------------------
+# control-block layout (int64 words, single-writer per cell); shared by
+# both transports — the TCP router keeps a coordinator-side mirror with
+# the identical layout
+# ----------------------------------------------------------------------
+STOP = 0  # coordinator -> workers: end the current epoch
+EPOCH = 1  # coordinator -> workers: bumped to start an epoch
+SHUTDOWN = 2  # coordinator -> workers: exit the idle loop
+ERR = 3  # workers -> coordinator: 1 + index of a failed shard
+PER_SHARD = 4  # then: sweeps[n], acks[n], probe-request[n]
+
+#: worker-mirror word for a coordinator probe request (the TCP worker
+#: keeps a 4-word local mirror: STOP, EPOCH, SHUTDOWN, PROBE; the shm
+#: transport uses per-shard probe cells in the shared control block)
+PROBE = 3
+
+
+def ctrl_size(n_shards: int) -> int:
+    return PER_SHARD + 3 * n_shards
+
+
+def sweep_cell(i: int) -> int:
+    return PER_SHARD + i
+
+
+def ack_cell(n_shards: int, i: int) -> int:
+    return PER_SHARD + n_shards + i
+
+
+def probe_cell(n_shards: int, i: int) -> int:
+    return PER_SHARD + 2 * n_shards + i
+
+
+class EdgeMailbox:
+    """Lock-free latest-wins wave channel of one directed shard pair.
+
+    Binds a :class:`~repro.plan.shard.MailboxSpec` to a wave array.
+    :meth:`post` is the entire delivery protocol: one fancy-indexed
+    scatter of the sender's outgoing waves into the receiver's slots —
+    no queue, no lock, later posts simply overwrite earlier ones,
+    exactly the per-message FIFO-overwrite semantics the simulator's
+    ``receive_batch`` implements.
+    """
+
+    __slots__ = ("spec", "waves")
+
+    def __init__(self, spec: MailboxSpec, waves: np.ndarray) -> None:
+        self.spec = spec
+        self.waves = waves
+
+    def post(self, outgoing: np.ndarray) -> None:
+        """Deliver the channel's share of a sweep's outgoing waves."""
+        self.waves[self.spec.dest_slots] = outgoing[self.spec.emit_pos]
+
+    def peek(self) -> np.ndarray:
+        """Snapshot of the channel's current slot values (reader side)."""
+        return self.waves[self.spec.dest_slots].copy()
+
+
+# ----------------------------------------------------------------------
+# the port interfaces
+# ----------------------------------------------------------------------
+class CoordinatorPort:
+    """Coordinator-side handle of a bound transport."""
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Clear the stop flag, then publish the new epoch number."""
+        raise NotImplementedError
+
+    def signal_stop(self) -> None:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def write_x0(self, x0: np.ndarray) -> None:
+        """Publish the full zero-wave state vector to the workers."""
+        raise NotImplementedError
+
+    def write_waves(self, waves: np.ndarray) -> None:
+        """Publish the full wave vector (warm start / reset)."""
+        raise NotImplementedError
+
+    def read_waves(self) -> np.ndarray:
+        """Snapshot of the global wave vector (latest published)."""
+        raise NotImplementedError
+
+    def read_states(self) -> np.ndarray:
+        """Snapshot of the concatenated published shard states."""
+        raise NotImplementedError
+
+    def sweep_counts(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def acks(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def failed_shard(self) -> int:
+        """``1 + index`` of a failed shard, or 0 when none failed."""
+        raise NotImplementedError
+
+    def error_detail(self) -> str:
+        return ""
+
+    def request_probes(self) -> None:
+        raise NotImplementedError
+
+    def lost_workers(self) -> list:
+        """Shards whose connection dropped (TCP); always [] for shm."""
+        return []
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class WorkerPort:
+    """Worker-side handle: everything one shard loop touches."""
+
+    def shutdown_requested(self) -> bool:
+        raise NotImplementedError
+
+    def current_epoch(self) -> int:
+        raise NotImplementedError
+
+    def stop_requested(self) -> bool:
+        raise NotImplementedError
+
+    def read_x0(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def wave_snapshot(self) -> np.ndarray:
+        """One latest-wins copy of this shard's incoming wave slots."""
+        raise NotImplementedError
+
+    def post_waves(self, out: np.ndarray) -> None:
+        """Deliver one sweep's outgoing waves (loopback + cross-shard)."""
+        raise NotImplementedError
+
+    def record_sweeps(self, total: int) -> None:
+        raise NotImplementedError
+
+    def publish_states(self, states: np.ndarray, sweeps: int) -> None:
+        raise NotImplementedError
+
+    def probe_requested(self) -> bool:
+        raise NotImplementedError
+
+    def clear_probe(self) -> None:
+        raise NotImplementedError
+
+    def ack(self, epoch: int) -> None:
+        raise NotImplementedError
+
+    def mark_error(self, detail: str = "") -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory for one coordinator port plus per-shard worker ports."""
+
+    name = "abstract"
+
+    def bind(
+        self,
+        specs,
+        *,
+        n_slots: int,
+        n_states: int,
+        idle_sleep: float,
+        probe_every: int,
+    ) -> CoordinatorPort:
+        raise NotImplementedError
+
+    def worker_descriptor(self, index: int) -> tuple:
+        """Picklable handle a worker process opens its port from."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport (the PR-4 fabric, refactored behind the port)
+# ----------------------------------------------------------------------
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a coordinator-owned segment from a worker.
+
+    Only the coordinator unlinks segments.  On Python 3.13+ the worker
+    attaches untracked (``track=False``); earlier versions register the
+    attach with the *shared* resource tracker (workers inherit the
+    coordinator's tracker through the spawn machinery), whose cache is
+    a set — the duplicate registration is harmless and the
+    coordinator's single ``unlink`` retires it.  Do **not** unregister
+    here: that would remove the name from the shared cache early and
+    make the coordinator's later unlink crash the tracker loop.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: tracked attach (see above)
+        return shared_memory.SharedMemory(name=name)
+
+
+def _cleanup_segments(segments: list) -> None:
+    """Close+unlink owned segments (idempotent; weakref finalizer)."""
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class ShmTransport(Transport):
+    """Shared-memory fabric: one machine, zero-copy wave delivery."""
+
+    name = "shm"
+
+    def __init__(self) -> None:
+        self._specs: list = []
+        self._segments: list = []
+        self._names: dict = {}
+        self._shm: dict = {}
+        self._n_slots = 0
+        self._n_states = 0
+        self._idle_sleep = 0.001
+        self._probe_every = 8
+        self._finalizer = None
+
+    def bind(
+        self,
+        specs,
+        *,
+        n_slots: int,
+        n_states: int,
+        idle_sleep: float,
+        probe_every: int,
+    ) -> "ShmCoordinatorPort":
+        if self._finalizer is not None:
+            raise ConfigurationError("ShmTransport is already bound")
+        self._specs = list(specs)
+        self._n_slots = int(n_slots)
+        self._n_states = int(n_states)
+        self._idle_sleep = float(idle_sleep)
+        self._probe_every = int(probe_every)
+        n_shards = len(self._specs)
+        base = f"dtm{os.getpid():x}{secrets.token_hex(4)}"
+        sizes = {
+            "waves": max(self._n_slots, 1) * 8,
+            "x0": max(self._n_states, 1) * 8,
+            "states": max(self._n_states, 1) * 8,
+            "ctrl": ctrl_size(n_shards) * 8,
+        }
+        for key, size in sizes.items():
+            shm = shared_memory.SharedMemory(
+                create=True, size=size, name=f"{base}-{key}"
+            )
+            self._shm[key] = shm
+            self._names[key] = shm.name
+            self._segments.append(shm)
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, self._segments
+        )
+        waves = np.ndarray(
+            (self._n_slots,), dtype=np.float64, buffer=self._shm["waves"].buf
+        )
+        x0 = np.ndarray(
+            (self._n_states,), dtype=np.float64, buffer=self._shm["x0"].buf
+        )
+        states = np.ndarray(
+            (self._n_states,),
+            dtype=np.float64,
+            buffer=self._shm["states"].buf,
+        )
+        ctrl = np.ndarray(
+            (ctrl_size(n_shards),),
+            dtype=np.int64,
+            buffer=self._shm["ctrl"].buf,
+        )
+        waves[:] = 0.0
+        x0[:] = 0.0
+        states[:] = 0.0
+        ctrl[:] = 0
+        return ShmCoordinatorPort(self, waves, x0, states, ctrl, n_shards)
+
+    def worker_descriptor(self, index: int) -> tuple:
+        spec = self._specs[index]
+        return (
+            "shm",
+            spec.to_payload(),
+            dict(self._names),
+            self._n_slots,
+            self._n_states,
+            self._idle_sleep,
+            self._probe_every,
+        )
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()  # close+unlink, exactly once
+
+
+class ShmCoordinatorPort(CoordinatorPort):
+    """Direct views over the shared segments (single machine)."""
+
+    def __init__(
+        self,
+        transport: ShmTransport,
+        waves: np.ndarray,
+        x0: np.ndarray,
+        states: np.ndarray,
+        ctrl: np.ndarray,
+        n_shards: int,
+    ) -> None:
+        self._transport = transport
+        self._waves = waves
+        self._x0 = x0
+        self._states = states
+        self._ctrl = ctrl
+        self._n_shards = int(n_shards)
+
+    def begin_epoch(self, epoch: int) -> None:
+        # order matters: workers wait out a stale STOP before sweeping
+        self._ctrl[STOP] = 0
+        self._ctrl[EPOCH] = int(epoch)
+
+    def signal_stop(self) -> None:
+        self._ctrl[STOP] = 1
+
+    def shutdown(self) -> None:
+        self._ctrl[SHUTDOWN] = 1
+
+    def write_x0(self, x0: np.ndarray) -> None:
+        self._x0[:] = x0
+
+    def write_waves(self, waves: np.ndarray) -> None:
+        self._waves[:] = waves
+
+    def read_waves(self) -> np.ndarray:
+        return np.array(self._waves)
+
+    def read_states(self) -> np.ndarray:
+        return np.array(self._states)
+
+    def sweep_counts(self) -> np.ndarray:
+        cells = [sweep_cell(i) for i in range(self._n_shards)]
+        return np.array(self._ctrl[cells], dtype=np.int64)
+
+    def acks(self) -> np.ndarray:
+        cells = [ack_cell(self._n_shards, i) for i in range(self._n_shards)]
+        return np.array(self._ctrl[cells], dtype=np.int64)
+
+    def failed_shard(self) -> int:
+        return int(self._ctrl[ERR])
+
+    def request_probes(self) -> None:
+        for i in range(self._n_shards):
+            self._ctrl[probe_cell(self._n_shards, i)] = 1
+
+    def close(self) -> None:
+        self._transport.close()
+
+
+class ShmWorkerPort(WorkerPort):
+    """Worker-side views over the attached shared segments."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        shms: dict,
+        n_slots: int,
+        n_states: int,
+    ) -> None:
+        n_shards = spec.n_shards
+        i = spec.index
+        self._shms = shms
+        self._waves = np.ndarray(
+            (n_slots,), dtype=np.float64, buffer=shms["waves"].buf
+        )
+        self._x0 = np.ndarray(
+            (n_states,), dtype=np.float64, buffer=shms["x0"].buf
+        )
+        self._states = np.ndarray(
+            (n_states,), dtype=np.float64, buffer=shms["states"].buf
+        )
+        self._ctrl = np.ndarray(
+            (ctrl_size(n_shards),), dtype=np.int64, buffer=shms["ctrl"].buf
+        )
+        self._slot_sl = slice(spec.slot_lo, spec.slot_hi)
+        self._state_sl = slice(spec.state_lo, spec.state_hi)
+        self._loopback = EdgeMailbox(spec.loopback, self._waves)
+        self._outboxes = [
+            EdgeMailbox(box, self._waves) for box in spec.outboxes
+        ]
+        self._index = i
+        self._sweep_cell = sweep_cell(i)
+        self._ack_cell = ack_cell(n_shards, i)
+        self._probe_cell = probe_cell(n_shards, i)
+
+    def shutdown_requested(self) -> bool:
+        return bool(self._ctrl[SHUTDOWN])
+
+    def current_epoch(self) -> int:
+        return int(self._ctrl[EPOCH])
+
+    def stop_requested(self) -> bool:
+        return bool(self._ctrl[STOP])
+
+    def read_x0(self) -> np.ndarray:
+        return self._x0[self._state_sl]
+
+    def wave_snapshot(self) -> np.ndarray:
+        return np.array(self._waves[self._slot_sl])
+
+    def post_waves(self, out: np.ndarray) -> None:
+        self._loopback.post(out)
+        for box in self._outboxes:
+            box.post(out)
+
+    def record_sweeps(self, total: int) -> None:
+        self._ctrl[self._sweep_cell] = int(total)
+
+    def publish_states(self, states: np.ndarray, sweeps: int) -> None:
+        self._states[self._state_sl] = states
+
+    def probe_requested(self) -> bool:
+        return bool(self._ctrl[self._probe_cell])
+
+    def clear_probe(self) -> None:
+        self._ctrl[self._probe_cell] = 0
+
+    def ack(self, epoch: int) -> None:
+        self._ctrl[self._ack_cell] = int(epoch)
+
+    def mark_error(self, detail: str = "") -> None:
+        self._ctrl[ERR] = self._index + 1
+
+    def close(self) -> None:
+        for shm in self._shms.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# TCP transport: the same frames over sockets, no shared address space
+# ----------------------------------------------------------------------
+class _Router:
+    """Coordinator-side switchboard of the TCP transport.
+
+    Owns the authoritative wave/x0/state/control mirrors (the same
+    layout the shm transport shares), accepts worker connections,
+    forwards cross-shard ``T_WAVES`` frames and applies worker
+    publishes.  Single-writer discipline is preserved: a frame from
+    shard *k* only touches cells shard *k* owns.  A worker that joins
+    late (or reconnects) receives a full state snapshot — spec, x0,
+    its wave slice and the current control words — so control state is
+    levelled, not merely streamed.
+    """
+
+    def __init__(
+        self,
+        specs,
+        *,
+        host: str,
+        port: int,
+        token: str,
+        n_slots: int,
+        n_states: int,
+        idle_sleep: float,
+        probe_every: int,
+    ) -> None:
+        self.token = token
+        self.n_shards = len(specs)
+        self.n_slots = int(n_slots)
+        self.n_states = int(n_states)
+        self.idle_sleep = float(idle_sleep)
+        self.probe_every = int(probe_every)
+        self.payloads = [spec.to_payload() for spec in specs]
+        self.slot_bounds = [
+            (int(spec.slot_lo), int(spec.slot_hi)) for spec in specs
+        ]
+        self.state_bounds = [
+            (int(spec.state_lo), int(spec.state_hi)) for spec in specs
+        ]
+        self.waves = np.zeros(self.n_slots)
+        self.x0 = np.zeros(self.n_states)
+        self.states = np.zeros(self.n_states)
+        self.ctrl = np.zeros(ctrl_size(self.n_shards), dtype=np.int64)
+        self.err_text = ""
+        self.lock = threading.RLock()
+        self.closing = False
+        self.lost: set = set()
+        self._conns: dict = {}
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(self.n_shards + 2)
+        self._listener = listener
+        self.address = listener.getsockname()
+
+    def start(self) -> None:
+        accept = threading.Thread(
+            target=self._accept_loop, name="dtm-net-accept", daemon=True
+        )
+        accept.start()
+
+    # -- connection lifecycle ------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self.closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            worker = threading.Thread(
+                target=self._serve_conn,
+                args=(conn,),
+                name="dtm-net-conn",
+                daemon=True,
+            )
+            worker.start()
+
+    def _serve_conn(self, conn) -> None:
+        shard = -1
+        try:
+            ftype, header, _arrays, _blob = wire.recv_message(conn)
+            shard = self._register(conn, ftype, header)
+            self._reader_loop(conn, shard)
+        except (TransportError, OSError):
+            pass
+        finally:
+            if shard >= 0:
+                self._drop(conn, shard)
+            else:
+                conn.close()
+
+    def _drop(self, conn, shard: int) -> None:
+        with self.lock:
+            entry = self._conns.get(shard)
+            if entry is not None and entry[0] is conn:
+                del self._conns[shard]
+                if not self.closing:
+                    self.lost.add(shard)
+        conn.close()
+
+    def _register(self, conn, ftype: int, header: dict) -> int:
+        if ftype != wire.T_HELLO:
+            raise ProtocolError("expected HELLO frame")
+        if header.get("token") != self.token:
+            wire.send_message(conn, wire.T_ERR, {"error": "bad token"})
+            raise ProtocolError("worker presented a bad token")
+        shard = int(header.get("shard", -1))
+        if not 0 <= shard < self.n_shards:
+            raise ProtocolError(f"unknown shard index {shard}")
+        slot_lo, slot_hi = self.slot_bounds[shard]
+        state_lo, state_hi = self.state_bounds[shard]
+        wlock = threading.Lock()
+        with self.lock:
+            self._conns[shard] = (conn, wlock)
+            self.lost.discard(shard)
+            spec_header = {
+                "n_slots": self.n_slots,
+                "n_states": self.n_states,
+                "idle_sleep": self.idle_sleep,
+                "probe_every": self.probe_every,
+            }
+            with wlock:
+                wire.send_message(
+                    conn,
+                    wire.T_SPEC,
+                    spec_header,
+                    blob=self.payloads[shard],
+                )
+                wire.send_message(
+                    conn,
+                    wire.T_X0,
+                    {},
+                    {"x0": self.x0[state_lo:state_hi]},
+                )
+                slots = np.arange(slot_lo, slot_hi, dtype=np.int64)
+                values = np.array(self.waves[slot_lo:slot_hi])
+                wire.send_message(
+                    conn,
+                    wire.T_WAVES,
+                    {"dst": shard},
+                    {"slots": slots, "values": values},
+                )
+                for word in (STOP, EPOCH, SHUTDOWN):
+                    self._send_ctrl(conn, word, int(self.ctrl[word]))
+                cell = probe_cell(self.n_shards, shard)
+                self._send_ctrl(conn, PROBE, int(self.ctrl[cell]))
+        return shard
+
+    @staticmethod
+    def _send_ctrl(conn, word: int, value: int) -> None:
+        wire.send_message(
+            conn, wire.T_CTRL, {"word": int(word), "value": int(value)}
+        )
+
+    # -- worker frames --------------------------------------------------
+    def _reader_loop(self, conn, shard: int) -> None:
+        n = self.n_shards
+        while True:
+            ftype, header, arrays, _blob = wire.recv_message(conn)
+            if ftype == wire.T_WAVES:
+                dst = int(header["dst"])
+                if not 0 <= dst < n:
+                    raise ProtocolError(f"wave frame to bad shard {dst}")
+                slots = arrays["slots"]
+                values = arrays["values"]
+                dst_lo, dst_hi = self.slot_bounds[dst]
+                if slots.shape != values.shape:
+                    raise ProtocolError(
+                        f"wave frame from shard {shard} has mismatched "
+                        "slot/value shapes"
+                    )
+                # single-writer discipline: a frame may only touch the
+                # destination shard's slot range (slots outside it
+                # would overwrite cells some other shard owns)
+                if slots.size:
+                    lo_ok = int(slots.min()) >= dst_lo
+                    hi_ok = int(slots.max()) < dst_hi
+                    if not (lo_ok and hi_ok):
+                        raise ProtocolError(
+                            f"wave frame from shard {shard} violates "
+                            f"shard {dst}'s slot range "
+                            f"[{dst_lo}, {dst_hi})"
+                        )
+                self.waves[slots] = values
+                entry = self._conns.get(dst)
+                if entry is not None and dst != shard:
+                    dst_conn, dst_lock = entry
+                    try:
+                        with dst_lock:
+                            wire.send_message(
+                                dst_conn,
+                                wire.T_WAVES,
+                                header,
+                                arrays,
+                            )
+                    except TransportError:
+                        pass  # dropped peer is reported via lost_workers
+            elif ftype == wire.T_STATES:
+                state_lo, state_hi = self.state_bounds[shard]
+                slot_lo, slot_hi = self.slot_bounds[shard]
+                states = arrays["states"]
+                waves = arrays["waves"]
+                if states.shape != (state_hi - state_lo,):
+                    raise ProtocolError(
+                        f"state frame from shard {shard} has wrong shape"
+                    )
+                if waves.shape != (slot_hi - slot_lo,):
+                    raise ProtocolError(
+                        f"wave slice from shard {shard} has wrong shape"
+                    )
+                self.states[state_lo:state_hi] = states
+                self.waves[slot_lo:slot_hi] = waves
+                self.ctrl[sweep_cell(shard)] = int(header["sweeps"])
+                self.ctrl[probe_cell(n, shard)] = 0
+            elif ftype == wire.T_ACK:
+                self.ctrl[ack_cell(n, shard)] = int(header["epoch"])
+            elif ftype == wire.T_ERR:
+                self.err_text = str(header.get("error", ""))
+                self.ctrl[ERR] = shard + 1
+            else:
+                raise ProtocolError(f"unexpected worker frame {ftype}")
+
+    # -- coordinator operations ----------------------------------------
+    def broadcast_ctrl(self, word: int, value: int) -> None:
+        with self.lock:
+            self.ctrl[word] = int(value)
+            if word == SHUTDOWN and value:
+                self.closing = True
+            for conn, wlock in list(self._conns.values()):
+                try:
+                    with wlock:
+                        self._send_ctrl(conn, word, value)
+                except TransportError:
+                    pass
+
+    def request_probes(self) -> None:
+        with self.lock:
+            for shard in range(self.n_shards):
+                self.ctrl[probe_cell(self.n_shards, shard)] = 1
+            for _shard, (conn, wlock) in list(self._conns.items()):
+                try:
+                    with wlock:
+                        self._send_ctrl(conn, PROBE, 1)
+                except TransportError:
+                    pass
+
+    def write_x0(self, x0: np.ndarray) -> None:
+        with self.lock:
+            self.x0[:] = x0
+            for shard, (conn, wlock) in list(self._conns.items()):
+                lo, hi = self.state_bounds[shard]
+                try:
+                    with wlock:
+                        wire.send_message(
+                            conn,
+                            wire.T_X0,
+                            {},
+                            {"x0": self.x0[lo:hi]},
+                        )
+                except TransportError:
+                    pass
+
+    def write_waves(self, waves: np.ndarray) -> None:
+        with self.lock:
+            self.waves[:] = waves
+            for shard, (conn, wlock) in list(self._conns.items()):
+                lo, hi = self.slot_bounds[shard]
+                slots = np.arange(lo, hi, dtype=np.int64)
+                values = np.array(self.waves[lo:hi])
+                try:
+                    with wlock:
+                        wire.send_message(
+                            conn,
+                            wire.T_WAVES,
+                            {"dst": shard},
+                            {"slots": slots, "values": values},
+                        )
+                except TransportError:
+                    pass
+
+    def close(self) -> None:
+        self.closing = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+        with self.lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn, _wlock in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort
+                pass
+
+
+class TcpTransport(Transport):
+    """Socket fabric: shards may live on any machine that can connect.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address of the coordinator-side router.  The defaults
+        (loopback, ephemeral port) serve the single-machine case; bind
+        a LAN address to span machines.  After :meth:`bind`,
+        ``transport.port`` holds the actual port.
+    token:
+        Shared secret workers must present in their HELLO frame; a
+        random one is generated when omitted.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.token = token if token is not None else secrets.token_hex(16)
+        self._router: Optional[_Router] = None
+
+    def bind(
+        self,
+        specs,
+        *,
+        n_slots: int,
+        n_states: int,
+        idle_sleep: float,
+        probe_every: int,
+    ) -> "TcpCoordinatorPort":
+        if self._router is not None:
+            raise ConfigurationError("TcpTransport is already bound")
+        router = _Router(
+            specs,
+            host=self.host,
+            port=self.port,
+            token=self.token,
+            n_slots=n_slots,
+            n_states=n_states,
+            idle_sleep=idle_sleep,
+            probe_every=probe_every,
+        )
+        router.start()
+        self._router = router
+        self.port = int(router.address[1])
+        return TcpCoordinatorPort(self, router)
+
+    def worker_descriptor(self, index: int) -> tuple:
+        if self._router is None:
+            raise ConfigurationError("bind the transport before workers")
+        return ("tcp", self.host, self.port, self.token, int(index))
+
+    def close(self) -> None:
+        if self._router is not None:
+            self._router.close()
+
+
+class TcpCoordinatorPort(CoordinatorPort):
+    """Coordinator port over the :class:`_Router` mirrors."""
+
+    def __init__(self, transport: TcpTransport, router: _Router) -> None:
+        self._transport = transport
+        self._router = router
+        self._n_shards = router.n_shards
+
+    def begin_epoch(self, epoch: int) -> None:
+        self._router.broadcast_ctrl(STOP, 0)
+        self._router.broadcast_ctrl(EPOCH, int(epoch))
+
+    def signal_stop(self) -> None:
+        self._router.broadcast_ctrl(STOP, 1)
+
+    def shutdown(self) -> None:
+        self._router.broadcast_ctrl(SHUTDOWN, 1)
+
+    def write_x0(self, x0: np.ndarray) -> None:
+        self._router.write_x0(x0)
+
+    def write_waves(self, waves: np.ndarray) -> None:
+        self._router.write_waves(waves)
+
+    def read_waves(self) -> np.ndarray:
+        return np.array(self._router.waves)
+
+    def read_states(self) -> np.ndarray:
+        return np.array(self._router.states)
+
+    def sweep_counts(self) -> np.ndarray:
+        cells = [sweep_cell(i) for i in range(self._n_shards)]
+        return np.array(self._router.ctrl[cells], dtype=np.int64)
+
+    def acks(self) -> np.ndarray:
+        n = self._n_shards
+        cells = [ack_cell(n, i) for i in range(n)]
+        return np.array(self._router.ctrl[cells], dtype=np.int64)
+
+    def failed_shard(self) -> int:
+        return int(self._router.ctrl[ERR])
+
+    def error_detail(self) -> str:
+        return self._router.err_text
+
+    def request_probes(self) -> None:
+        self._router.request_probes()
+
+    def lost_workers(self) -> list:
+        return sorted(self._router.lost)
+
+    def close(self) -> None:
+        self._transport.close()
+
+
+class TcpWorkerPort(WorkerPort):
+    """Worker port: private wave buffer + a reader thread.
+
+    The reader thread only ever *applies* frames to local arrays (it
+    never sends), which rules out distributed write-write deadlock: a
+    worker's receive buffer always drains, so the router's forwarding
+    writes always complete.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: str,
+        shard: int,
+        *,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        try:
+            sock = socket.create_connection(
+                (host, int(port)), timeout=float(connect_timeout)
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach coordinator at {host}:{port}: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self.shard = int(shard)
+        wire.send_message(
+            sock,
+            wire.T_HELLO,
+            {"token": token, "shard": self.shard},
+        )
+        ftype, header, _arrays, blob = wire.recv_message(sock)
+        if ftype == wire.T_ERR:
+            raise TransportError(
+                f"coordinator rejected worker: {header.get('error')}"
+            )
+        if ftype != wire.T_SPEC:
+            raise ProtocolError("expected SPEC frame after HELLO")
+        self.spec = ShardSpec.from_payload(blob)
+        self.idle_sleep = float(header["idle_sleep"])
+        self.probe_every = int(header["probe_every"])
+        spec = self.spec
+        self._slot_lo = int(spec.slot_lo)
+        self._slot_hi = int(spec.slot_hi)
+        n_owned = self._slot_hi - self._slot_lo
+        n_local = int(spec.state_hi) - int(spec.state_lo)
+        self._in_waves = np.zeros(n_owned)
+        self._x0 = np.zeros(n_local)
+        self._mirror = np.zeros(PER_SHARD, dtype=np.int64)
+        self._loop_pos = spec.loopback.emit_pos
+        self._loop_local = spec.loopback.dest_slots - self._slot_lo
+        self._outboxes = [
+            (int(box.dst_shard), box.emit_pos, box.dest_slots)
+            for box in spec.outboxes
+        ]
+        self._sweeps = 0
+        reader = threading.Thread(
+            target=self._reader_loop, name="dtm-net-recv", daemon=True
+        )
+        reader.start()
+
+    def _reader_loop(self) -> None:
+        lo, hi = self._slot_lo, self._slot_hi
+        try:
+            while True:
+                ftype, header, arrays, _blob = wire.recv_message(self._sock)
+                if ftype == wire.T_WAVES:
+                    slots = arrays["slots"]
+                    if np.any((slots < lo) | (slots >= hi)):
+                        raise ProtocolError(
+                            "wave frame targets slots outside this "
+                            f"shard's range [{lo}, {hi})"
+                        )
+                    self._in_waves[slots - lo] = arrays["values"]
+                elif ftype == wire.T_X0:
+                    x0 = arrays["x0"]
+                    if x0.shape != self._x0.shape:
+                        raise ProtocolError("x0 frame has wrong shape")
+                    self._x0[:] = x0
+                elif ftype == wire.T_CTRL:
+                    word = int(header["word"])
+                    self._mirror[word] = int(header["value"])
+                else:
+                    raise ProtocolError(
+                        f"unexpected coordinator frame {ftype}"
+                    )
+        except ProtocolError:
+            self._mirror[SHUTDOWN] = 1
+            raise
+        except (TransportError, OSError):
+            # a vanished coordinator must release the worker loop
+            self._mirror[SHUTDOWN] = 1
+
+    def shutdown_requested(self) -> bool:
+        return bool(self._mirror[SHUTDOWN])
+
+    def current_epoch(self) -> int:
+        return int(self._mirror[EPOCH])
+
+    def stop_requested(self) -> bool:
+        return bool(self._mirror[STOP])
+
+    def read_x0(self) -> np.ndarray:
+        return np.array(self._x0)
+
+    def wave_snapshot(self) -> np.ndarray:
+        return np.array(self._in_waves)
+
+    def post_waves(self, out: np.ndarray) -> None:
+        self._in_waves[self._loop_local] = out[self._loop_pos]
+        for dst, emit_pos, dest_slots in self._outboxes:
+            wire.send_message(
+                self._sock,
+                wire.T_WAVES,
+                {"dst": dst},
+                {"slots": dest_slots, "values": out[emit_pos]},
+            )
+        if self._outboxes:
+            # yield the core so the router and sibling shards can move
+            # the frames we just emitted; on busy hosts this keeps
+            # boundary data fresh instead of letting one hot shard
+            # relax against stale waves for a whole scheduler quantum
+            time.sleep(0)
+
+    def record_sweeps(self, total: int) -> None:
+        self._sweeps = int(total)
+
+    def publish_states(self, states: np.ndarray, sweeps: int) -> None:
+        self._sweeps = int(sweeps)
+        wire.send_message(
+            self._sock,
+            wire.T_STATES,
+            {"shard": self.shard, "sweeps": self._sweeps},
+            {"states": states, "waves": self._in_waves},
+        )
+
+    def probe_requested(self) -> bool:
+        return bool(self._mirror[PROBE])
+
+    def clear_probe(self) -> None:
+        self._mirror[PROBE] = 0
+
+    def ack(self, epoch: int) -> None:
+        wire.send_message(
+            self._sock,
+            wire.T_ACK,
+            {"shard": self.shard, "epoch": int(epoch)},
+        )
+
+    def mark_error(self, detail: str = "") -> None:
+        try:
+            wire.send_message(
+                self._sock,
+                wire.T_ERR,
+                {"shard": self.shard, "error": detail},
+            )
+        except TransportError:  # pragma: no cover - socket already gone
+            pass
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+
+
+# ----------------------------------------------------------------------
+# resolution helpers
+# ----------------------------------------------------------------------
+def resolve_transport(transport) -> Transport:
+    """Normalize a transport spec: None/str name/instance → instance."""
+    if transport is None or transport == "shm":
+        return ShmTransport()
+    if transport == "tcp":
+        return TcpTransport()
+    if isinstance(transport, Transport):
+        return transport
+    raise ConfigurationError(
+        f"unknown transport {transport!r}; use 'shm', 'tcp' or a "
+        "Transport instance"
+    )
+
+
+def open_worker_port(descriptor) -> tuple:
+    """Open a worker port from a picklable descriptor.
+
+    Returns ``(spec, port, idle_sleep, probe_every)`` — everything the
+    generic shard loop in :mod:`repro.runtime.multiproc` needs.
+    """
+    kind = descriptor[0]
+    if kind == "shm":
+        _, payload, names, n_slots, n_states, idle, probe = descriptor
+        spec = ShardSpec.from_payload(payload)
+        shms = {key: _attach_shm(name) for key, name in names.items()}
+        port = ShmWorkerPort(spec, shms, n_slots, n_states)
+        return spec, port, idle, probe
+    if kind == "tcp":
+        _, host, tcp_port, token, index = descriptor
+        port = TcpWorkerPort(host, tcp_port, token, index)
+        return port.spec, port, port.idle_sleep, port.probe_every
+    raise ConfigurationError(f"unknown worker descriptor kind {kind!r}")
+
+
+__all__ = [
+    "STOP",
+    "EPOCH",
+    "SHUTDOWN",
+    "ERR",
+    "PER_SHARD",
+    "PROBE",
+    "ctrl_size",
+    "sweep_cell",
+    "ack_cell",
+    "probe_cell",
+    "EdgeMailbox",
+    "CoordinatorPort",
+    "WorkerPort",
+    "Transport",
+    "ShmTransport",
+    "ShmCoordinatorPort",
+    "ShmWorkerPort",
+    "TcpTransport",
+    "TcpCoordinatorPort",
+    "TcpWorkerPort",
+    "resolve_transport",
+    "open_worker_port",
+]

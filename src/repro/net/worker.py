@@ -1,0 +1,50 @@
+"""Remote shard worker: join a ``TcpTransport`` coordinator over TCP.
+
+The machine-spanning half of the transport story: a coordinator binds
+a :class:`~repro.net.transport.TcpTransport` on a LAN address (with
+``spawn_workers=False`` on the runner), and each worker machine runs
+
+.. code-block:: bash
+
+    python -m repro.net.worker HOST PORT TOKEN SHARD
+
+The worker connects, authenticates with the shared token, receives
+its shard payload (factored local systems, routing tables, mailbox
+specs) in the SPEC frame, and free-runs the standard shard loop until
+the coordinator broadcasts shutdown or the connection drops.  Nothing
+but the ``repro`` package and network reachability is required — no
+shared filesystem, no shared memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..runtime.multiproc import _worker_main
+
+
+def run_worker(
+    host: str,
+    port: int,
+    token: str,
+    shard: int,
+) -> None:
+    """Connect to *host*:*port* and run the shard loop until shutdown."""
+    _worker_main(("tcp", host, int(port), token, int(shard)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Attach one DTM shard worker to a TCP coordinator."
+    )
+    parser.add_argument("host", help="coordinator host/IP")
+    parser.add_argument("port", type=int, help="coordinator port")
+    parser.add_argument("token", help="shared transport token")
+    parser.add_argument("shard", type=int, help="shard index to serve")
+    args = parser.parse_args(argv)
+    run_worker(args.host, args.port, args.token, args.shard)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

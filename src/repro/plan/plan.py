@@ -67,9 +67,14 @@ def graph_fingerprint(graph: ElectricGraph) -> str:
     """
     h = hashlib.sha256()
     h.update(str(graph.n).encode())
-    for arr in (graph.vertex_weights, graph.edge_u, graph.edge_v,
-                graph.edge_weights):
-        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(np.ascontiguousarray(graph.vertex_weights).tobytes())
+    # canonical edge order: the fingerprint must be content-true so
+    # the same matrix hashes identically however its graph was built
+    # (construction order vs CSR round trips, e.g. through the network
+    # client's register path)
+    order = np.lexsort((graph.edge_v, graph.edge_u))
+    for arr in (graph.edge_u, graph.edge_v, graph.edge_weights):
+        h.update(np.ascontiguousarray(arr[order]).tobytes())
     return h.hexdigest()
 
 

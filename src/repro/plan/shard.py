@@ -48,7 +48,10 @@ def shard_bounds(weights: Sequence[float], n_shards: int
     n_parts = len(weights)
     if not 1 <= n_shards <= n_parts:
         raise ConfigurationError(
-            f"n_shards must be in [1, {n_parts}], got {n_shards}")
+            f"cannot cut {n_parts} subdomain(s) into {n_shards} "
+            f"shard(s): shards must be in [1, {n_parts}] (at least one "
+            "subdomain per shard — rebuild the plan with more "
+            "subdomains, or lower the shard count)")
     w = np.asarray(weights, dtype=np.float64)
     if np.any(w < 0):
         raise ValidationError("shard weights must be non-negative")

@@ -1,4 +1,4 @@
-"""True-parallel DTM: sharded workers over ``multiprocessing.shared_memory``.
+"""True-parallel DTM: sharded workers over a pluggable transport.
 
 The simulator backends *model* asynchrony; this runtime **executes**
 it.  A :class:`MultiprocDtmRunner` cuts an immutable
@@ -8,16 +8,18 @@ lets every worker free-run the paper's Table 1 loop over its
 subdomains — resolve, emit ``b = 2u − a``, deliver — with **no global
 barrier and no locks**:
 
-* the global wave vector lives in one ``shared_memory`` array; every
-  slot has exactly one writer (the twin slot's owning shard), so a
-  delivery is an aligned 8-byte overwrite — the latest-wins semantics
-  of the simulator's ``receive_batch``, realized by cache coherence
-  instead of an event queue;
-* cross-shard traffic is organized as per-edge
-  :class:`EdgeMailbox` channels (one per directed shard pair), each a
-  batch of latest-wins slots;
+* wave delivery is a :class:`~repro.net.transport.Transport` concern:
+  the default :class:`~repro.net.transport.ShmTransport` keeps the
+  global wave vector in one ``shared_memory`` array where every slot
+  has exactly one writer (a delivery is an aligned 8-byte overwrite);
+  :class:`~repro.net.transport.TcpTransport` carries the same
+  latest-wins frames over length-prefixed sockets so shards need no
+  shared address space at all — the machine-spanning mode;
+* cross-shard traffic is organized per directed shard pair
+  (:class:`~repro.plan.shard.MailboxSpec` channels), each a batch of
+  latest-wins slots;
 * stopping is **reference-free**: the parent process acts as the
-  designated coordinator, periodically gathering the shared state
+  designated coordinator, periodically gathering the published state
   buffer and running a :class:`~repro.core.convergence.ResidualRule` /
   ``QuiescenceRule`` monitor against wall-clock time — the plan's
   dense reference factor is never touched
@@ -34,24 +36,23 @@ are scheduling-dependent; the contract is convergence to the same
 tolerance, asserted by the runner itself: a residual stop is only
 reported ``converged`` after re-verification on a *consistent* final
 state (workers quiesce, publish, then the coordinator re-measures).
+This holds for every transport — see PERFORMANCE.md ("Transports").
 
-Memory-ordering note: workers and coordinator exchange float64 waves
-and int64 control words through aligned shared-memory cells with
+Memory-ordering note: on shm, workers and coordinator exchange float64
+waves and int64 control words through aligned shared-memory cells with
 single-writer discipline; on the cache-coherent platforms CPython
 supports this yields latest-wins visibility without locks (torn
-8-byte reads do not occur on aligned cells).  Residual probes may
-observe a *mix* of sweep generations — harmless for monitoring, which
-is why the final convergence check re-runs on quiesced state.
+8-byte reads do not occur on aligned cells).  On TCP, frames are
+applied whole under the GIL.  Residual probes may observe a *mix* of
+sweep generations — harmless for monitoring, which is why the final
+convergence check re-runs on quiesced state.
 """
 
 from __future__ import annotations
 
-import os
-import secrets
 import time
 import traceback
-import weakref
-from multiprocessing import get_context, shared_memory
+from multiprocessing import get_context
 from typing import Optional
 
 import numpy as np
@@ -66,203 +67,121 @@ from ..core.convergence import (
     relative_residual,
 )
 from ..errors import ConfigurationError, MultiprocError
+from ..net.transport import (
+    EdgeMailbox,
+    open_worker_port,
+    resolve_transport,
+)
 from ..plan.session import SolveResult, SolverSession, _as_rhs
-from ..plan.shard import MailboxSpec, ShardSpec, extract_shards
+from ..plan.shard import ShardSpec, extract_shards
 from ..sim.trace import (
     ShardReport,
     gather_shard_states,
     merge_shard_series,
 )
 
-# ----------------------------------------------------------------------
-# control-block layout (int64 words, single-writer per cell)
-# ----------------------------------------------------------------------
-_STOP = 0       # coordinator → workers: end the current epoch
-_EPOCH = 1      # coordinator → workers: bumped to start an epoch
-_SHUTDOWN = 2   # coordinator → workers: exit the idle loop
-_ERR = 3        # workers → coordinator: 1 + index of a failed shard
-_PER_SHARD = 4  # then: sweeps[n], acks[n], probe-request[n]
-
-
-def _ctrl_size(n_shards: int) -> int:
-    return _PER_SHARD + 3 * n_shards
-
-
-def _sweep_cell(i: int) -> int:
-    return _PER_SHARD + i
-
-
-def _ack_cell(n_shards: int, i: int) -> int:
-    return _PER_SHARD + n_shards + i
-
-
-def _probe_cell(n_shards: int, i: int) -> int:
-    return _PER_SHARD + 2 * n_shards + i
-
-
-def _attach_shm(name: str) -> shared_memory.SharedMemory:
-    """Attach to a coordinator-owned segment from a worker.
-
-    Only the coordinator unlinks segments.  On Python 3.13+ the worker
-    attaches untracked (``track=False``); earlier versions register the
-    attach with the *shared* resource tracker (workers inherit the
-    coordinator's tracker through the spawn machinery), whose cache is
-    a set — the duplicate registration is harmless and the
-    coordinator's single ``unlink`` retires it.  Do **not** unregister
-    here: that would remove the name from the shared cache early and
-    make the coordinator's later unlink crash the tracker loop.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: tracked attach (see above)
-        return shared_memory.SharedMemory(name=name)
-
-
-class EdgeMailbox:
-    """Lock-free latest-wins wave channel of one directed shard pair.
-
-    Binds a :class:`~repro.plan.shard.MailboxSpec` to the (shared)
-    global wave array.  :meth:`post` is the entire delivery protocol:
-    one fancy-indexed scatter of the sender's outgoing waves into the
-    receiver's slots — no queue, no lock, later posts simply overwrite
-    earlier ones, exactly the per-message FIFO-overwrite semantics the
-    simulator's ``receive_batch`` implements.
-    """
-
-    __slots__ = ("spec", "waves")
-
-    def __init__(self, spec: MailboxSpec, waves: np.ndarray) -> None:
-        self.spec = spec
-        self.waves = waves
-
-    def post(self, outgoing: np.ndarray) -> None:
-        """Deliver the channel's share of a sweep's outgoing waves."""
-        self.waves[self.spec.dest_slots] = outgoing[self.spec.emit_pos]
-
-    def peek(self) -> np.ndarray:
-        """Snapshot of the channel's current slot values (reader side)."""
-        return self.waves[self.spec.dest_slots].copy()
+__all__ = [
+    "EdgeMailbox",
+    "MultiprocDtmRunner",
+    "solve_dtm_multiproc",
+]
 
 
 # ----------------------------------------------------------------------
 # worker process
 # ----------------------------------------------------------------------
-def _worker_main(payload: bytes, names: dict, n_slots_total: int,
-                 n_states_total: int, idle_sleep: float,
-                 probe_every: int) -> None:
-    """Entry point of one shard worker (must be module-level for spawn).
+def _run_worker(spec: ShardSpec, port, idle_sleep: float,
+                probe_every: int) -> None:
+    """The transport-agnostic shard loop.
 
-    Protocol: idle-poll the control block for an epoch bump; on one,
-    reload the zero-wave states, then free-run sweeps until the stop
-    flag rises; publish final states and ack the epoch; repeat until
-    shutdown.  Any exception marks the error cell before exiting, so
-    the coordinator fails fast instead of hanging on acks.
+    Protocol: idle-poll the port for an epoch bump; on one, reload the
+    zero-wave states, then free-run sweeps until the stop flag rises;
+    publish final states and ack the epoch; repeat until shutdown.
     """
-    spec = ShardSpec.from_payload(payload)
-    n_shards = spec.n_shards
-    i = spec.index
-    shms = {key: _attach_shm(name) for key, name in names.items()}
-    try:
-        waves = np.ndarray((n_slots_total,), dtype=np.float64,
-                           buffer=shms["waves"].buf)
-        x0buf = np.ndarray((n_states_total,), dtype=np.float64,
-                           buffer=shms["x0"].buf)
-        states = np.ndarray((n_states_total,), dtype=np.float64,
-                            buffer=shms["states"].buf)
-        ctrl = np.ndarray((_ctrl_size(n_shards),), dtype=np.int64,
-                          buffer=shms["ctrl"].buf)
-        kern = spec.kernel
-        lo, hi = spec.slot_lo, spec.slot_hi
-        st_lo, st_hi = spec.state_lo, spec.state_hi
-        loopback = EdgeMailbox(spec.loopback, waves)
-        outboxes = [EdgeMailbox(box, waves) for box in spec.outboxes]
-        sweep_cell = _sweep_cell(i)
-        ack_cell = _ack_cell(n_shards, i)
-        probe_cell = _probe_cell(n_shards, i)
-        total_sweeps = 0
-        last_epoch = 0
-
-        while True:
-            if ctrl[_SHUTDOWN]:
+    kern = spec.kernel
+    total_sweeps = 0
+    last_epoch = 0
+    while True:
+        if port.shutdown_requested():
+            return
+        epoch = port.current_epoch()
+        if epoch == last_epoch:
+            time.sleep(idle_sleep)
+            continue
+        last_epoch = epoch
+        # the coordinator clears STOP *before* bumping the epoch; wait
+        # out any stale STOP observation (weakly ordered platforms)
+        # instead of acking a zero-sweep epoch
+        while port.stop_requested() and not port.shutdown_requested():
+            time.sleep(idle_sleep)
+        kern.load_x0(port.read_x0())
+        # publish the zero-sweep state so early coordinator probes see
+        # x0-consistent values instead of stale zeros
+        port.publish_states(kern.full_states(port.wave_snapshot()),
+                            total_sweeps)
+        since_probe = 0
+        last_a: Optional[np.ndarray] = None
+        while not port.stop_requested():
+            if port.shutdown_requested():
+                # a coordinator that vanishes (or closes) mid-epoch
+                # never raises STOP; the worker must still exit
+                # instead of napping forever on stale waves
                 return
-            epoch = int(ctrl[_EPOCH])
-            if epoch == last_epoch:
+            a = port.wave_snapshot()  # one latest-wins snapshot
+            if last_a is not None and np.array_equal(a, last_a):
+                # arrival-triggered solves (Table 1): no new boundary
+                # information means a resolve would emit the identical
+                # waves — nap instead of burning the timeslice, so a
+                # busy sibling shard gets the core
+                if port.probe_requested():
+                    port.publish_states(kern.full_states(a),
+                                        total_sweeps)
+                    port.clear_probe()
                 time.sleep(idle_sleep)
                 continue
-            last_epoch = epoch
-            # the coordinator clears STOP *before* bumping the epoch;
-            # wait out any stale STOP observation (weakly ordered
-            # platforms) instead of acking a zero-sweep epoch
-            while ctrl[_STOP] and not ctrl[_SHUTDOWN]:
-                time.sleep(idle_sleep)
-            kern.load_x0(x0buf[st_lo:st_hi])
-            # publish the zero-sweep state so early coordinator probes
-            # see x0-consistent values instead of stale zeros
-            states[st_lo:st_hi] = kern.full_states(
-                np.array(waves[lo:hi]))
-            since_probe = 0
-            last_a: Optional[np.ndarray] = None
-            while not ctrl[_STOP]:
-                a = np.array(waves[lo:hi])  # one latest-wins snapshot
-                if last_a is not None and np.array_equal(a, last_a):
-                    # arrival-triggered solves (Table 1): no new
-                    # boundary information means a resolve would emit
-                    # the identical waves — nap instead of burning the
-                    # timeslice, so a busy sibling shard gets the core
-                    if ctrl[probe_cell]:
-                        states[st_lo:st_hi] = kern.full_states(a)
-                        ctrl[probe_cell] = 0
-                    time.sleep(idle_sleep)
-                    continue
-                out = kern.sweep(a)
-                last_a = a
-                loopback.post(out)
-                for box in outboxes:
-                    box.post(out)
-                total_sweeps += 1
-                since_probe += 1
-                ctrl[sweep_cell] = total_sweeps
-                if ctrl[probe_cell] or since_probe >= probe_every:
-                    states[st_lo:st_hi] = kern.full_states(
-                        np.array(waves[lo:hi]))
-                    ctrl[probe_cell] = 0
-                    since_probe = 0
-            # quiesced: publish one final consistent state, then ack
-            states[st_lo:st_hi] = kern.full_states(
-                np.array(waves[lo:hi]))
-            ctrl[ack_cell] = epoch
-    except Exception:  # pragma: no cover - exercised via dead-worker test
+            out = kern.sweep(a)
+            last_a = a
+            port.post_waves(out)
+            total_sweeps += 1
+            since_probe += 1
+            port.record_sweeps(total_sweeps)
+            if port.probe_requested() or since_probe >= probe_every:
+                port.publish_states(
+                    kern.full_states(port.wave_snapshot()),
+                    total_sweeps)
+                port.clear_probe()
+                since_probe = 0
+        # quiesced: publish one final consistent state, then ack
+        port.publish_states(kern.full_states(port.wave_snapshot()),
+                            total_sweeps)
+        port.ack(epoch)
+
+
+def _worker_main(descriptor) -> None:
+    """Entry point of one shard worker (module-level for spawn).
+
+    Opens a worker port from the transport descriptor and runs the
+    shard loop.  Any exception marks the error cell (or sends an error
+    frame) before exiting, so the coordinator fails fast instead of
+    hanging on acks.
+    """
+    spec, port, idle_sleep, probe_every = open_worker_port(descriptor)
+    try:
+        _run_worker(spec, port, idle_sleep, probe_every)
+    except Exception:  # pragma: no cover - exercised via error tests
         try:
-            ctrl = np.ndarray((_ctrl_size(n_shards),), dtype=np.int64,
-                              buffer=shms["ctrl"].buf)
-            ctrl[_ERR] = i + 1
+            port.mark_error(traceback.format_exc(limit=4))
         except Exception:
             pass
         traceback.print_exc()
         raise
     finally:
-        for shm in shms.values():
-            try:
-                shm.close()
-            except Exception:  # pragma: no cover
-                pass
+        port.close()
 
 
 # ----------------------------------------------------------------------
 # coordinator
 # ----------------------------------------------------------------------
-def _cleanup_segments(segments: list) -> None:
-    """Close+unlink owned segments (idempotent; weakref finalizer)."""
-    for shm in segments:
-        try:
-            shm.close()
-            shm.unlink()
-        except FileNotFoundError:
-            pass
-        except Exception:  # pragma: no cover - best-effort teardown
-            pass
-
-
 def _residual_tol(rule: StoppingRule) -> Optional[float]:
     """Tolerance of the first ResidualRule in *rule*'s tree, if any."""
     if isinstance(rule, ResidualRule):
@@ -310,16 +229,28 @@ class MultiprocDtmRunner:
     ack_timeout:
         Seconds to wait for workers to acknowledge epoch transitions
         before declaring them lost.
+    transport:
+        ``"shm"`` (default), ``"tcp"``, or a
+        :class:`~repro.net.transport.Transport` instance — the fabric
+        waves/states/control travel over.  ``"shm"`` requires one
+        machine; ``"tcp"`` works across address spaces and, with a
+        bound LAN address, across machines.
+    spawn_workers:
+        Spawn one local process per shard (default).  With a TCP
+        transport you may pass ``False`` and attach workers yourself
+        (``python -m repro.net.worker``) — e.g. from other machines.
 
     Workers persist across :meth:`solve` calls (epochs), which is what
     makes a warm runner a *serving* unit: right-hand-side swaps cost
-    one back-substitution per subdomain plus a shared-memory write.
+    one back-substitution per subdomain plus one transport publish.
     """
 
     def __init__(self, plan, shards: int = 2, *, probe_every: int = 8,
                  poll_interval: float = 0.01, idle_sleep: float = 0.001,
                  mp_context: str = "spawn",
-                 ack_timeout: float = 30.0) -> None:
+                 ack_timeout: float = 30.0,
+                 transport="shm",
+                 spawn_workers: bool = True) -> None:
         if plan.mode != "dtm":
             raise ConfigurationError(
                 f"MultiprocDtmRunner needs a dtm-mode plan, got "
@@ -341,12 +272,12 @@ class MultiprocDtmRunner:
         self.n_solves = 0
         self._closed = False
         self._procs: list = []
-        self._segments: list = []
-        self._finalizer = None
+        self._epoch = 0
 
         if self.shards == 1:
             self._session: Optional[SolverSession] = SolverSession(plan)
             self.specs: list[ShardSpec] = []
+            self.transport = None
             return
         self._session = None
         self.specs = extract_shards(plan, self.shards)
@@ -363,61 +294,33 @@ class MultiprocDtmRunner:
              for q, loc in enumerate(plan.base_locals)]) \
             if self._n_states else np.zeros(0, dtype=np.int64)
         self._ctx = get_context(mp_context)
-        self._make_segments()
-        self._spawn_workers()
+        self.transport = resolve_transport(transport)
+        self._port = self.transport.bind(
+            self.specs, n_slots=self._n_slots, n_states=self._n_states,
+            idle_sleep=self.idle_sleep, probe_every=self.probe_every)
+        if spawn_workers:
+            self._spawn_workers()
 
     # -- lifecycle ------------------------------------------------------
-    def _make_segments(self) -> None:
-        base = f"dtm{os.getpid():x}{secrets.token_hex(4)}"
-        sizes = {
-            "waves": max(self._n_slots, 1) * 8,
-            "x0": max(self._n_states, 1) * 8,
-            "states": max(self._n_states, 1) * 8,
-            "ctrl": _ctrl_size(self.shards) * 8,
-        }
-        self._shm = {}
-        self._names = {}
-        for key, size in sizes.items():
-            shm = shared_memory.SharedMemory(
-                create=True, size=size, name=f"{base}-{key}")
-            self._shm[key] = shm
-            self._names[key] = shm.name
-            self._segments.append(shm)
-        self._finalizer = weakref.finalize(
-            self, _cleanup_segments, self._segments)
-        self._waves = np.ndarray((self._n_slots,), dtype=np.float64,
-                                 buffer=self._shm["waves"].buf)
-        self._x0 = np.ndarray((self._n_states,), dtype=np.float64,
-                              buffer=self._shm["x0"].buf)
-        self._states = np.ndarray((self._n_states,), dtype=np.float64,
-                                  buffer=self._shm["states"].buf)
-        self._ctrl = np.ndarray((_ctrl_size(self.shards),),
-                                dtype=np.int64,
-                                buffer=self._shm["ctrl"].buf)
-        self._waves[:] = 0.0
-        self._x0[:] = 0.0
-        self._states[:] = 0.0
-        self._ctrl[:] = 0
-
     def _spawn_workers(self) -> None:
         for spec in self.specs:
+            descriptor = self.transport.worker_descriptor(spec.index)
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(spec.to_payload(), self._names, self._n_slots,
-                      self._n_states, self.idle_sleep, self.probe_every),
+                args=(descriptor,),
                 name=f"dtm-shard-{spec.index}",
                 daemon=True)
             proc.start()
             self._procs.append(proc)
 
     def close(self) -> None:
-        """Shut the worker pool down and release the shared segments."""
+        """Shut the worker pool down and release the transport."""
         if self._closed:
             return
         self._closed = True
         if self._session is not None:
             return
-        self._ctrl[_SHUTDOWN] = 1
+        self._port.shutdown()
         deadline = time.perf_counter() + 5.0
         for proc in self._procs:
             proc.join(timeout=max(0.0, deadline - time.perf_counter()))
@@ -425,8 +328,7 @@ class MultiprocDtmRunner:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)
-        if self._finalizer is not None:
-            self._finalizer()  # close+unlink, exactly once
+        self._port.close()
 
     def __enter__(self) -> "MultiprocDtmRunner":
         return self
@@ -436,24 +338,32 @@ class MultiprocDtmRunner:
 
     # -- health ---------------------------------------------------------
     def _check_workers(self) -> None:
-        if self._ctrl[_ERR]:
-            shard = int(self._ctrl[_ERR]) - 1
+        failed = self._port.failed_shard()
+        if failed:
+            detail = self._port.error_detail()
+            suffix = f":\n{detail}" if detail else \
+                " (see its stderr traceback)"
             raise MultiprocError(
-                f"shard worker {shard} raised (see its stderr "
-                "traceback); the runner cannot continue")
+                f"shard worker {failed - 1} raised{suffix}; the runner "
+                "cannot continue")
         dead = [p.name for p in self._procs if not p.is_alive()]
         if dead:
             raise MultiprocError(
                 f"worker processes died without error marker: {dead} "
                 "(killed or crashed hard); restart the runner")
+        lost = self._port.lost_workers()
+        if lost:
+            raise MultiprocError(
+                f"shard connections dropped without error marker: "
+                f"{lost}; restart the runner")
 
     def _wait_acks(self, epoch: int) -> None:
         deadline = time.perf_counter() + self.ack_timeout
         pending = set(range(self.shards))
         while pending:
             self._check_workers()
-            done = {i for i in pending
-                    if int(self._ctrl[_ack_cell(self.shards, i)]) >= epoch}
+            acks = self._port.acks()
+            done = {i for i in pending if int(acks[i]) >= epoch}
             pending -= done
             if not pending:
                 return
@@ -465,12 +375,9 @@ class MultiprocDtmRunner:
 
     # -- coordinator-side measurement -----------------------------------
     def _gather(self) -> np.ndarray:
-        return gather_shard_states(self.plan.split, self._states,
+        return gather_shard_states(self.plan.split,
+                                   self._port.read_states(),
                                    self._state_off)
-
-    def _request_probes(self) -> None:
-        for i in range(self.shards):
-            self._ctrl[_probe_cell(self.shards, i)] = 1
 
     def _wave_fixed_point_delta(self) -> float:
         """Max wave change one more lockstep sweep would produce.
@@ -487,18 +394,16 @@ class MultiprocDtmRunner:
         fleet = self.plan.fleet_template
         if self._n_slots == 0:
             return 0.0
-        u = self._states[self._port_rows]
-        out = 2.0 * u[fleet.slot_port_global] - self._waves
+        waves = self._port.read_waves()
+        states = self._port.read_states()
+        u = states[self._port_rows]
+        out = 2.0 * u[fleet.slot_port_global] - waves
         return float(np.max(np.abs(
-            out - self._waves[fleet.route_dest_slot_global])))
-
-    def _sweep_counts(self) -> np.ndarray:
-        return np.array([int(self._ctrl[_sweep_cell(i)])
-                         for i in range(self.shards)], dtype=np.int64)
+            out - waves[fleet.route_dest_slot_global])))
 
     def shard_reports(self, base: Optional[np.ndarray] = None
                       ) -> list[ShardReport]:
-        counts = self._sweep_counts()
+        counts = self._port.sweep_counts()
         if base is not None:
             counts = counts - base
         return [
@@ -574,21 +479,24 @@ class MultiprocDtmRunner:
 
         # rhs swap, coordinator-side: one back-substitution per
         # subdomain against the plan's retained factors, then one
-        # shared-memory publish
+        # transport publish
         rhs_list = plan.spread_sources(b_vec)
+        x0_full = np.zeros(self._n_states)
         for loc, rhs in zip(plan.base_locals, rhs_list):
             if loc.n_local:
-                self._x0[self._state_off[loc.part]:
-                         self._state_off[loc.part + 1]] = \
+                x0_full[self._state_off[loc.part]:
+                        self._state_off[loc.part + 1]] = \
                     loc.response_for(rhs)
+        self._port.write_x0(x0_full)
         warm = warm_start and self._last_waves is not None
-        self._waves[:] = self._last_waves if warm else 0.0
+        self._port.write_waves(
+            self._last_waves if warm else np.zeros(self._n_slots))
         self._check_workers()
 
         t0 = time.perf_counter()
-        base_sweeps = self._sweep_counts()
+        base_sweeps = self._port.sweep_counts()
         deadline = t0 + wall_budget
-        waves_fn = self._waves.copy
+        waves_fn = self._port.read_waves
         event = None
         final_rr = np.inf
         series_parts = []
@@ -596,11 +504,11 @@ class MultiprocDtmRunner:
         for _ in range(max_rounds):
             _, monitor, _ = begin_monitor(
                 rule, tol=tol, system=(plan.a_mat, b_vec))
-            epoch = int(self._ctrl[_EPOCH]) + 1
-            self._ctrl[_STOP] = 0
-            self._ctrl[_EPOCH] = epoch
+            self._epoch += 1
+            epoch = self._epoch
+            self._port.begin_epoch(epoch)
             while True:
-                self._request_probes()
+                self._port.request_probes()
                 time.sleep(self.poll_interval)
                 self._check_workers()
                 t = time.perf_counter() - t0
@@ -608,7 +516,7 @@ class MultiprocDtmRunner:
                 event = monitor.update(t, probe)
                 if event is not None or time.perf_counter() > deadline:
                     break
-            self._ctrl[_STOP] = 1
+            self._port.signal_stop()
             self._wait_acks(epoch)
             # consistent post-quiescence measurement
             t = time.perf_counter() - t0
@@ -635,7 +543,7 @@ class MultiprocDtmRunner:
             event = None  # premature: resume sweeping on live state
 
         wall = time.perf_counter() - t0
-        self._last_waves = self._waves.copy()
+        self._last_waves = self._port.read_waves()
         self.n_solves += 1
         served = plan.record_solve()
         reports = self.shard_reports(base_sweeps)
@@ -670,10 +578,3 @@ def solve_dtm_multiproc(plan, b=None, *, shards: int = 2,
     """One-shot convenience wrapper: spawn, solve, tear down."""
     with MultiprocDtmRunner(plan, shards=shards) as runner:
         return runner.solve(b, **solve_kwargs)
-
-
-__all__ = [
-    "EdgeMailbox",
-    "MultiprocDtmRunner",
-    "solve_dtm_multiproc",
-]

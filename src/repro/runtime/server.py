@@ -8,10 +8,18 @@ resident) keyed by plan hash.  A ``solve(plan_id, b)`` request costs
 one back-substitution per subdomain plus the parallel run itself — no
 re-partitioning, no re-factorization, no process spawn.
 
-This module is transport-agnostic: :meth:`DtmServer.serve` is a plain
-request loop over an iterable (tests and the demo drive it with
-lists/generators); putting it behind a socket or HTTP front end is a
-framing exercise, not a solver one.
+The store is bounded: ``max_plans`` turns it into an LRU — admitting a
+plan past the limit evicts the least-recently-used one, and eviction
+listeners let the server shut the evicted plan's warm runner pool down
+with it, so a long-lived server's memory is capped by configuration,
+not by traffic history.
+
+:meth:`DtmServer.serve` is transport-agnostic: a plain request loop
+over an iterable (tests and the demo drive it with lists/generators).
+The socket front end in :mod:`repro.net.frontend` frames this exact
+loop over TCP.  The loop is hardened: a malformed request or an
+unknown plan id yields an **error response** instead of killing the
+loop — one bad client request must not take the service down.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
@@ -45,23 +54,63 @@ def plan_hash(plan: SolverPlan) -> str:
 
 
 class PlanStore:
-    """Thread-safe content-addressed store of immutable plans."""
+    """Thread-safe content-addressed store of immutable plans.
 
-    def __init__(self) -> None:
-        self._plans: dict[str, SolverPlan] = {}
+    ``max_plans=None`` (default) keeps every registered plan forever —
+    the PR-4 behaviour.  A positive ``max_plans`` bounds the store
+    with least-recently-used eviction: both :meth:`get` and a repeated
+    :meth:`put` refresh recency, and evictions are announced to
+    listeners registered via :meth:`add_evict_listener` (the server
+    uses this to shut down the evicted plan's warm runner pool).
+    Listeners run outside the store lock.
+    """
+
+    def __init__(self, max_plans: Optional[int] = None) -> None:
+        if max_plans is not None and int(max_plans) < 1:
+            raise ConfigurationError("max_plans must be >= 1 (or None)")
+        self.max_plans = None if max_plans is None else int(max_plans)
+        self.n_evicted = 0
+        self._plans: OrderedDict[str, SolverPlan] = OrderedDict()
         self._lock = threading.Lock()
+        self._listeners: list = []
+
+    def add_evict_listener(self, callback) -> None:
+        """Register ``callback(key, plan)`` to run after each eviction."""
+        self._listeners.append(callback)
+
+    def remove_evict_listener(self, callback) -> None:
+        """Unregister a listener (a closed server must stop firing)."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self, evicted: list) -> None:
+        for key, plan in evicted:
+            for callback in tuple(self._listeners):
+                callback(key, plan)
 
     def put(self, plan: SolverPlan) -> str:
         key = plan_hash(plan)
+        evicted: list = []
         with self._lock:
             # first write wins: plans are immutable and content-keyed,
-            # so re-registering is a no-op returning the same id
+            # so re-registering is a no-op returning the same id (but
+            # it still refreshes LRU recency)
             self._plans.setdefault(key, plan)
+            self._plans.move_to_end(key)
+            while self.max_plans is not None \
+                    and len(self._plans) > self.max_plans:
+                evicted.append(self._plans.popitem(last=False))
+                self.n_evicted += 1
+        self._notify(evicted)
         return key
 
     def get(self, key: str) -> SolverPlan:
         with self._lock:
             plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)  # a hit refreshes recency
         if plan is None:
             raise KeyError(f"no plan {key!r} in the store")
         return plan
@@ -78,6 +127,14 @@ class PlanStore:
         with self._lock:
             return list(self._plans)
 
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "n_plans": len(self._plans),
+                "max_plans": self.max_plans,
+                "n_evicted": self.n_evicted,
+            }
+
 
 @dataclass(frozen=True)
 class ServeRequest:
@@ -93,13 +150,25 @@ class ServeRequest:
 
 @dataclass(frozen=True)
 class ServeResponse:
-    """One served solve: the result plus queue/latency accounting."""
+    """One served request: the result *or* an error, plus accounting.
 
-    plan_id: str
-    result: SolveResult
-    seq: int
-    wall_seconds: float
+    ``error`` is ``None`` on success and a ``"Type: message"`` string
+    when the request failed (unknown plan id, malformed right-hand
+    side, runner failure, ...) — in which case ``result`` is ``None``.
+    The serve loop never dies on a bad request; it reports and moves
+    on to the next one.
+    """
+
+    plan_id: Optional[str]
+    result: Optional[SolveResult] = None
+    seq: int = 0
+    wall_seconds: float = 0.0
     tag: object = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -109,6 +178,8 @@ class ServerStats:
     n_registered: int = 0
     n_solves: int = 0
     n_warm_hits: int = 0
+    n_errors: int = 0
+    n_evicted: int = 0
     total_solve_seconds: float = 0.0
     per_plan_solves: dict = field(default_factory=dict)
 
@@ -117,6 +188,8 @@ class ServerStats:
             "n_registered": self.n_registered,
             "n_solves": self.n_solves,
             "n_warm_hits": self.n_warm_hits,
+            "n_errors": self.n_errors,
+            "n_evicted": self.n_evicted,
             "total_solve_seconds": self.total_solve_seconds,
             "per_plan_solves": dict(self.per_plan_solves),
         }
@@ -132,21 +205,41 @@ class DtmServer:
     store:
         Shared :class:`PlanStore` (a fresh private one by default) —
         several servers can serve one store.
+    max_plans:
+        Convenience bound applied to the private store; pass a
+        pre-bounded :class:`PlanStore` instead when sharing one
+        (combining both is rejected as ambiguous).
     runner_opts:
         Extra :class:`MultiprocDtmRunner` keyword arguments applied to
-        every runner the server creates.
+        every runner the server creates (e.g. ``transport="tcp"``).
+
+    Whatever the store, the server registers an eviction listener: a
+    plan falling out of the LRU shuts down its warm runner pool too,
+    so bounded stores bound worker-pool memory as well.
     """
 
     def __init__(self, *, shards: int = 2,
                  store: Optional[PlanStore] = None,
+                 max_plans: Optional[int] = None,
                  **runner_opts) -> None:
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
+        if store is not None and max_plans is not None:
+            raise ConfigurationError(
+                "pass max_plans on the PlanStore when sharing one "
+                "(store= and max_plans= together are ambiguous)")
         self.shards = int(shards)
-        self.store = store if store is not None else PlanStore()
+        self.store = store if store is not None \
+            else PlanStore(max_plans=max_plans)
+        self.store.add_evict_listener(self._on_evict)
         self._runner_opts = dict(runner_opts)
         self._runners: dict[str, MultiprocDtmRunner] = {}
         self._lock = threading.Lock()
+        self._solve_locks: dict = {}
+        #: guards the counters and the serve-loop sequence number —
+        #: the TCP front end drives serve() from one thread per
+        #: connection, so accounting must not race
+        self._stats_lock = threading.Lock()
         self.stats = ServerStats()
         self._seq = 0
         self._closed = False
@@ -159,7 +252,9 @@ class DtmServer:
 
         Building goes through the in-process plan cache, so two
         registrations of the same matrix/configuration return the same
-        id and share one plan object.
+        id and share one plan object.  On a bounded store, admitting a
+        new plan may evict (and shut down the warm runner of) the
+        least-recently-used one.
         """
         if self._closed:
             raise ConfigurationError("server is closed")
@@ -172,34 +267,78 @@ class DtmServer:
             raise ConfigurationError(
                 f"DtmServer serves dtm-mode plans, got {plan.mode!r}")
         key = self.store.put(plan)
-        self.stats.n_registered = len(self.store)
+        with self._stats_lock:
+            self.stats.n_registered = len(self.store)
         return key
 
+    def _on_evict(self, key: str, plan: SolverPlan) -> None:
+        """Eviction listener: retire the evicted plan's warm runner.
+
+        The runner is closed under its solve lock, so an in-flight
+        solve on another thread finishes before its pool is torn down
+        (the next request for the key gets a clean ``KeyError``).
+        """
+        with self._lock:
+            runner = self._runners.pop(key, None)
+        if runner is not None:
+            with self._solve_lock(key):
+                runner.close()
+        with self._lock:
+            # the lock entry goes with the plan (recreated on a
+            # re-register), so a bounded store bounds this dict too
+            self._solve_locks.pop(key, None)
+        with self._stats_lock:
+            self.stats.n_evicted += 1
+            self.stats.n_registered = len(self.store)
+
     # -- dispatch -------------------------------------------------------
+    def _solve_lock(self, plan_id) -> threading.Lock:
+        with self._lock:
+            lock = self._solve_locks.get(plan_id)
+            if lock is None:
+                lock = threading.Lock()
+                self._solve_locks[plan_id] = lock
+        return lock
+
     def runner(self, plan_id: str) -> MultiprocDtmRunner:
-        """The warm sharded runner of *plan_id* (created on first use)."""
+        """The warm sharded runner of *plan_id* (created on first use).
+
+        Creation happens under the server lock: the store lookup and
+        the runner-cache insert are atomic with respect to LRU
+        eviction, so an evicted key can never leave an orphan warm
+        pool behind (eviction either sees the cached runner and closes
+        it, or the lookup fails with ``KeyError``).
+        """
         with self._lock:
             runner = self._runners.get(plan_id)
-            if runner is None:
-                plan = self.store.get(plan_id)
-                runner = MultiprocDtmRunner(plan, shards=self.shards,
-                                            **self._runner_opts)
-                self._runners[plan_id] = runner
-            else:
+            if runner is not None:
                 self.stats.n_warm_hits += 1
+                return runner
+            plan = self.store.get(plan_id)
+            runner = MultiprocDtmRunner(plan, shards=self.shards,
+                                        **self._runner_opts)
+            self._runners[plan_id] = runner
         return runner
 
     def solve(self, plan_id: str, b=None, **solve_kwargs) -> SolveResult:
-        """Solve against a registered plan on its warm worker pool."""
+        """Solve against a registered plan on its warm worker pool.
+
+        Serialized per plan: runners (and the shards=1 session path)
+        are single-caller objects, so concurrent requests for one plan
+        — easy to produce through the TCP front end — queue on the
+        plan's solve lock instead of racing one worker pool.
+        """
         if self._closed:
             raise ConfigurationError("server is closed")
         t0 = time.perf_counter()
-        result = self.runner(plan_id).solve(b, **solve_kwargs)
+        with self._solve_lock(plan_id):
+            result = self.runner(plan_id).solve(b, **solve_kwargs)
         wall = time.perf_counter() - t0
-        self.stats.n_solves += 1
-        self.stats.total_solve_seconds += wall
-        self.stats.per_plan_solves[plan_id] = \
-            self.stats.per_plan_solves.get(plan_id, 0) + 1
+        with self._stats_lock:
+            self.stats.n_solves += 1
+            self.stats.total_solve_seconds += wall
+            self.stats.per_plan_solves[plan_id] = \
+                self.stats.per_plan_solves.get(plan_id, 0) + 1
         return result
 
     def serve(self, requests: Iterable[ServeRequest]
@@ -208,17 +347,36 @@ class DtmServer:
 
         Lazily evaluated so a caller can stream an unbounded request
         source; runners stay warm across requests for the same plan.
+        A failing request — unknown plan id, malformed right-hand
+        side, a runner error — yields a :class:`ServeResponse` with
+        ``error`` set instead of raising: the loop survives bad
+        requests by contract (asserted in-process and over TCP by the
+        test suite).
         """
         for req in requests:
             t0 = time.perf_counter()
-            result = self.solve(req.plan_id, req.b, tol=req.tol,
-                                stopping=req.stopping,
-                                warm_start=req.warm_start)
-            self._seq += 1
-            yield ServeResponse(plan_id=req.plan_id, result=result,
-                                seq=self._seq,
+            plan_id = getattr(req, "plan_id", None)
+            tag = getattr(req, "tag", None)
+            with self._stats_lock:
+                self._seq += 1
+                seq = self._seq
+            try:
+                result = self.solve(
+                    plan_id, req.b, tol=req.tol,
+                    stopping=req.stopping,
+                    warm_start=req.warm_start)
+            except Exception as exc:
+                with self._stats_lock:
+                    self.stats.n_errors += 1
+                yield ServeResponse(
+                    plan_id=plan_id, result=None, seq=seq,
+                    wall_seconds=time.perf_counter() - t0, tag=tag,
+                    error=f"{type(exc).__name__}: {exc}")
+                continue
+            yield ServeResponse(plan_id=plan_id, result=result,
+                                seq=seq,
                                 wall_seconds=time.perf_counter() - t0,
-                                tag=req.tag)
+                                tag=tag)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -226,6 +384,8 @@ class DtmServer:
         if self._closed:
             return
         self._closed = True
+        # stop firing on a (possibly shared) store after close
+        self.store.remove_evict_listener(self._on_evict)
         with self._lock:
             runners = list(self._runners.values())
             self._runners.clear()

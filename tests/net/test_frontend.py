@@ -1,0 +1,176 @@
+"""The serving front end and client (ISSUE 5, net/frontend + client).
+
+A real socket round trip end to end: register a system over the wire,
+solve against the warm server pool, match the in-process result, and
+exercise the hardened serve loop *over TCP* — bad requests come back
+as error responses and the connection keeps serving.
+"""
+
+import faulthandler
+
+import numpy as np
+import pytest
+
+from repro.api import ResidualRule, connect_dtm
+from repro.core.convergence import relative_residual
+from repro.errors import ConfigurationError, RemoteError
+from repro.net import DtmClient, DtmTcpFrontend
+from repro.runtime import DtmServer
+from repro.workloads.poisson import grid2d_poisson
+
+faulthandler.enable()
+
+TOL = 1e-7
+GRID = 24
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid2d_poisson(GRID)
+
+
+@pytest.fixture(scope="module")
+def service(graph):
+    """A live server + frontend + connected client, shared."""
+    with DtmServer(shards=2) as server:
+        with DtmTcpFrontend(server) as frontend:
+            with DtmClient(frontend.address) as client:
+                plan_id = client.register(graph, n_subdomains=4, seed=1)
+                yield server, frontend, client, plan_id
+
+
+class TestRoundTrip:
+    def test_ping(self, service):
+        _, _, client, _ = service
+        assert client.ping()
+
+    def test_register_is_content_keyed_across_the_wire(self, service,
+                                                       graph):
+        server, _, client, plan_id = service
+        # registering the same graph in-process lands on the same id:
+        # the client's CSR round trip is content-true
+        assert server.register(graph, n_subdomains=4, seed=1) == plan_id
+        assert client.register(graph, n_subdomains=4, seed=1) == plan_id
+
+    def test_solve_matches_in_process_server(self, service, graph):
+        server, _, client, plan_id = service
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(graph.n)
+        remote = client.solve(plan_id, b, tol=TOL,
+                              stopping=ResidualRule(tol=TOL))
+        local = server.solve(plan_id, b, stopping=ResidualRule(tol=TOL))
+        assert remote.converged and local.converged
+        a_mat = server.store.get(plan_id).a_mat
+        assert relative_residual(a_mat, remote.x, b) <= TOL
+        assert np.max(np.abs(remote.x - local.x)) < 1e-5
+        assert np.isnan(remote.rms_error)
+        assert remote.stopped_by == "residual"
+        assert remote.plan_solves >= 1
+
+    def test_default_stopping_is_residual(self, service, graph):
+        _, _, client, plan_id = service
+        b = np.ones(graph.n)
+        res = client.solve(plan_id, b, tol=1e-6)
+        assert res.converged
+        assert res.stopped_by == "residual"
+        assert res.relative_residual <= 1e-6
+
+    def test_solve_many_columns(self, service, graph):
+        server, _, client, plan_id = service
+        rng = np.random.default_rng(5)
+        B = rng.standard_normal((graph.n, 3))
+        results = client.solve_many(plan_id, B, tol=1e-6)
+        assert len(results) == 3
+        a_mat = server.store.get(plan_id).a_mat
+        for j, res in enumerate(results):
+            assert res.converged
+            assert relative_residual(a_mat, res.x, B[:, j]) <= 1e-6
+
+    def test_solve_many_needs_2d(self, service):
+        _, _, client, plan_id = service
+        with pytest.raises(ConfigurationError):
+            client.solve_many(plan_id, np.zeros(5))
+
+    def test_stats(self, service):
+        _, _, client, _ = service
+        stats = client.stats()
+        assert stats["server"]["n_solves"] >= 1
+        assert stats["store"]["n_plans"] >= 1
+
+
+class TestHardenedLoopOverTcp:
+    def test_unknown_plan_is_error_response_not_dead_loop(self, service,
+                                                          graph):
+        _, _, client, plan_id = service
+        b = np.ones(graph.n)
+        with pytest.raises(RemoteError, match="KeyError"):
+            client.solve("deadbeef", b)
+        # the same connection keeps serving after the error
+        res = client.solve(plan_id, b, tol=1e-6)
+        assert res.converged
+
+    def test_malformed_rhs_is_error_response(self, service, graph):
+        _, _, client, plan_id = service
+        with pytest.raises(RemoteError, match="ValidationError"):
+            client.solve(plan_id, np.ones(graph.n - 3))
+        res = client.solve(plan_id, np.ones(graph.n), tol=1e-6)
+        assert res.converged
+
+    def test_bad_stopping_spec_is_error_response(self, service, graph):
+        _, _, client, plan_id = service
+        with pytest.raises(RemoteError):
+            client.solve(plan_id, np.ones(graph.n),
+                         stopping={"rule": "psychic"})
+
+    def test_unknown_op_is_error_response(self, service):
+        _, _, client, _ = service
+        obj, _ = client._request({"op": "levitate"})
+        assert not obj["ok"]
+        assert "unknown op" in obj["error"]
+        assert client.ping()  # connection still alive
+
+    def test_register_error_is_reported(self, service):
+        _, _, client, _ = service
+        # a non-symmetric matrix cannot have an electric graph
+        bad = np.array([[2.0, 1.0], [0.0, 2.0]])
+        with pytest.raises(RemoteError):
+            client.register(bad, np.ones(2))
+
+
+class TestAuth:
+    def test_token_required_and_checked(self, graph):
+        with DtmServer(shards=1) as server:
+            with DtmTcpFrontend(server, token="hunter2") as frontend:
+                with DtmClient(frontend.address) as anon:
+                    with pytest.raises(RemoteError, match="AuthError"):
+                        anon.ping()
+                with connect_dtm(frontend.address,
+                                 token="hunter2") as client:
+                    assert client.ping()
+                    plan_id = client.register(graph, n_subdomains=4)
+                    res = client.solve(plan_id, np.ones(graph.n),
+                                       tol=1e-6)
+                    assert res.converged
+
+
+class TestShutdown:
+    def test_remote_shutdown_closes_server(self, graph):
+        server = DtmServer(shards=1)
+        frontend = DtmTcpFrontend(server).start()
+        with DtmClient(frontend.address) as client:
+            plan_id = client.register(graph, n_subdomains=4)
+            assert client.solve(plan_id, np.ones(graph.n),
+                                tol=1e-6).converged
+            client.shutdown()
+        assert server._closed
+        with pytest.raises(ConfigurationError):
+            server.solve(plan_id, np.ones(graph.n))
+
+    def test_closed_client_rejects(self, graph):
+        server = DtmServer(shards=1)
+        with DtmTcpFrontend(server) as frontend:
+            client = DtmClient(frontend.address)
+            client.close()
+            with pytest.raises(ConfigurationError):
+                client.ping()
+        server.close()

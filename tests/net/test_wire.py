@@ -1,0 +1,151 @@
+"""Framing and message encoding (ISSUE 5, net/wire.py)."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    AnyOf,
+    HorizonRule,
+    QuiescenceRule,
+    ResidualRule,
+)
+from repro.errors import ProtocolError, TransportError
+from repro.net import wire
+
+
+def _pipe():
+    """A connected loopback socket pair."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    result = {}
+
+    def _accept():
+        conn, _ = server.accept()
+        result["conn"] = conn
+
+    t = threading.Thread(target=_accept)
+    t.start()
+    client.connect(server.getsockname())
+    t.join()
+    server.close()
+    return client, result["conn"]
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = _pipe()
+        try:
+            wire.send_frame(a, wire.T_CTRL, b"payload-bytes")
+            ftype, body = wire.recv_frame(b)
+            assert ftype == wire.T_CTRL
+            assert body == b"payload-bytes"
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = _pipe()
+        try:
+            a.sendall(b"\x00\x00\x00\x10\x01partial")
+            a.close()
+            with pytest.raises(TransportError):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = _pipe()
+        try:
+            for i in range(5):
+                wire.send_frame(a, wire.T_ACK, bytes([i]))
+            got = [wire.recv_frame(b) for _ in range(5)]
+            assert got == [(wire.T_ACK, bytes([i])) for i in range(5)]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestMessages:
+    def test_arrays_and_blob_roundtrip(self):
+        header = {"op": "solve", "tol": 1e-8, "tag": [1, "x"]}
+        arrays = {
+            "b": np.linspace(0.0, 1.0, 7),
+            "idx": np.arange(4, dtype=np.int64),
+            "m": np.arange(6, dtype=np.float64).reshape(2, 3),
+        }
+        payload = wire.encode_message(header, arrays, blob=b"opaque")
+        h, arrs, blob = wire.decode_message(payload)
+        assert h == header
+        assert blob == b"opaque"
+        assert set(arrs) == {"b", "idx", "m"}
+        for name in arrays:
+            assert np.array_equal(arrs[name], arrays[name])
+            assert arrs[name].dtype == arrays[name].dtype
+        arrs["b"][0] = 42.0  # decoded arrays must be writable copies
+
+    def test_empty_message(self):
+        h, arrs, blob = wire.decode_message(wire.encode_message({}))
+        assert h == {}
+        assert arrs == {}
+        assert blob == b""
+
+    def test_truncated_message_raises(self):
+        payload = wire.encode_message({"k": 1}, {"a": np.zeros(8)})
+        with pytest.raises(ProtocolError):
+            wire.decode_message(payload[:-16])
+
+    def test_garbage_header_raises(self):
+        with pytest.raises(ProtocolError):
+            wire.decode_message(b"\x00\x00\x00\x04notj")
+        with pytest.raises(ProtocolError):
+            wire.decode_message(b"\x00")
+
+    @pytest.mark.parametrize("shape", [[-2], [2**40, 2**40], ["x"]])
+    def test_hostile_array_shapes_raise_protocol_error(self, shape):
+        """A malformed descriptor must surface as ProtocolError (an
+        error response at the front end), never a raw numpy error
+        that would kill the connection handler."""
+        import json
+        import struct
+
+        meta = json.dumps(
+            {"h": {}, "a": [["a", "<f8", shape]]},
+        ).encode()
+        payload = struct.pack(">I", len(meta)) + meta + b"\x00" * 64
+        with pytest.raises(ProtocolError):
+            wire.decode_message(payload)
+
+
+class TestStoppingSpecs:
+    @pytest.mark.parametrize("rule", [
+        ResidualRule(tol=1e-6, every=3),
+        QuiescenceRule(threshold=1e-10, patience=4),
+        HorizonRule(t_max=12.5),
+        HorizonRule(max_updates=9),
+        AnyOf(ResidualRule(tol=1e-7), HorizonRule(max_updates=5)),
+    ])
+    def test_roundtrip(self, rule):
+        spec = wire.stopping_to_spec(rule)
+        clone = wire.stopping_from_spec(spec)
+        assert repr(clone) == repr(rule)
+
+    def test_none_passes_through(self):
+        assert wire.stopping_to_spec(None) is None
+        assert wire.stopping_from_spec(None) is None
+
+    def test_reference_rule_rejected(self):
+        from repro.core.convergence import ReferenceRule
+
+        with pytest.raises(ProtocolError):
+            wire.stopping_to_spec(ReferenceRule(tol=1e-8))
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.stopping_from_spec({"rule": "psychic"})
+        with pytest.raises(ProtocolError):
+            wire.stopping_from_spec(17)

@@ -1,0 +1,83 @@
+"""Shard extraction edge cases (ISSUE 5 satellite).
+
+`shards` greater than the number of subdomains, and single-subdomain
+plans: the contract is a *clear* error naming both counts (not an
+index error deep in the cut), and graceful behaviour at the one-shard
+degenerate points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ResidualRule
+from repro.errors import ConfigurationError
+from repro.plan import build_plan
+from repro.plan.shard import extract_shards, shard_bounds
+from repro.runtime.multiproc import MultiprocDtmRunner
+from repro.workloads.poisson import grid2d_poisson
+
+
+@pytest.fixture(scope="module")
+def single_part_plan():
+    return build_plan(grid2d_poisson(6), n_subdomains=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    return build_plan(grid2d_poisson(8), n_subdomains=4, seed=0)
+
+
+class TestTooManyShards:
+    def test_error_names_both_counts(self, small_plan):
+        with pytest.raises(ConfigurationError,
+                           match=r"4 subdomain.*5 shard"):
+            extract_shards(small_plan, 5)
+
+    def test_runner_rejects_with_clear_error(self, small_plan):
+        with pytest.raises(ConfigurationError, match="subdomain"):
+            MultiprocDtmRunner(small_plan, shards=5)
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_bounds([1.0, 1.0], 0)
+        with pytest.raises(ConfigurationError):
+            shard_bounds([1.0, 1.0], -1)
+
+
+class TestSingleSubdomainPlans:
+    def test_extract_one_shard(self, single_part_plan):
+        specs = extract_shards(single_part_plan, 1)
+        assert len(specs) == 1
+        spec = specs[0]
+        assert spec.n_parts == 1
+        assert spec.outboxes == []
+        fleet = single_part_plan.fleet_template
+        assert spec.slot_lo == 0
+        assert spec.slot_hi == fleet.n_slots_total
+        # every owned slot is delivered somewhere, all in-shard
+        assert spec.loopback.n_edges == spec.slot_hi - spec.slot_lo
+
+    def test_multi_shard_cut_rejected(self, single_part_plan):
+        with pytest.raises(ConfigurationError,
+                           match=r"1 subdomain.*2 shard"):
+            extract_shards(single_part_plan, 2)
+        with pytest.raises(ConfigurationError, match="subdomain"):
+            MultiprocDtmRunner(single_part_plan, shards=2)
+
+    def test_degrades_gracefully_to_one_shard(self, single_part_plan):
+        # shards=1 is the simulator-session path and must just work
+        with MultiprocDtmRunner(single_part_plan, shards=1) as runner:
+            res = runner.solve(stopping=ResidualRule(tol=1e-8),
+                               t_max=50_000, tol=None)
+        assert res.converged
+        ref = np.linalg.solve(single_part_plan.a_mat.to_dense(),
+                              single_part_plan.base_b)
+        assert np.max(np.abs(res.x - ref)) < 1e-6
+
+
+class TestBalancedCutsStillWork:
+    def test_exact_fit_one_part_per_shard(self, small_plan):
+        specs = extract_shards(small_plan, 4)
+        assert [spec.n_parts for spec in specs] == [1, 1, 1, 1]
+        parts = np.concatenate([spec.parts for spec in specs])
+        assert np.array_equal(parts, np.arange(4))

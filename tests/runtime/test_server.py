@@ -1,0 +1,202 @@
+"""PlanStore LRU bounds and the hardened serve loop (ISSUE 5).
+
+The multiproc/server happy paths live in ``test_multiproc.py``; this
+file covers the serving satellites: a bounded store evicting
+least-recently-used plans (shutting their warm runners down with
+them), and the serve loop surviving malformed requests with error
+responses.  Runners here use ``shards=1`` (the in-process session
+path) so the tests stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import relative_residual
+from repro.errors import ConfigurationError
+from repro.plan import build_plan
+from repro.runtime.server import (
+    DtmServer,
+    PlanStore,
+    ServeRequest,
+    plan_hash,
+)
+from repro.workloads.poisson import grid2d_poisson
+
+
+@pytest.fixture(scope="module")
+def plans():
+    """Three small, distinct plans."""
+    return [build_plan(grid2d_poisson(n), n_subdomains=2, seed=0)
+            for n in (6, 7, 8)]
+
+
+class TestPlanStoreLru:
+    def test_unbounded_by_default(self, plans):
+        store = PlanStore()
+        for plan in plans:
+            store.put(plan)
+        assert len(store) == 3
+        assert store.n_evicted == 0
+        assert store.stats()["max_plans"] is None
+
+    def test_evicts_least_recently_used(self, plans):
+        store = PlanStore(max_plans=2)
+        keys = [store.put(plan) for plan in plans[:2]]
+        store.put(plans[2])  # evicts plans[0]
+        assert len(store) == 2
+        assert store.n_evicted == 1
+        assert keys[0] not in store
+        assert keys[1] in store
+        with pytest.raises(KeyError):
+            store.get(keys[0])
+
+    def test_get_refreshes_recency(self, plans):
+        store = PlanStore(max_plans=2)
+        keys = [store.put(plan) for plan in plans[:2]]
+        store.get(keys[0])   # 0 is now most recent
+        store.put(plans[2])  # evicts 1, not 0
+        assert keys[0] in store
+        assert keys[1] not in store
+
+    def test_reput_refreshes_recency(self, plans):
+        store = PlanStore(max_plans=2)
+        keys = [store.put(plan) for plan in plans[:2]]
+        store.put(plans[0])  # re-register touches recency
+        store.put(plans[2])
+        assert keys[0] in store
+        assert keys[1] not in store
+
+    def test_evict_listener_runs(self, plans):
+        store = PlanStore(max_plans=1)
+        seen = []
+        store.add_evict_listener(lambda key, plan: seen.append(key))
+        k0 = store.put(plans[0])
+        store.put(plans[1])
+        assert seen == [k0]
+        assert store.stats()["n_evicted"] == 1
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanStore(max_plans=0)
+
+
+class TestServerEviction:
+    def test_eviction_shuts_down_warm_runner(self, plans):
+        with DtmServer(shards=1, max_plans=1) as server:
+            k0 = server.register(plan=plans[0])
+            res = server.solve(k0, tol=1e-7)
+            assert res.converged
+            runner0 = server.runner(k0)
+            assert not runner0._closed
+            k1 = server.register(plan=plans[1])
+            # plans[0] fell out of the LRU; its pool went with it
+            assert runner0._closed
+            assert k0 not in server.store
+            assert server.stats.n_evicted == 1
+            assert server.stats.n_registered == 1
+            assert server.solve(k1, tol=1e-7).converged
+            with pytest.raises(KeyError):
+                server.solve(k0, tol=1e-7)
+
+    def test_store_and_max_plans_conflict(self):
+        with pytest.raises(ConfigurationError):
+            DtmServer(shards=1, store=PlanStore(), max_plans=2)
+
+    def test_shared_store_bound_applies(self, plans):
+        store = PlanStore(max_plans=1)
+        with DtmServer(shards=1, store=store) as server:
+            server.register(plan=plans[0])
+            server.register(plan=plans[1])
+            assert len(store) == 1
+            assert store.n_evicted == 1
+
+
+class TestConcurrency:
+    def test_concurrent_solves_on_one_plan_are_serialized(self, plans):
+        """Racing requests for one plan (trivial through the TCP
+        front end) must each get the solution of their *own* rhs —
+        runners are single-caller, so the server queues them."""
+        import threading
+
+        plan = plans[2]
+        a_dense = plan.a_mat.to_dense()
+        rng = np.random.default_rng(11)
+        bs = [rng.standard_normal(plan.n) for _ in range(4)]
+        results = [None] * len(bs)
+        with DtmServer(shards=1) as server:
+            key = server.register(plan=plan)
+
+            def worker(j):
+                results[j] = server.solve(key, bs[j], tol=1e-7)
+
+            threads = [threading.Thread(target=worker, args=(j,))
+                       for j in range(len(bs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+        for j, res in enumerate(results):
+            assert res is not None and res.converged
+            x_ref = np.linalg.solve(a_dense, bs[j])
+            assert np.max(np.abs(res.x - x_ref)) < 1e-5
+
+    def test_closed_server_stops_listening_to_shared_store(self, plans):
+        store = PlanStore(max_plans=1)
+        server = DtmServer(shards=1, store=store)
+        server.register(plan=plans[0])
+        server.close()
+        # evictions after close must not mutate the dead server
+        store.put(plans[1])
+        store.put(plans[2])
+        assert server.stats.n_evicted == 0
+
+
+class TestHardenedServe:
+    def test_bad_requests_yield_error_responses(self, plans):
+        plan = plans[0]
+        with DtmServer(shards=1) as server:
+            key = server.register(plan=plan)
+            good_b = np.ones(plan.n)
+            requests = [
+                ServeRequest(plan_id=key, b=good_b, tol=1e-7, tag="ok1"),
+                ServeRequest(plan_id="deadbeef", b=good_b, tag="bad-id"),
+                ServeRequest(plan_id=key, b=np.ones(plan.n + 2),
+                             tag="bad-b"),
+                ServeRequest(plan_id=key, b=good_b, tol=1e-7, tag="ok2"),
+            ]
+            responses = list(server.serve(iter(requests)))
+        assert [r.tag for r in responses] == \
+            ["ok1", "bad-id", "bad-b", "ok2"]
+        assert [r.seq for r in responses] == [1, 2, 3, 4]
+        ok1, bad_id, bad_b, ok2 = responses
+        assert ok1.ok and ok2.ok
+        assert ok1.result.converged and ok2.result.converged
+        assert relative_residual(plan.a_mat, ok2.result.x, good_b) \
+            <= 1e-7
+        assert not bad_id.ok
+        assert bad_id.result is None
+        assert "KeyError" in bad_id.error
+        assert not bad_b.ok
+        assert "ValidationError" in bad_b.error
+        assert server.stats.n_errors == 2
+        assert server.stats.n_solves == 2
+
+    def test_malformed_request_object(self, plans):
+        with DtmServer(shards=1) as server:
+            server.register(plan=plans[0])
+            responses = list(server.serve(iter([object()])))
+        assert len(responses) == 1
+        assert not responses[0].ok
+        assert responses[0].result is None
+        assert "AttributeError" in responses[0].error
+
+    def test_stats_snapshot_has_new_counters(self, plans):
+        with DtmServer(shards=1) as server:
+            server.register(plan=plans[0])
+            snap = server.stats.snapshot()
+        assert snap["n_errors"] == 0
+        assert snap["n_evicted"] == 0
+
+    def test_plan_hash_stable(self, plans):
+        assert plan_hash(plans[0]) == plan_hash(plans[0])
+        assert plan_hash(plans[0]) != plan_hash(plans[1])
