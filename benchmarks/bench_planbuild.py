@@ -1,0 +1,209 @@
+"""Plan-construction benchmark: dense vs sparse vs sparse+parallel.
+
+Measures the headline of ISSUE 6 — breaking the dense planning
+ceiling.  For each Poisson case the same plan is built three ways:
+
+* **dense_s** — ``numerics="dense"``: the historical path (densify
+  every subdomain, dense Cholesky), which at nx=320 (102k unknowns)
+  spends ~98% of the build inside the local factorizations;
+* **sparse_s** — ``numerics="sparse"``: fill-reducing ordering +
+  sparse LDLᵀ over the CSR subdomain systems, never densifying;
+* **sparse_parallel_s** — the sparse build fanned out across a
+  process pool (``build_workers=-1``), bitwise-identical to the
+  serial sparse build (asserted here).
+
+**speedup** = ``dense_s / min(sparse_s, sparse_parallel_s)`` per case;
+the nx=320 value is the regression-gated headline (floor: 3x — on
+multi-core hosts the pool multiplies further, this container is
+single-core so the gain is purely algorithmic).  The built-in
+equivalence guard fails the bench if sparse ``x0``/``X`` drift more
+than 1e-10 (relative) from dense.
+
+The full (non ``--quick``) run additionally builds a **≥500k-unknown**
+sparse plan (nx=720, 518 400 unknowns) and records
+``large["vs_dense320"]`` — how many times faster that build is than
+the *dense* build of the 5x-smaller nx=320 system.  The acceptance
+criterion is this machine-relative ratio staying above 1.0: half a
+million unknowns must plan in well under the old 102k-unknown time.
+
+Results land in ``benchmarks/BENCH_planbuild.json`` and are gated by
+``scripts/check_bench.py`` (which hard-fails when the baseline file
+is missing).
+
+Run:  PYTHONPATH=src python benchmarks/bench_planbuild.py
+      PYTHONPATH=src python benchmarks/bench_planbuild.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.plan.plan import build_plan  # noqa: E402
+from repro.workloads.poisson import grid2d_poisson  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_planbuild.json")
+
+#: absolute floor the nx=320 build speedup must clear (acceptance)
+SPEEDUP_FLOOR = 3.0
+
+#: relative x0/X divergence that fails the built-in equivalence guard
+EQUIV_TOL = 1e-10
+
+CASES = {
+    120: dict(n_parts=16, parts_shape=(4, 4)),
+    320: dict(n_parts=64, parts_shape=(8, 8)),
+}
+QUICK_CASES = (120,)
+
+#: the >=500k-unknown demonstration workload (518 400 unknowns)
+LARGE_CASE = dict(nx=720, n_parts=400, parts_shape=(20, 20))
+
+
+def _build(graph, nx, *, n_parts, parts_shape, **kwargs):
+    t0 = time.perf_counter()
+    plan = build_plan(graph, n_subdomains=n_parts, grid_shape=(nx, nx),
+                      parts_shape=parts_shape, **kwargs)
+    return plan, time.perf_counter() - t0
+
+
+def _max_rel_diff(a: np.ndarray, b: np.ndarray) -> float:
+    scale = float(np.max(np.abs(a))) or 1.0
+    return float(np.max(np.abs(a - b))) / scale if a.size else 0.0
+
+
+def bench_case(nx: int, *, n_parts: int,
+               parts_shape: tuple[int, int]) -> dict:
+    graph = grid2d_poisson(nx, nx)
+    spec = dict(n_parts=n_parts, parts_shape=parts_shape)
+
+    dense, dense_s = _build(graph, nx, numerics="dense", **spec)
+    sparse, sparse_s = _build(graph, nx, numerics="sparse", **spec)
+
+    # equivalence guard: the sparse locals must match dense to 1e-10
+    max_rel = 0.0
+    for ld, ls in zip(dense.base_locals, sparse.base_locals):
+        max_rel = max(max_rel, _max_rel_diff(ld.x0, ls.x0),
+                      _max_rel_diff(ld.X, ls.X))
+    if max_rel > EQUIV_TOL:
+        raise RuntimeError(
+            f"nx={nx}: sparse locals diverge from dense by {max_rel:.2e}"
+            f" (tolerance {EQUIV_TOL:.0e})")
+    n = dense.n
+    del dense  # free the dense X/factors before the pooled build
+
+    par, sparse_parallel_s = _build(graph, nx, numerics="sparse",
+                                    build_workers=-1, **spec)
+    for ls, lp in zip(sparse.base_locals, par.base_locals):
+        if not (np.array_equal(ls.x0, lp.x0)
+                and np.array_equal(ls.X, lp.X)):
+            raise RuntimeError(
+                f"nx={nx}: pooled sparse build is not bitwise-identical "
+                "to the serial sparse build")
+
+    best_sparse = min(sparse_s, sparse_parallel_s)
+    return {
+        "nx": nx,
+        "n": n,
+        "n_parts": n_parts,
+        "dense_s": dense_s,
+        "sparse_s": sparse_s,
+        "sparse_parallel_s": sparse_parallel_s,
+        "speedup_sparse": dense_s / sparse_s,
+        "speedup": dense_s / best_sparse,
+        "max_rel_diff": max_rel,
+    }
+
+
+def bench_large(dense320_s: float) -> dict:
+    nx, n_parts = LARGE_CASE["nx"], LARGE_CASE["n_parts"]
+    graph = grid2d_poisson(nx, nx)
+    plan, build_s = _build(graph, nx, numerics="sparse",
+                           build_workers=-1, n_parts=n_parts,
+                           parts_shape=LARGE_CASE["parts_shape"])
+    return {
+        "nx": nx,
+        "n": plan.n,
+        "n_parts": n_parts,
+        "build_s": build_s,
+        # machine-relative acceptance ratio: the 500k-unknown sparse
+        # build vs the 102k-unknown *dense* build of the same run
+        "vs_dense320": dense320_s / build_s if dense320_s else None,
+    }
+
+
+def run_bench(cases=tuple(sorted(CASES)), *, large: bool = True,
+              out: str = DEFAULT_OUT) -> dict:
+    results = []
+    for nx in cases:
+        spec = CASES[nx]
+        print(f"case nx={nx} ({nx * nx} unknowns, "
+              f"P={spec['n_parts']}) ...", flush=True)
+        case = bench_case(nx, **spec)
+        results.append(case)
+        print(f"  dense {case['dense_s']:8.2f} s | sparse "
+              f"{case['sparse_s']:6.2f} s | sparse+parallel "
+              f"{case['sparse_parallel_s']:6.2f} s -> "
+              f"{case['speedup']:.1f}x", flush=True)
+    at_320 = next((c["speedup"] for c in results if c["nx"] == 320),
+                  None)
+    record = {
+        "benchmark": "planbuild",
+        "speedup_floor": SPEEDUP_FLOOR,
+        "equiv_tol": EQUIV_TOL,
+        "cases": results,
+        "speedup_at_320": at_320,
+        "large": None,
+    }
+    dense320 = next((c["dense_s"] for c in results if c["nx"] == 320),
+                    None)
+    if large and dense320 is not None:
+        print(f"large case nx={LARGE_CASE['nx']} "
+              f"({LARGE_CASE['nx'] ** 2} unknowns, "
+              f"P={LARGE_CASE['n_parts']}) ...", flush=True)
+        record["large"] = bench_large(dense320)
+        print(f"  sparse+parallel {record['large']['build_s']:8.2f} s "
+              f"({record['large']['vs_dense320']:.1f}x faster than the "
+              "102k-unknown dense build)", flush=True)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote {out}")
+    return record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small case only, no 500k demonstration "
+                    "(CI tier-2 mode)")
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+    cases = QUICK_CASES if args.quick else tuple(sorted(CASES))
+    record = run_bench(cases, large=not args.quick, out=args.out)
+    failed = False
+    at_320 = record["speedup_at_320"]
+    if at_320 is not None and at_320 < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup_at_320={at_320:.2f} < {SPEEDUP_FLOOR}")
+        failed = True
+    large = record["large"]
+    if large is not None and large["vs_dense320"] is not None \
+            and large["vs_dense320"] <= 1.0:
+        print(f"FAIL: the {large['n']}-unknown sparse build took "
+              f"{large['build_s']:.1f} s, not under the 102k-unknown "
+              "dense build time")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,15 @@
-"""Tier-2 smoke targets for the kernel, plan, multiproc, net benches.
+"""Tier-2 smoke targets for the kernel, plan, multiproc, net and
+plan-construction benches.
 
 Fast sanity passes over :mod:`bench_kernel_micro`,
-:mod:`bench_plan_reuse`, :mod:`bench_multiproc` and
-:mod:`bench_net`: run a small case each, check the built-in
+:mod:`bench_plan_reuse`, :mod:`bench_multiproc`, :mod:`bench_net` and
+:mod:`bench_planbuild`: run a small case each, check the built-in
 equivalence guards fired (they raise on divergence), the JSON records
 have the expected shape, and the architectural win is present at all
 (fleet not slower than the Python loop; cached setup not slower than
 re-planning; sharded solves converge to tolerance; the TCP fabric
-converges to the same tolerance as shm).  They deliberately do *not*
+converges to the same tolerance as shm; sparse plan construction
+matches dense to 1e-10 and pooled builds match serial bitwise).  They deliberately do *not*
 assert the full headline ratios (that is the full benches' job,
 checked against the committed baselines by ``scripts/check_bench.py``)
 so the smoke tests stay robust on loaded CI machines.
@@ -25,6 +27,8 @@ from bench_kernel_micro import bench_case, run_bench  # noqa: E402
 from bench_multiproc import bench_case as mp_bench_case  # noqa: E402
 from bench_net import bench_case as net_bench_case  # noqa: E402
 from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
+from bench_planbuild import EQUIV_TOL  # noqa: E402
+from bench_planbuild import bench_case as pb_bench_case  # noqa: E402
 
 
 def test_bench_smoke(tmp_path):
@@ -96,3 +100,16 @@ def test_plan_bench_smoke(tmp_path):
     # and cached setup must at minimum beat re-planning
     assert case["speedup"] > 1.0
     assert record["cases"][0]["n_unknowns"] == case["n_unknowns"]
+
+
+def test_planbuild_bench_smoke():
+    case = pb_bench_case(40, n_parts=4, parts_shape=(2, 2))
+    assert case["n"] == 1600
+    assert case["dense_s"] > 0
+    assert case["sparse_s"] > 0
+    assert case["sparse_parallel_s"] > 0
+    # the dense-vs-sparse equivalence and serial-vs-pooled bitwise
+    # guards inside bench_case raise on divergence; the tiny case makes
+    # no headline speed claim, only that the record is well-formed
+    assert case["max_rel_diff"] <= EQUIV_TOL
+    assert case["speedup"] > 0

@@ -1,21 +1,25 @@
 """Fail when a committed benchmark baseline regresses.
 
 Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
-:mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`
-and :mod:`benchmarks.bench_net` (or previously written JSONs passed
-via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc`` /
-``--fresh-net``) against the committed
-``benchmarks/BENCH_kernel.json``, ``BENCH_plan.json``,
-``BENCH_multiproc.json`` and ``BENCH_net.json``.  A case
-**regresses** when its speedup ratio — a machine-relative number,
-robust on hosts slower than the one that wrote the baseline — drops
-by more than ``--tolerance`` (default 20%): the kernel bench's
-fleet-vs-per-kernel ratio (headline ``speedup_at_256``), the plan
-bench's cached-vs-replanned setup ratio (headline ``speedup_at_64``),
-the multiproc bench's sharded-vs-simulator wall-clock ratio (headline
-``speedup_at_4``, which additionally must clear the absolute 1.5x
-floor), and the net bench's tcp-vs-shm warm-solve ratio (headline
-``tcp_vs_shm_at_2``, floored by the baseline's ``ratio_floor``).
+:mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`,
+:mod:`benchmarks.bench_net` and :mod:`benchmarks.bench_planbuild` (or
+previously written JSONs passed via ``--fresh`` / ``--fresh-plan`` /
+``--fresh-multiproc`` / ``--fresh-net`` / ``--fresh-planbuild``)
+against the committed ``benchmarks/BENCH_kernel.json``,
+``BENCH_plan.json``, ``BENCH_multiproc.json``, ``BENCH_net.json`` and
+``BENCH_planbuild.json``.  A case **regresses** when its speedup
+ratio — a machine-relative number, robust on hosts slower than the
+one that wrote the baseline — drops by more than ``--tolerance``
+(default 20%): the kernel bench's fleet-vs-per-kernel ratio (headline
+``speedup_at_256``), the plan bench's cached-vs-replanned setup ratio
+(headline ``speedup_at_64``), the multiproc bench's
+sharded-vs-simulator wall-clock ratio (headline ``speedup_at_4``,
+which additionally must clear the absolute 1.5x floor), the net
+bench's tcp-vs-shm warm-solve ratio (headline ``tcp_vs_shm_at_2``,
+floored by the baseline's ``ratio_floor``), and the planbuild bench's
+dense-vs-sparse plan-construction ratio (headline ``speedup_at_320``,
+floored by the baseline's ``speedup_floor`` of 3x, plus the 500k-
+unknown build's ``vs_dense320 > 1`` demonstration).
 Absolute kernel sweep times exceeding the baseline print warnings
 only, unless ``--strict-time`` promotes them to failures.  Exit code
 0 = pass, 1 = regression, 2 = usage/baseline problems.
@@ -55,6 +59,8 @@ DEFAULT_MULTIPROC_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_multiproc.json")
 DEFAULT_NET_BASELINE = os.path.join(_ROOT, "benchmarks",
                                     "BENCH_net.json")
+DEFAULT_PLANBUILD_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                          "BENCH_planbuild.json")
 
 #: bench script that regenerates each baseline, for error messages
 _REGEN = {
@@ -62,6 +68,7 @@ _REGEN = {
     "BENCH_plan.json": "benchmarks/bench_plan_reuse.py",
     "BENCH_multiproc.json": "benchmarks/bench_multiproc.py",
     "BENCH_net.json": "benchmarks/bench_net.py",
+    "BENCH_planbuild.json": "benchmarks/bench_planbuild.py",
 }
 
 
@@ -242,6 +249,71 @@ def compare_net(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_planbuild(baseline: dict, fresh: dict, tolerance: float, *,
+                      require_all: bool = True
+                      ) -> tuple[list[str], list[str]]:
+    """Compare a fresh plan-construction record against the baseline.
+
+    The failing signal is the per-case **dense-vs-sparse build
+    speedup** (both built on the same machine in the same run, so the
+    ratio is host-independent), plus the absolute floor recorded in
+    the baseline (3x at nx=320, the ISSUE 6 acceptance criterion) and
+    the 500k-unknown demonstration: the large sparse build must stay
+    faster than the same run's 102k-unknown dense build
+    (``vs_dense320 > 1``).  With ``require_all=False`` (quick mode)
+    baseline cases absent from the fresh run — the nx=320 headline and
+    the large case — downgrade to warnings; the cases that *did* run
+    are still fully gated.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = float(baseline.get("speedup_floor", 3.0))
+    base_cases = {c["nx"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["nx"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("planbuild fresh record has no cases")
+        return problems, warnings
+    for nx, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(nx)
+        if cur is None:
+            msg = f"planbuild nx={nx}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        speedup = cur.get("speedup")
+        base_speedup = base.get("speedup")
+        if speedup is None:
+            problems.append(
+                f"planbuild nx={nx}: fresh case lacks speedup")
+            continue
+        if nx == 320 and speedup < floor:
+            problems.append(
+                f"planbuild nx={nx}: sparse build speedup "
+                f"{speedup:.2f}x is below the {floor}x floor")
+        if base_speedup and speedup < base_speedup * (1.0 - tolerance):
+            problems.append(
+                f"planbuild nx={nx}: sparse build speedup fell from "
+                f"{base_speedup:.1f}x to {speedup:.1f}x (more than "
+                f"{tolerance:.0%} drop)")
+    if baseline.get("large"):
+        cur_large = fresh.get("large")
+        if cur_large is None:
+            msg = ("planbuild: large (500k-unknown) case missing from "
+                   "fresh run")
+            (problems if require_all else warnings).append(msg)
+        else:
+            ratio = cur_large.get("vs_dense320")
+            if ratio is None:
+                problems.append(
+                    "planbuild: fresh large case lacks vs_dense320")
+            elif ratio <= 1.0:
+                problems.append(
+                    f"planbuild: the {cur_large.get('n')}-unknown "
+                    f"sparse build is no longer faster than the "
+                    f"102k-unknown dense build (vs_dense320="
+                    f"{ratio:.2f})")
+    return problems, warnings
+
+
 class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
@@ -252,8 +324,11 @@ def _speedup_summary(record: dict) -> dict:
         return {}
     out = {k: record[k]
            for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4",
-                     "tcp_vs_shm_at_2")
+                     "tcp_vs_shm_at_2", "speedup_at_320")
            if record.get(k) is not None}
+    if isinstance(record.get("large"), dict) \
+            and record["large"].get("vs_dense320") is not None:
+        out["vs_dense320"] = record["large"]["vs_dense320"]
     out["cases"] = [{k: c.get(k)
                      for k in ("n_parts", "nx", "speedup", "speedup_at_4",
                                "tcp_vs_shm")
@@ -265,9 +340,10 @@ def _speedup_summary(record: dict) -> dict:
 def _write_report(path: str, *, exit_code: int, problems, warnings,
                   checked, args, kernel_fresh: dict,
                   plan_fresh: dict, multiproc_fresh: dict,
-                  net_fresh: dict, error: str = "") -> None:
+                  net_fresh: dict, planbuild_fresh: dict,
+                  error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/3",
+        "schema": "check_bench-report/4",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
@@ -275,6 +351,7 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
         "plan_tolerance": args.plan_tolerance,
         "multiproc_tolerance": args.multiproc_tolerance,
         "net_tolerance": args.net_tolerance,
+        "planbuild_tolerance": args.planbuild_tolerance,
         "strict_time": bool(args.strict_time),
         "quick": bool(args.quick),
         "checked": list(checked),
@@ -288,6 +365,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                       "record": multiproc_fresh},
         "net": {"measured": _speedup_summary(net_fresh),
                 "record": net_fresh},
+        "planbuild": {"measured": _speedup_summary(planbuild_fresh),
+                      "record": planbuild_fresh},
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -369,6 +448,19 @@ def _load_or_run_net(args, baseline: dict) -> dict:
     return run_bench(cases, out="")
 
 
+def _load_or_run_planbuild(args, baseline: dict) -> dict:
+    if args.fresh_planbuild:
+        return _load_fresh(args.fresh_planbuild)
+    from bench_planbuild import QUICK_CASES, run_bench
+
+    cases = tuple(sorted(c["nx"] for c in baseline.get("cases", [])))
+    if args.quick:
+        cases = tuple(nx for nx in cases if nx in QUICK_CASES) \
+            or QUICK_CASES
+    return run_bench(cases, large=not args.quick and
+                     bool(baseline.get("large")), out="")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -376,6 +468,8 @@ def main(argv=None) -> int:
     ap.add_argument("--multiproc-baseline",
                     default=DEFAULT_MULTIPROC_BASELINE)
     ap.add_argument("--net-baseline", default=DEFAULT_NET_BASELINE)
+    ap.add_argument("--planbuild-baseline",
+                    default=DEFAULT_PLANBUILD_BASELINE)
     ap.add_argument("--fresh", default=None,
                     help="pre-computed fresh kernel JSON; omit to re-run")
     ap.add_argument("--fresh-plan", default=None,
@@ -385,6 +479,9 @@ def main(argv=None) -> int:
                     "re-run")
     ap.add_argument("--fresh-net", default=None,
                     help="pre-computed fresh net JSON; omit to re-run")
+    ap.add_argument("--fresh-planbuild", default=None,
+                    help="pre-computed fresh planbuild JSON; omit to "
+                    "re-run")
     ap.add_argument("--skip-plan", action="store_true",
                     help="skip the plan baseline")
     ap.add_argument("--skip-kernel", action="store_true",
@@ -393,6 +490,8 @@ def main(argv=None) -> int:
                     help="skip the multiproc baseline")
     ap.add_argument("--skip-net", action="store_true",
                     help="skip the net-transport baseline")
+    ap.add_argument("--skip-planbuild", action="store_true",
+                    help="skip the plan-construction baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
     ap.add_argument("--plan-tolerance", type=float, default=0.50,
@@ -408,6 +507,11 @@ def main(argv=None) -> int:
                     help="allowed relative regression for the net "
                     "bench's tcp-vs-shm warm-solve ratio (scheduler-"
                     "noisy; the baseline's ratio_floor is the hard "
+                    "backstop; default 0.50)")
+    ap.add_argument("--planbuild-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the "
+                    "planbuild bench's dense-vs-sparse build speedups "
+                    "(the absolute 3x floor at nx=320 is the hard "
                     "backstop; default 0.50)")
     ap.add_argument("--strict-time", action="store_true",
                     help="also fail on absolute fleet sweep times "
@@ -426,6 +530,7 @@ def main(argv=None) -> int:
     plan_fresh: dict = {}
     multiproc_fresh: dict = {}
     net_fresh: dict = {}
+    planbuild_fresh: dict = {}
 
     def report(code: int, error: str = "") -> int:
         if args.json_report:
@@ -435,6 +540,7 @@ def main(argv=None) -> int:
                           kernel_fresh=fresh, plan_fresh=plan_fresh,
                           multiproc_fresh=multiproc_fresh,
                           net_fresh=net_fresh,
+                          planbuild_fresh=planbuild_fresh,
                           error=error)
         return code
 
@@ -475,6 +581,17 @@ def main(argv=None) -> int:
             problems += p
             warnings += w
             checked.append(os.path.relpath(args.net_baseline, _ROOT))
+
+        if not args.skip_planbuild:
+            pb_baseline = _require_baseline(args.planbuild_baseline)
+            planbuild_fresh = _load_or_run_planbuild(args, pb_baseline)
+            p, w = compare_planbuild(pb_baseline, planbuild_fresh,
+                                     args.planbuild_tolerance,
+                                     require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.planbuild_baseline,
+                                           _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)
         return report(2, error=str(exc))

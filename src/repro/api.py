@@ -55,8 +55,12 @@ __all__ = [
     "HorizonRule", "AnyOf",
 ]
 
-#: keyword arguments that select the plan (cache-key material)
-_PLAN_KEYS = ("placement", "allow_indefinite")
+#: keyword arguments that select or shape the plan build — the first
+#: three are cache-key material; ``build_workers`` only parallelizes
+#: the build (a pooled build is bitwise-identical, so it is
+#: deliberately not part of the key)
+_PLAN_KEYS = ("placement", "allow_indefinite", "numerics",
+              "sparse_ordering", "build_workers")
 #: keyword arguments forwarded to SolveResult-producing run calls
 #: (``stopping`` is an explicit parameter of the wrappers, not a
 #: pass-through, so it cannot collide here)
@@ -165,6 +169,14 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     (bitwise-identical to it), keeps ``t_max`` and may use an explicit
     reference-needing rule.
 
+    ``numerics="dense"|"sparse"|"auto"`` (default ``"auto"``, passed
+    through ``**sim_kwargs``) selects the per-subdomain factorization:
+    ``auto`` keeps the historical dense path for small locals and
+    switches to the sparse LDLᵀ path for large sparse ones;
+    ``build_workers=N`` (or ``-1`` for all CPUs) fans the plan's
+    factorizations out across a process pool without changing any
+    result bit.  See PERFORMANCE.md → "Sparse planning".
+
     ``transport`` selects the multiproc backend's wave fabric (see
     :mod:`repro.net.transport`): ``"shm"`` (default) runs workers over
     shared memory on this machine; ``"tcp"`` runs the same latest-wins
@@ -198,7 +210,11 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
             parts_shape=(parts_shape, None),
             placement=(plan_kwargs.get("placement"), None),
             allow_indefinite=(plan_kwargs.get("allow_indefinite", False),
-                              False))
+                              False),
+            numerics=(plan_kwargs.get("numerics", "auto"), "auto"),
+            sparse_ordering=(plan_kwargs.get("sparse_ordering", "amd"),
+                             "amd"),
+            build_workers=(plan_kwargs.get("build_workers"), None))
     if backend == "multiproc":
         if not use_fleet:
             raise ConfigurationError(
@@ -231,6 +247,8 @@ def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
                      tol: float = 1e-8, max_iterations: int = 10_000,
                      stopping=None,
                      seed: int = 0,
+                     numerics: str = "auto",
+                     build_workers: Optional[int] = None,
                      plan: Optional[SolverPlan] = None,
                      use_cache: bool = True) -> SolveResult:
     """Solve an SPD system with the synchronous VTM special case.
@@ -246,11 +264,14 @@ def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,
         plan = get_plan(a, None if isinstance(a, ElectricGraph) else b_vec,
                         use_cache=use_cache, mode="vtm",
                         n_subdomains=n_subdomains, impedance=impedance,
-                        seed=seed)
+                        seed=seed, numerics=numerics,
+                        build_workers=build_workers)
     else:
         _reject_plan_conflicts(
             plan, a, n_subdomains=(n_subdomains, 4),
-            impedance=(impedance, 1.0), seed=(seed, 0))
+            impedance=(impedance, 1.0), seed=(seed, 0),
+            numerics=(numerics, "auto"),
+            build_workers=(build_workers, None))
     session = VtmSession(plan)
     return session.solve(b_vec, tol=tol, max_iterations=max_iterations,
                          stopping=stopping)

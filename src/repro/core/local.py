@@ -27,10 +27,37 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import NotSpdError, ValidationError
+from ..errors import ConfigurationError, NotSpdError, ValidationError
 from ..graph.partition import Subdomain
 from ..linalg.cholesky import SymFactor, factor_spd, factor_symmetric
+from ..linalg.sparse_cholesky import factor_sparse_spd
 from ..utils.validation import require
+
+#: ``numerics="auto"`` picks the sparse factorization for local
+#: systems at least this large ...
+_SPARSE_MIN_N = 256
+#: ... whose fill fraction nnz/n² stays below this (denser systems
+#: gain nothing from sparse elimination)
+_SPARSE_MAX_FILL = 0.25
+
+
+def resolve_numerics(numerics: str, n: int, nnz: int) -> str:
+    """Resolve the ``numerics`` knob to ``"dense"`` or ``"sparse"``.
+
+    ``"auto"`` flips to sparse when the system is big enough for the
+    dense O(n³) factorization to dominate (n ≥ ``_SPARSE_MIN_N``) and
+    sparse enough for elimination to exploit
+    (nnz/n² ≤ ``_SPARSE_MAX_FILL``).
+    """
+    if numerics not in ("dense", "sparse", "auto"):
+        raise ConfigurationError(
+            f"unknown numerics {numerics!r}; choose dense, sparse or "
+            "auto")
+    if numerics != "auto":
+        return numerics
+    if n >= _SPARSE_MIN_N and nnz <= _SPARSE_MAX_FILL * n * n:
+        return "sparse"
+    return "dense"
 
 
 @dataclass
@@ -66,6 +93,18 @@ class LocalSystem:
         # get views, not copies, and must not mutate them
         self._x0_ro = self.x0.view()
         self._x0_ro.flags.writeable = False
+
+    def __getstate__(self) -> dict:
+        # drop the read-only view: pickled as-is it would detach from
+        # x0 on load, silently breaking the set_x0 aliasing contract
+        # (pool workers ship LocalSystems back to the coordinator)
+        state = self.__dict__.copy()
+        state.pop("_x0_ro", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__post_init__()
 
     @property
     def n_slots(self) -> int:
@@ -194,7 +233,9 @@ class LocalSystem:
 
 def build_local_system(sub: Subdomain,
                        attachments: Sequence[tuple[int, int, float]],
-                       *, allow_indefinite: bool = False) -> LocalSystem:
+                       *, allow_indefinite: bool = False,
+                       numerics: str = "dense",
+                       sparse_ordering: str = "amd") -> LocalSystem:
     """Assemble and factor the local system (5.9) for one subdomain.
 
     Parameters
@@ -208,6 +249,15 @@ def build_local_system(sub: Subdomain,
         least one attached DTL is SPD in all ordinary cases; set this
         to fall back to an LDLᵀ factorization when a deliberately
         indefinite subgraph must still be handled.
+    numerics:
+        ``"dense"`` (the historical path, bit-for-bit unchanged),
+        ``"sparse"`` (factor the CSR system directly, never
+        densifying), or ``"auto"`` (see :func:`resolve_numerics`).
+        Sparse and dense factors agree to solver precision (~1e-14
+        relative), not bitwise.
+    sparse_ordering:
+        Fill-reducing ordering for the sparse path (``"amd"``,
+        ``"rcm"``, ``"natural"``); ignored when dense is used.
     """
     n = sub.n_local
     for _idx, port, z in attachments:
@@ -226,12 +276,7 @@ def build_local_system(sub: Subdomain,
                            slot_ports=slot_ports, slot_inv_z=slot_inv_z,
                            x0=np.zeros(0), X=np.zeros((0, 0)))
 
-    # one dense scratch, bumped in place and consumed by the factor —
-    # no second densify/copy inside factor_spd (overwrite_a=True)
-    k = sub.matrix.to_dense()
-    if n_slots:
-        k.flat[:: n + 1] += np.bincount(slot_ports, weights=slot_inv_z,
-                                        minlength=n)
+    resolved = resolve_numerics(numerics, n, sub.matrix.nnz)
 
     # right-hand sides, pre-allocated: base f, plus one e_p / z column
     # per slot
@@ -240,27 +285,58 @@ def build_local_system(sub: Subdomain,
     rhs_block[slot_ports, 1 + np.arange(n_slots)] = slot_inv_z
 
     logdet = np.nan
-    try:
-        factor = factor_spd(k, check_symmetry=False, overwrite_a=True)
-        logdet = factor.logdet()
-        solution = factor.solve(rhs_block)
-        retained = factor
-    except NotSpdError:
-        if not allow_indefinite:
+    if resolved == "sparse":
+        k_sp = sub.matrix
+        if n_slots:
+            k_sp = k_sp.add_diagonal(
+                np.bincount(slot_ports, weights=slot_inv_z, minlength=n))
+        try:
+            factor = factor_sparse_spd(
+                k_sp, ordering=sparse_ordering, check_symmetry=False,
+                allow_indefinite=allow_indefinite)
+        except NotSpdError:
             raise NotSpdError(
                 f"local system of subdomain {sub.part} is not SPD; the "
                 "subgraph violates the SNND hypothesis of Theorem 6.1 "
-                "(pass allow_indefinite=True to force an LDL^T factor)")
-        # the failed in-place factor destroyed k: rebuild the (rare)
-        # indefinite system instead of copying defensively up front
+                "(pass allow_indefinite=True to force an LDL^T factor)"
+            ) from None
+        if factor.is_spd:
+            logdet = factor.logdet()
+        solution = factor.solve(rhs_block)
+        retained = factor
+    else:
+        # one dense scratch, bumped in place and consumed by the
+        # factor — no second densify/copy inside factor_spd
+        # (overwrite_a=True)
         k = sub.matrix.to_dense()
         if n_slots:
             k.flat[:: n + 1] += np.bincount(slot_ports,
                                             weights=slot_inv_z,
                                             minlength=n)
-        sym: SymFactor = factor_symmetric(k)
-        solution = sym.solve(rhs_block)
-        retained = sym
+        try:
+            factor = factor_spd(k, check_symmetry=False,
+                                overwrite_a=True)
+            logdet = factor.logdet()
+            solution = factor.solve(rhs_block)
+            retained = factor
+        except NotSpdError:
+            if not allow_indefinite:
+                raise NotSpdError(
+                    f"local system of subdomain {sub.part} is not SPD; "
+                    "the subgraph violates the SNND hypothesis of "
+                    "Theorem 6.1 (pass allow_indefinite=True to force "
+                    "an LDL^T factor)")
+            # the failed in-place factor destroyed k: rebuild the
+            # (rare) indefinite system instead of copying defensively
+            # up front
+            k = sub.matrix.to_dense()
+            if n_slots:
+                k.flat[:: n + 1] += np.bincount(slot_ports,
+                                                weights=slot_inv_z,
+                                                minlength=n)
+            sym: SymFactor = factor_symmetric(k)
+            solution = sym.solve(rhs_block)
+            retained = sym
 
     x0 = solution[:, 0].copy()
     X = solution[:, 1:].copy()
@@ -271,20 +347,40 @@ def build_local_system(sub: Subdomain,
     return local
 
 
+def _build_local_job(job) -> LocalSystem:
+    """Pool-target wrapper (module-level so it pickles under spawn)."""
+    sub, attachments, allow_indefinite, numerics, sparse_ordering = job
+    return build_local_system(sub, attachments,
+                              allow_indefinite=allow_indefinite,
+                              numerics=numerics,
+                              sparse_ordering=sparse_ordering)
+
+
 def build_all_local_systems(split, network, *,
-                            allow_indefinite: bool = False
+                            allow_indefinite: bool = False,
+                            numerics: str = "dense",
+                            sparse_ordering: str = "amd",
+                            workers: Optional[int] = None
                             ) -> list[LocalSystem]:
     """Build the factored local system of every subdomain of a split.
 
     *network* is the :class:`~repro.core.dtl.DtlpNetwork` whose
-    attachment tables define the wave slots.
+    attachment tables define the wave slots.  With ``workers`` > 1 the
+    per-subdomain factorizations fan out across a process pool (see
+    :mod:`repro.runtime.pool`); assembly order is the split's subdomain
+    order regardless of completion order, and a pooled build is
+    bitwise-identical to a serial one (same code, same libraries, no
+    accumulation-order change — each subdomain is independent).
     """
-    systems = []
-    for sub in split.subdomains:
-        systems.append(build_local_system(
-            sub, network.attachments[sub.part],
-            allow_indefinite=allow_indefinite))
-    return systems
+    jobs = [(sub, network.attachments[sub.part], allow_indefinite,
+             numerics, sparse_ordering) for sub in split.subdomains]
+    if workers is None or workers == 1 or len(jobs) <= 1:
+        return [_build_local_job(job) for job in jobs]
+    # late import: repro.runtime imports the plan layer, which imports
+    # this module — binding at call time keeps the layering acyclic
+    from ..runtime.pool import map_ordered
+
+    return map_ordered(_build_local_job, jobs, workers=workers)
 
 
 def validate_local_system(local: LocalSystem, sub: Subdomain,

@@ -20,7 +20,8 @@ from .iterative import (
     sor,
 )
 from .ordering import bandwidth, minimum_degree, reverse_cuthill_mckee
-from .sparse import CsrMatrix, laplacian_like
+from .sparse import CsrMatrix, forbid_densify, laplacian_like
+from .sparse_cholesky import SparseSpdFactor, factor_sparse_spd
 from .spd import (
     DefinitenessReport,
     assert_snnd,
@@ -39,7 +40,8 @@ __all__ = [
     "IterativeResult", "conjugate_gradient", "direct_reference_solution",
     "gauss_seidel", "jacobi", "sor",
     "bandwidth", "minimum_degree", "reverse_cuthill_mckee",
-    "CsrMatrix", "laplacian_like",
+    "CsrMatrix", "forbid_densify", "laplacian_like",
+    "SparseSpdFactor", "factor_sparse_spd",
     "DefinitenessReport", "assert_snnd", "assert_spd", "definiteness_report",
     "is_diagonally_dominant", "is_snnd", "is_spd", "min_eigenvalue",
 ]

@@ -13,12 +13,35 @@ row are kept sorted and duplicate entries are summed on construction.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..errors import ValidationError
 from ..utils.validation import require, require_index_array
+
+#: active :func:`forbid_densify` scopes (innermost last); non-empty
+#: makes :meth:`CsrMatrix.to_dense` raise instead of materialising
+_DENSIFY_FORBIDDEN: list[str] = []
+
+
+@contextmanager
+def forbid_densify(reason: str = "densification is forbidden here"):
+    """Make any :meth:`CsrMatrix.to_dense` inside the block raise.
+
+    The sparse-numerics invariant tests wrap an entire plan build +
+    reference-free solve in this guard to prove that no subdomain
+    matrix and no global reference matrix is ever materialised dense
+    (the sparse analogue of ``SolverPlan.reference_materialized``).
+    Scopes nest; the guard is a main-thread test hook, not a
+    synchronisation primitive.
+    """
+    _DENSIFY_FORBIDDEN.append(reason)
+    try:
+        yield
+    finally:
+        _DENSIFY_FORBIDDEN.pop()
 
 
 class CsrMatrix:
@@ -97,12 +120,21 @@ class CsrMatrix:
 
     @classmethod
     def from_dense(cls, a, *, tol: float = 0.0) -> "CsrMatrix":
-        """Build from a dense array, dropping entries with |a_ij| <= tol."""
+        """Build from a dense array, dropping entries with |a_ij| <= tol.
+
+        The result is canonical by construction — the row-major scan of
+        a dense array yields each row's surviving columns already
+        sorted and duplicate-free, exactly the invariant
+        :meth:`from_coo` enforces by sorting/summing — so the arrays
+        are assembled directly with no lexsort pass.
+        """
         arr = np.asarray(a, dtype=np.float64)
         require(arr.ndim == 2, "from_dense expects a 2-D array")
         mask = np.abs(arr) > tol
-        rows, cols = np.nonzero(mask)
-        return cls.from_coo(rows, cols, arr[mask], arr.shape)
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.count_nonzero(mask, axis=1), out=indptr[1:])
+        indices = np.nonzero(mask)[1].astype(np.int64)
+        return cls(arr[mask], indices, indptr, arr.shape, _trusted=True)
 
     @classmethod
     def zeros(cls, shape: tuple[int, int]) -> "CsrMatrix":
@@ -157,6 +189,10 @@ class CsrMatrix:
     # ------------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
         """Materialise as a dense float64 array."""
+        if _DENSIFY_FORBIDDEN:
+            raise ValidationError(
+                f"CsrMatrix{self.shape} densified inside a "
+                f"forbid_densify scope: {_DENSIFY_FORBIDDEN[-1]}")
         out = np.zeros(self.shape, dtype=np.float64)
         rows = np.repeat(np.arange(self.nrows), np.diff(self.indptr))
         out[rows, self.indices] = self.data
@@ -275,6 +311,30 @@ class CsrMatrix:
             np.concatenate([self.data, other.data]),
             self.shape,
         )
+
+    def add_diagonal(self, vec) -> "CsrMatrix":
+        """Return ``A + diag(vec)`` without densifying.
+
+        When every diagonal entry is already stored (true for the
+        Laplacian-stamped subdomain systems this library assembles)
+        the update is a pure value edit on a copied ``data`` array;
+        otherwise it falls back to a structural :meth:`add`.
+        """
+        n = min(self.shape)
+        v = np.asarray(vec, dtype=np.float64)
+        require(v.shape == (n,),
+                f"add_diagonal expects a length-{n} vector, got {v.shape}")
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64),
+                         np.diff(self.indptr))
+        diag_pos = np.flatnonzero((rows == self.indices) & (rows < n))
+        if diag_pos.size == n:
+            data = self.data.copy()
+            data[diag_pos] += v  # diag_pos[i] is row i's diagonal slot
+            return CsrMatrix(data, self.indices.copy(),
+                             self.indptr.copy(), self.shape,
+                             _trusted=True)
+        idx = np.arange(n, dtype=np.int64)
+        return self.add(CsrMatrix.from_coo(idx, idx, v, self.shape))
 
     # ------------------------------------------------------------------
     # structure queries and extraction

@@ -114,8 +114,17 @@ def _impedance_token(impedance) -> tuple:
 def plan_key(graph: ElectricGraph, *, mode: str, n_subdomains: int,
              seed: int, grid_shape, parts_shape, topology, impedance,
              placement, allow_indefinite: bool,
+             numerics: str = "auto", sparse_ordering: str = "amd",
              split: Optional[SplitResult] = None) -> tuple:
-    """Hashable identity of a plan build — every plan-affecting input."""
+    """Hashable identity of a plan build — every plan-affecting input.
+
+    ``numerics`` and ``sparse_ordering`` are key material: they select
+    the local factorization backend, whose solves differ at the
+    last-bits level, so plans built with different knobs must never
+    alias in the cache (and ``plan_hash`` — a hash over this key —
+    distinguishes them too).  ``build_workers`` is deliberately *not*
+    key material: a pooled build is bitwise-identical to a serial one.
+    """
     split_token = ("split", id(split)) if split is not None else (
         "auto-split", int(n_subdomains),
         tuple(grid_shape) if grid_shape else None,
@@ -125,7 +134,8 @@ def plan_key(graph: ElectricGraph, *, mode: str, n_subdomains: int,
     return (mode, graph_fingerprint(graph), split_token, int(seed),
             _topology_token(topology), _impedance_token(impedance),
             tuple(int(p) for p in placement) if placement else None,
-            bool(allow_indefinite))
+            bool(allow_indefinite),
+            ("numerics", str(numerics), str(sparse_ordering)))
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +221,10 @@ class SolverPlan:
     base_b: np.ndarray
     build_seconds: float
     key: Optional[tuple] = None
+    #: requested local-factorization knob ("dense" | "sparse" | "auto");
+    #: per-subdomain resolution is visible on the base locals' factors
+    numerics: str = "auto"
+    sparse_ordering: str = "amd"
     #: the right-hand side the *base locals* were factored against —
     #: differs from ``base_b`` only on :meth:`with_base_rhs` views.
     locals_b: Optional[np.ndarray] = field(default=None, repr=False)
@@ -269,6 +283,8 @@ class SolverPlan:
             fleet_template=self.fleet_template,
             a_mat=self.a_mat, base_b=b,
             build_seconds=self.build_seconds, key=self.key,
+            numerics=self.numerics,
+            sparse_ordering=self.sparse_ordering,
             locals_b=self.forked_locals_rhs,
             from_cache=self.from_cache,
             _ref_factor=self._ref_factor, _ref_cache=self._ref_cache,
@@ -411,6 +427,9 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
                parts_shape: Optional[tuple[int, int]] = None,
                placement: Optional[Sequence[int]] = None,
                allow_indefinite: bool = False,
+               numerics: str = "auto",
+               sparse_ordering: str = "amd",
+               build_workers: Optional[int] = None,
                split: Optional[SplitResult] = None,
                key: Optional[tuple] = None) -> SolverPlan:
     """Run the one-time planning pipeline and return a :class:`SolverPlan`.
@@ -419,6 +438,12 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
     :class:`ElectricGraph`, plus *b* unless *a* carries sources) or a
     prebuilt *split*.  ``mode="vtm"`` builds the synchronous special
     case: unit DTL delays, no machine topology.
+
+    ``numerics`` selects the per-subdomain factorization backend
+    (``"auto"``, the default, goes sparse for large sparse locals —
+    see :func:`repro.core.local.resolve_numerics`); ``build_workers``
+    fans the factorizations out across a process pool (``-1`` = all
+    CPUs) without changing a single result bit.
     """
     t0 = time.perf_counter()
     if mode not in ("dtm", "vtm"):
@@ -437,6 +462,16 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
     if len(placement) != n_parts:
         raise ConfigurationError(
             f"placement must map all {n_parts} subdomains")
+    if key is None:
+        # direct build_plan calls (no get_plan) still need a faithful
+        # key: plan_hash and the serving store derive identity from it
+        key = plan_key(graph, mode=mode, n_subdomains=n_subdomains,
+                       seed=seed, grid_shape=grid_shape,
+                       parts_shape=parts_shape, topology=topology,
+                       impedance=impedance, placement=placement,
+                       allow_indefinite=allow_indefinite,
+                       numerics=numerics,
+                       sparse_ordering=sparse_ordering, split=split)
 
     if mode == "dtm":
         if topology is None:
@@ -461,7 +496,9 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
     z_list = as_impedance_strategy(impedance).assign(split)
     network = build_dtlp_network(split, z_list, delay_spec)
     base_locals = build_all_local_systems(
-        split, network, allow_indefinite=allow_indefinite)
+        split, network, allow_indefinite=allow_indefinite,
+        numerics=numerics, sparse_ordering=sparse_ordering,
+        workers=build_workers)
     fleet_template = build_fleet(split, network, base_locals)
 
     a_mat, base_b = graph.to_system()
@@ -474,7 +511,8 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
         placement=placement, impedance=impedance, network=network,
         base_locals=base_locals, fleet_template=fleet_template,
         a_mat=a_mat, base_b=base_b,
-        build_seconds=time.perf_counter() - t0, key=key)
+        build_seconds=time.perf_counter() - t0, key=key,
+        numerics=numerics, sparse_ordering=sparse_ordering)
 
 
 def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,
@@ -509,6 +547,8 @@ def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,
         impedance=kwargs.get("impedance", 1.0),
         placement=kwargs.get("placement"),
         allow_indefinite=kwargs.get("allow_indefinite", False),
+        numerics=kwargs.get("numerics", "auto"),
+        sparse_ordering=kwargs.get("sparse_ordering", "amd"),
         split=split)
     if not use_cache:
         plan = build_plan(a, b, key=key, **kwargs)

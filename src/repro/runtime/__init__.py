@@ -13,6 +13,7 @@ runners over a shared :class:`PlanStore` (optionally LRU-bounded via
 
 from .asyncio_backend import AsyncioDtmRunner, AsyncRunResult, solve_dtm_asyncio
 from .multiproc import EdgeMailbox, MultiprocDtmRunner, solve_dtm_multiproc
+from .pool import map_ordered, resolve_workers
 from .server import (
     DtmServer,
     PlanStore,
@@ -29,6 +30,8 @@ __all__ = [
     "EdgeMailbox",
     "MultiprocDtmRunner",
     "solve_dtm_multiproc",
+    "map_ordered",
+    "resolve_workers",
     "DtmServer",
     "PlanStore",
     "ServeRequest",

@@ -283,3 +283,106 @@ def test_property_matmat_vs_scipy(n, seed):
     ours = (CsrMatrix.from_dense(a) @ CsrMatrix.from_dense(b)).to_dense()
     oracle = (sp.csr_matrix(a) @ sp.csr_matrix(b)).toarray()
     assert np.allclose(ours, oracle, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2 ** 31 - 1))
+def test_property_from_dense_is_canonical(n, m, seed):
+    # satellite of the sparse-numerics PR: from_dense must produce
+    # canonical CSR by construction — sorted, duplicate-free column
+    # indices and no stored entry below the drop tolerance
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, m, density=0.4)
+    mat = CsrMatrix.from_dense(a)
+    assert mat.indptr[0] == 0 and mat.indptr[-1] == mat.nnz
+    assert np.all(np.diff(mat.indptr) >= 0)
+    for i in range(n):
+        cols = mat.indices[mat.indptr[i]:mat.indptr[i + 1]]
+        assert np.all(np.diff(cols) > 0)  # strictly ascending => unique
+    assert np.all(mat.data != 0.0)
+    assert np.array_equal(mat.to_dense(), a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2 ** 31 - 1))
+def test_property_submatrix_round_trip(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, n, density=0.5)
+    mat = CsrMatrix.from_dense(a)
+    rows = rng.permutation(n)[: max(1, n // 2)]
+    cols = rng.permutation(n)[: max(1, n // 2)]
+    sub = mat.submatrix(rows, cols)
+    assert np.array_equal(sub.to_dense(), a[np.ix_(rows, cols)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2 ** 31 - 1))
+def test_property_permuted_round_trip(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, n, density=0.5)
+    a = a + a.T  # permuted() targets symmetric reordering
+    mat = CsrMatrix.from_dense(a)
+    perm = rng.permutation(n)
+    p = mat.permuted(perm)
+    assert np.array_equal(p.to_dense(), a[np.ix_(perm, perm)])
+    # permuting back recovers the original bits
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(n)
+    assert np.array_equal(p.permuted(inv).to_dense(), a)
+
+
+# ----------------------------------------------------------------------
+# add_diagonal
+# ----------------------------------------------------------------------
+def test_add_diagonal_full_diagonal_fast_path():
+    a = np.array([[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]])
+    m = CsrMatrix.from_dense(a)
+    v = np.array([0.5, 1.5, 2.5])
+    out = m.add_diagonal(v)
+    assert np.array_equal(out.to_dense(), a + np.diag(v))
+    assert out.nnz == m.nnz  # structure unchanged, values only
+    assert np.array_equal(m.to_dense(), a)  # original untouched
+
+
+def test_add_diagonal_missing_diagonal_entries():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])  # no stored diagonal
+    m = CsrMatrix.from_dense(a)
+    out = m.add_diagonal(np.array([3.0, 4.0]))
+    assert np.array_equal(out.to_dense(), a + np.diag([3.0, 4.0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 2 ** 31 - 1))
+def test_property_add_diagonal_matches_dense(n, seed):
+    rng = np.random.default_rng(seed)
+    a = random_dense(rng, n, n, density=0.5)
+    v = rng.standard_normal(n)
+    out = CsrMatrix.from_dense(a).add_diagonal(v)
+    assert np.allclose(out.to_dense(), a + np.diag(v), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# forbid_densify guard
+# ----------------------------------------------------------------------
+def test_forbid_densify_blocks_to_dense():
+    from repro.linalg.sparse import forbid_densify
+
+    m = CsrMatrix.identity(3)
+    with forbid_densify("unit test"):
+        with pytest.raises(ValidationError, match="unit test"):
+            m.to_dense()
+    # the guard is scoped: densification works again outside
+    assert np.array_equal(m.to_dense(), np.eye(3))
+
+
+def test_forbid_densify_nests():
+    from repro.linalg.sparse import forbid_densify
+
+    m = CsrMatrix.identity(2)
+    with forbid_densify("outer"):
+        with forbid_densify("inner"):
+            with pytest.raises(ValidationError, match="inner"):
+                m.to_dense()
+        with pytest.raises(ValidationError, match="outer"):
+            m.to_dense()
+    m.to_dense()

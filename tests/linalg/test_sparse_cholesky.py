@@ -1,0 +1,155 @@
+"""Sparse LDLᵀ factorization: both engines against the dense oracle."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotSpdError, SingularMatrixError
+from repro.linalg import CsrMatrix, SparseSpdFactor, factor_sparse_spd
+from repro.linalg.cholesky import factor_spd
+
+ENGINES = ("scipy", "python")
+ORDERINGS = ("amd", "rcm", "natural")
+
+
+def random_spd_csr(n, seed, extra_edges=4, boost=1.0):
+    """A sparse SPD matrix: graph Laplacian + diagonal boost."""
+    rng = np.random.default_rng(seed)
+    rows = list(range(n - 1)) + list(rng.integers(0, n, extra_edges * n))
+    cols = list(range(1, n)) + list(rng.integers(0, n, extra_edges * n))
+    vals = []
+    r2, c2 = [], []
+    for r, c in zip(rows, cols):
+        if r == c:
+            continue
+        r2.append(int(r))
+        c2.append(int(c))
+        vals.append(float(np.abs(rng.normal()) + 0.05))
+    coo_r = r2 + c2 + list(range(n))
+    coo_c = c2 + r2 + list(range(n))
+    coo_v = [-v for v in vals] * 2 + [0.0] * n
+    m = CsrMatrix.from_coo(coo_r, coo_c, coo_v, (n, n))
+    diag = -m.to_dense().sum(axis=1) + boost
+    return CsrMatrix.from_dense(m.to_dense() + np.diag(diag))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("n", [1, 7, 30, 120])
+def test_solve_matches_dense_oracle(engine, n):
+    a = random_spd_csr(n, seed=n)
+    dense = a.to_dense()
+    oracle = factor_spd(dense)
+    f = factor_sparse_spd(a, backend=engine)
+    assert f.engine == engine
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(n)
+    x = f.solve(b)
+    assert np.max(np.abs(x - oracle.solve(b))) <= 1e-10 * max(
+        1.0, np.max(np.abs(x)))
+    # the factorization really solved the original system
+    assert np.max(np.abs(dense @ x - b)) <= 1e-8
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("ordering", ORDERINGS)
+def test_orderings_all_give_the_same_solution(engine, ordering):
+    a = random_spd_csr(40, seed=3)
+    f = factor_sparse_spd(a, backend=engine, ordering=ordering)
+    b = np.arange(40, dtype=np.float64)
+    x = f.solve(b)
+    assert np.max(np.abs(a.to_dense() @ x - b)) <= 1e-8
+    assert f.is_spd
+    assert f.inertia() == (40, 0, 0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_block_solve_bitwise_equals_per_column(engine):
+    a = random_spd_csr(25, seed=9)
+    f = factor_sparse_spd(a, backend=engine)
+    rng = np.random.default_rng(2)
+    B = rng.standard_normal((25, 6))
+    X = f.solve(B)
+    assert X.shape == (25, 6)
+    for j in range(6):
+        assert np.array_equal(X[:, j], f.solve(B[:, j]))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_logdet_matches_dense(engine):
+    a = random_spd_csr(30, seed=5)
+    f = factor_sparse_spd(a, backend=engine)
+    _sign, expected = np.linalg.slogdet(a.to_dense())
+    assert abs(f.logdet() - expected) <= 1e-8 * max(1.0, abs(expected))
+
+
+def test_engines_agree_bitwise_on_rhs_permutation_discipline():
+    # both engines factor the SAME permuted matrix, so their solutions
+    # agree to roundoff (not bitwise — different elimination kernels)
+    a = random_spd_csr(50, seed=11)
+    fs = factor_sparse_spd(a, backend="scipy")
+    fp = factor_sparse_spd(a, backend="python")
+    assert np.array_equal(fs.perm, fp.perm)
+    b = np.linspace(-1, 1, 50)
+    assert np.max(np.abs(fs.solve(b) - fp.solve(b))) <= 1e-10
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_not_spd_raises(engine):
+    dense = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+    with pytest.raises(NotSpdError):
+        factor_sparse_spd(CsrMatrix.from_dense(dense), backend=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_allow_indefinite_keeps_factor(engine):
+    dense = np.array([[1.0, 2.0], [2.0, 1.0]])
+    f = factor_sparse_spd(CsrMatrix.from_dense(dense), backend=engine,
+                          allow_indefinite=True)
+    assert not f.is_spd
+    assert f.inertia() == (1, 0, 1)
+    assert np.isnan(f.logdet())
+    b = np.array([1.0, 0.0])
+    assert np.max(np.abs(dense @ f.solve(b) - b)) <= 1e-12
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_singular_raises(engine):
+    dense = np.array([[1.0, 1.0], [1.0, 1.0]])
+    with pytest.raises(SingularMatrixError):
+        factor_sparse_spd(CsrMatrix.from_dense(dense), backend=engine,
+                          allow_indefinite=True)
+
+
+def test_asymmetric_rejected_unless_unchecked():
+    dense = np.array([[2.0, 1.0], [0.0, 2.0]])
+    with pytest.raises(NotSpdError):
+        factor_sparse_spd(CsrMatrix.from_dense(dense))
+
+
+def test_bad_knobs_raise_configuration_error():
+    a = random_spd_csr(5, seed=0)
+    with pytest.raises(ConfigurationError):
+        factor_sparse_spd(a, ordering="colamd")
+    with pytest.raises(ConfigurationError):
+        factor_sparse_spd(a, backend="mkl")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pickle_roundtrip_solves_bitwise(engine):
+    a = random_spd_csr(35, seed=13)
+    f = factor_sparse_spd(a, backend=engine)
+    b = np.sin(np.arange(35, dtype=np.float64))
+    x = f.solve(b)
+    f2 = pickle.loads(pickle.dumps(f))
+    assert isinstance(f2, SparseSpdFactor)
+    assert f2.engine == engine
+    # identical matrix + identical library ⇒ identical bits, the
+    # property the pooled plan build relies on
+    assert np.array_equal(f2.solve(b), x)
+
+
+def test_dense_input_accepted_for_parity():
+    dense = np.array([[4.0, 1.0], [1.0, 3.0]])
+    f = factor_sparse_spd(dense)
+    assert np.max(np.abs(dense @ f.solve(np.ones(2)) - 1.0)) <= 1e-12
