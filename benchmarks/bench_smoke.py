@@ -1,15 +1,18 @@
-"""Tier-2 smoke targets for the kernel, plan, multiproc, net and
-plan-construction benches.
+"""Tier-2 smoke targets for the kernel, plan, multiproc, net,
+plan-construction and plan-store benches.
 
 Fast sanity passes over :mod:`bench_kernel_micro`,
-:mod:`bench_plan_reuse`, :mod:`bench_multiproc`, :mod:`bench_net` and
-:mod:`bench_planbuild`: run a small case each, check the built-in
+:mod:`bench_plan_reuse`, :mod:`bench_multiproc`, :mod:`bench_net`,
+:mod:`bench_planbuild` and :mod:`bench_planstore`: run a small case
+each, check the built-in
 equivalence guards fired (they raise on divergence), the JSON records
 have the expected shape, and the architectural win is present at all
 (fleet not slower than the Python loop; cached setup not slower than
 re-planning; sharded solves converge to tolerance; the TCP fabric
 converges to the same tolerance as shm; sparse plan construction
-matches dense to 1e-10 and pooled builds match serial bitwise).  They deliberately do *not*
+matches dense to 1e-10 and pooled builds match serial bitwise; a
+saved-then-loaded plan solves bitwise-identically to the built
+plan).  They deliberately do *not*
 assert the full headline ratios (that is the full benches' job,
 checked against the committed baselines by ``scripts/check_bench.py``)
 so the smoke tests stay robust on loaded CI machines.
@@ -29,6 +32,7 @@ from bench_net import bench_case as net_bench_case  # noqa: E402
 from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
 from bench_planbuild import EQUIV_TOL  # noqa: E402
 from bench_planbuild import bench_case as pb_bench_case  # noqa: E402
+from bench_planstore import bench_case as ps_bench_case  # noqa: E402
 
 
 def test_bench_smoke(tmp_path):
@@ -112,4 +116,19 @@ def test_planbuild_bench_smoke():
     # guards inside bench_case raise on divergence; the tiny case makes
     # no headline speed claim, only that the record is well-formed
     assert case["max_rel_diff"] <= EQUIV_TOL
+    assert case["speedup"] > 0
+
+
+def test_planstore_bench_smoke():
+    case = ps_bench_case(40, n_parts=4, parts_shape=(2, 2))
+    assert case["n"] == 1600
+    assert case["rebuild_s"] > 0
+    assert case["save_s"] > 0
+    assert case["artifact_bytes"] > 0
+    assert case["load_mmap_s"] > 0
+    assert case["load_eager_s"] > 0
+    # the bitwise built-vs-loaded solve guard (and the eager-vs-mmap
+    # equality check) inside bench_case raise on divergence; the tiny
+    # case makes no headline speed claim, only record shape
+    assert case["bitwise_solve"] is True
     assert case["speedup"] > 0

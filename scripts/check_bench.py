@@ -2,12 +2,14 @@
 
 Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
 :mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`,
-:mod:`benchmarks.bench_net` and :mod:`benchmarks.bench_planbuild` (or
-previously written JSONs passed via ``--fresh`` / ``--fresh-plan`` /
-``--fresh-multiproc`` / ``--fresh-net`` / ``--fresh-planbuild``)
+:mod:`benchmarks.bench_net`, :mod:`benchmarks.bench_planbuild` and
+:mod:`benchmarks.bench_planstore` (or previously written JSONs passed
+via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc`` /
+``--fresh-net`` / ``--fresh-planbuild`` / ``--fresh-planstore``)
 against the committed ``benchmarks/BENCH_kernel.json``,
-``BENCH_plan.json``, ``BENCH_multiproc.json``, ``BENCH_net.json`` and
-``BENCH_planbuild.json``.  A case **regresses** when its speedup
+``BENCH_plan.json``, ``BENCH_multiproc.json``, ``BENCH_net.json``,
+``BENCH_planbuild.json`` and ``BENCH_planstore.json``.  A case
+**regresses** when its speedup
 ratio — a machine-relative number, robust on hosts slower than the
 one that wrote the baseline — drops by more than ``--tolerance``
 (default 20%): the kernel bench's fleet-vs-per-kernel ratio (headline
@@ -16,10 +18,14 @@ one that wrote the baseline — drops by more than ``--tolerance``
 sharded-vs-simulator wall-clock ratio (headline ``speedup_at_4``,
 which additionally must clear the absolute 1.5x floor), the net
 bench's tcp-vs-shm warm-solve ratio (headline ``tcp_vs_shm_at_2``,
-floored by the baseline's ``ratio_floor``), and the planbuild bench's
+floored by the baseline's ``ratio_floor``), the planbuild bench's
 dense-vs-sparse plan-construction ratio (headline ``speedup_at_320``,
 floored by the baseline's ``speedup_floor`` of 3x, plus the 500k-
-unknown build's ``vs_dense320 > 1`` demonstration).
+unknown build's ``vs_dense320 > 1`` demonstration), and the planstore
+bench's mmap-load-vs-rebuild ratio (headline ``speedup_at_320``,
+floored by the baseline's ``speedup_floor`` of 10x, plus the
+warm-restart case, which must beat a cold replan with exactly one
+disk load and a bitwise-identical solve).
 Absolute kernel sweep times exceeding the baseline print warnings
 only, unless ``--strict-time`` promotes them to failures.  Exit code
 0 = pass, 1 = regression, 2 = usage/baseline problems.
@@ -61,6 +67,8 @@ DEFAULT_NET_BASELINE = os.path.join(_ROOT, "benchmarks",
                                     "BENCH_net.json")
 DEFAULT_PLANBUILD_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_planbuild.json")
+DEFAULT_PLANSTORE_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                          "BENCH_planstore.json")
 
 #: bench script that regenerates each baseline, for error messages
 _REGEN = {
@@ -69,6 +77,7 @@ _REGEN = {
     "BENCH_multiproc.json": "benchmarks/bench_multiproc.py",
     "BENCH_net.json": "benchmarks/bench_net.py",
     "BENCH_planbuild.json": "benchmarks/bench_planbuild.py",
+    "BENCH_planstore.json": "benchmarks/bench_planstore.py",
 }
 
 
@@ -314,6 +323,83 @@ def compare_planbuild(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_planstore(baseline: dict, fresh: dict, tolerance: float, *,
+                      require_all: bool = True
+                      ) -> tuple[list[str], list[str]]:
+    """Compare a fresh plan-store record against the baseline.
+
+    The failing signal is the per-case **mmap-load-vs-rebuild
+    speedup** (both measured on the same machine in the same run, so
+    the ratio is host-independent), plus the absolute floor recorded
+    in the baseline (10x at nx=320, the ISSUE 7 acceptance criterion),
+    the per-case bitwise-solve guard, and the warm-restart case: a
+    restarted server must have the plan solvable faster than a cold
+    replan, through exactly one disk load, with a bitwise-identical
+    solve.  With ``require_all=False`` (quick mode) baseline cases
+    absent from the fresh run — the nx=320 headline — downgrade to
+    warnings; the cases that *did* run are still fully gated.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = float(baseline.get("speedup_floor", 10.0))
+    base_cases = {c["nx"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["nx"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("planstore fresh record has no cases")
+        return problems, warnings
+    for nx, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(nx)
+        if cur is None:
+            msg = f"planstore nx={nx}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        speedup = cur.get("speedup")
+        base_speedup = base.get("speedup")
+        if speedup is None:
+            problems.append(
+                f"planstore nx={nx}: fresh case lacks speedup")
+            continue
+        if nx == 320 and speedup < floor:
+            problems.append(
+                f"planstore nx={nx}: mmap load speedup {speedup:.2f}x "
+                f"is below the {floor}x floor")
+        if base_speedup and speedup < base_speedup * (1.0 - tolerance):
+            problems.append(
+                f"planstore nx={nx}: mmap load speedup fell from "
+                f"{base_speedup:.1f}x to {speedup:.1f}x (more than "
+                f"{tolerance:.0%} drop)")
+        if not cur.get("bitwise_solve"):
+            problems.append(
+                f"planstore nx={nx}: loaded-plan solve is no longer "
+                "bitwise-identical to the built-plan solve")
+    if baseline.get("warm_restart"):
+        wr = fresh.get("warm_restart")
+        if wr is None:
+            problems.append(
+                "planstore: warm-restart case missing from fresh run")
+        else:
+            ratio = wr.get("restart_speedup")
+            if ratio is None:
+                problems.append(
+                    "planstore: fresh warm-restart case lacks "
+                    "restart_speedup")
+            elif ratio <= 1.0:
+                problems.append(
+                    f"planstore: a restarted server is no longer "
+                    f"plan-ready faster than a cold replan "
+                    f"(restart_speedup={ratio:.2f})")
+            if wr.get("n_disk_loads") != 1:
+                problems.append(
+                    f"planstore: warm restart took "
+                    f"{wr.get('n_disk_loads')} disk loads, expected "
+                    "exactly 1 (the server replanned)")
+            if not wr.get("bitwise_solve"):
+                problems.append(
+                    "planstore: warm-restart solve is no longer "
+                    "bitwise-identical to the pre-restart solve")
+    return problems, warnings
+
+
 class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
@@ -329,6 +415,9 @@ def _speedup_summary(record: dict) -> dict:
     if isinstance(record.get("large"), dict) \
             and record["large"].get("vs_dense320") is not None:
         out["vs_dense320"] = record["large"]["vs_dense320"]
+    if isinstance(record.get("warm_restart"), dict) \
+            and record["warm_restart"].get("restart_speedup") is not None:
+        out["restart_speedup"] = record["warm_restart"]["restart_speedup"]
     out["cases"] = [{k: c.get(k)
                      for k in ("n_parts", "nx", "speedup", "speedup_at_4",
                                "tcp_vs_shm")
@@ -341,9 +430,10 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                   checked, args, kernel_fresh: dict,
                   plan_fresh: dict, multiproc_fresh: dict,
                   net_fresh: dict, planbuild_fresh: dict,
+                  planstore_fresh: dict,
                   error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/4",
+        "schema": "check_bench-report/5",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
@@ -352,6 +442,7 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
         "multiproc_tolerance": args.multiproc_tolerance,
         "net_tolerance": args.net_tolerance,
         "planbuild_tolerance": args.planbuild_tolerance,
+        "planstore_tolerance": args.planstore_tolerance,
         "strict_time": bool(args.strict_time),
         "quick": bool(args.quick),
         "checked": list(checked),
@@ -367,6 +458,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                 "record": net_fresh},
         "planbuild": {"measured": _speedup_summary(planbuild_fresh),
                       "record": planbuild_fresh},
+        "planstore": {"measured": _speedup_summary(planstore_fresh),
+                      "record": planstore_fresh},
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -461,6 +554,19 @@ def _load_or_run_planbuild(args, baseline: dict) -> dict:
                      bool(baseline.get("large")), out="")
 
 
+def _load_or_run_planstore(args, baseline: dict) -> dict:
+    if args.fresh_planstore:
+        return _load_fresh(args.fresh_planstore)
+    from bench_planstore import QUICK_CASES, run_bench
+
+    cases = tuple(sorted(c["nx"] for c in baseline.get("cases", [])))
+    if args.quick:
+        cases = tuple(nx for nx in cases if nx in QUICK_CASES) \
+            or QUICK_CASES
+    return run_bench(cases, warm=bool(baseline.get("warm_restart")),
+                     out="")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -470,6 +576,8 @@ def main(argv=None) -> int:
     ap.add_argument("--net-baseline", default=DEFAULT_NET_BASELINE)
     ap.add_argument("--planbuild-baseline",
                     default=DEFAULT_PLANBUILD_BASELINE)
+    ap.add_argument("--planstore-baseline",
+                    default=DEFAULT_PLANSTORE_BASELINE)
     ap.add_argument("--fresh", default=None,
                     help="pre-computed fresh kernel JSON; omit to re-run")
     ap.add_argument("--fresh-plan", default=None,
@@ -482,6 +590,9 @@ def main(argv=None) -> int:
     ap.add_argument("--fresh-planbuild", default=None,
                     help="pre-computed fresh planbuild JSON; omit to "
                     "re-run")
+    ap.add_argument("--fresh-planstore", default=None,
+                    help="pre-computed fresh planstore JSON; omit to "
+                    "re-run")
     ap.add_argument("--skip-plan", action="store_true",
                     help="skip the plan baseline")
     ap.add_argument("--skip-kernel", action="store_true",
@@ -492,6 +603,8 @@ def main(argv=None) -> int:
                     help="skip the net-transport baseline")
     ap.add_argument("--skip-planbuild", action="store_true",
                     help="skip the plan-construction baseline")
+    ap.add_argument("--skip-planstore", action="store_true",
+                    help="skip the persistent-plan-store baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
     ap.add_argument("--plan-tolerance", type=float, default=0.50,
@@ -513,6 +626,11 @@ def main(argv=None) -> int:
                     "planbuild bench's dense-vs-sparse build speedups "
                     "(the absolute 3x floor at nx=320 is the hard "
                     "backstop; default 0.50)")
+    ap.add_argument("--planstore-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the "
+                    "planstore bench's mmap-load-vs-rebuild speedups "
+                    "(I/O-noisy; the absolute 10x floor at nx=320 is "
+                    "the hard backstop; default 0.50)")
     ap.add_argument("--strict-time", action="store_true",
                     help="also fail on absolute fleet sweep times "
                     "(machine-dependent; off by default)")
@@ -531,6 +649,7 @@ def main(argv=None) -> int:
     multiproc_fresh: dict = {}
     net_fresh: dict = {}
     planbuild_fresh: dict = {}
+    planstore_fresh: dict = {}
 
     def report(code: int, error: str = "") -> int:
         if args.json_report:
@@ -541,6 +660,7 @@ def main(argv=None) -> int:
                           multiproc_fresh=multiproc_fresh,
                           net_fresh=net_fresh,
                           planbuild_fresh=planbuild_fresh,
+                          planstore_fresh=planstore_fresh,
                           error=error)
         return code
 
@@ -591,6 +711,17 @@ def main(argv=None) -> int:
             problems += p
             warnings += w
             checked.append(os.path.relpath(args.planbuild_baseline,
+                                           _ROOT))
+
+        if not args.skip_planstore:
+            ps_baseline = _require_baseline(args.planstore_baseline)
+            planstore_fresh = _load_or_run_planstore(args, ps_baseline)
+            p, w = compare_planstore(ps_baseline, planstore_fresh,
+                                     args.planstore_tolerance,
+                                     require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.planstore_baseline,
                                            _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)

@@ -57,10 +57,11 @@ __all__ = [
 
 #: keyword arguments that select or shape the plan build — the first
 #: three are cache-key material; ``build_workers`` only parallelizes
-#: the build (a pooled build is bitwise-identical, so it is
-#: deliberately not part of the key)
+#: the build and ``plan_dir`` only adds the persistent artifact tier
+#: below the in-process cache (both leave every result bit unchanged,
+#: so they are deliberately not part of the key)
 _PLAN_KEYS = ("placement", "allow_indefinite", "numerics",
-              "sparse_ordering", "build_workers")
+              "sparse_ordering", "build_workers", "plan_dir")
 #: keyword arguments forwarded to SolveResult-producing run calls
 #: (``stopping`` is an explicit parameter of the wrappers, not a
 #: pass-through, so it cannot collide here)
@@ -177,6 +178,13 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     factorizations out across a process pool without changing any
     result bit.  See PERFORMANCE.md → "Sparse planning".
 
+    ``plan_dir=`` (also through ``**sim_kwargs``) points at a
+    persistent plan-artifact directory: cache misses consult it
+    before building (zero-copy mmap load) and fresh builds are saved
+    back, so a new process against the same directory skips planning
+    entirely.  Loaded plans solve bitwise-identically to built ones;
+    see PERFORMANCE.md → "Persistent plan store".
+
     ``transport`` selects the multiproc backend's wave fabric (see
     :mod:`repro.net.transport`): ``"shm"`` (default) runs workers over
     shared memory on this machine; ``"tcp"`` runs the same latest-wins
@@ -214,7 +222,8 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
             numerics=(plan_kwargs.get("numerics", "auto"), "auto"),
             sparse_ordering=(plan_kwargs.get("sparse_ordering", "amd"),
                              "amd"),
-            build_workers=(plan_kwargs.get("build_workers"), None))
+            build_workers=(plan_kwargs.get("build_workers"), None),
+            plan_dir=(plan_kwargs.get("plan_dir"), None))
     if backend == "multiproc":
         if not use_fleet:
             raise ConfigurationError(

@@ -52,6 +52,15 @@ class ConfigurationError(ReproError):
     """A solver/executor was configured with incompatible options."""
 
 
+class PlanArtifactError(ReproError):
+    """A plan artifact file is corrupt, truncated or wrong-versioned.
+
+    Raised by :mod:`repro.plan.artifact` loaders instead of returning
+    garbage; the disk cache tier treats it as a miss (artifacts are a
+    disposable cache — rebuild, never migrate).
+    """
+
+
 class MultiprocError(ReproError):
     """The multiprocess sharded runtime lost or timed out a worker."""
 

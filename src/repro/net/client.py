@@ -125,16 +125,18 @@ class DtmClient:
         self,
         header: dict,
         arrays: Optional[dict] = None,
+        blob: bytes = b"",
     ) -> tuple:
+        """Returns ``(header, arrays, blob)`` of the response frame."""
         if self._closed:
             raise ConfigurationError("client is closed")
         if self.token is not None:
             header = dict(header, token=self.token)
-        wire.send_message(self._sock, wire.T_REQUEST, header, arrays)
-        ftype, obj, arrays_out, _blob = wire.recv_message(self._sock)
+        wire.send_message(self._sock, wire.T_REQUEST, header, arrays, blob)
+        ftype, obj, arrays_out, blob_out = wire.recv_message(self._sock)
         if ftype != wire.T_RESPONSE:
             raise ProtocolError(f"expected a response frame, got {ftype}")
-        return obj, arrays_out
+        return obj, arrays_out, blob_out
 
     @staticmethod
     def _require_ok(obj: dict) -> dict:
@@ -144,7 +146,7 @@ class DtmClient:
 
     # -- operations -----------------------------------------------------
     def ping(self) -> bool:
-        obj, _ = self._request({"op": "ping"})
+        obj, _, _ = self._request({"op": "ping"})
         self._require_ok(obj)
         return True
 
@@ -177,7 +179,7 @@ class DtmClient:
             "shape": [mat.nrows, mat.ncols],
             "plan": plan_kwargs,
         }
-        obj, _ = self._request(header, arrays)
+        obj, _, _ = self._request(header, arrays)
         self._require_ok(obj)
         return str(obj["plan_id"])
 
@@ -201,7 +203,7 @@ class DtmClient:
             "tag": tag,
         }
         b_vec = np.asarray(b, dtype=np.float64)
-        obj, arrays = self._request(header, {"b": b_vec})
+        obj, arrays, _ = self._request(header, {"b": b_vec})
         self._require_ok(obj)
         return _result_from_wire(obj, arrays)
 
@@ -222,15 +224,52 @@ class DtmClient:
             for j in range(blk.shape[1])
         ]
 
+    def push_plan(self, plan) -> str:
+        """Ship a ready-built plan (or artifact bytes) to the server.
+
+        *plan* may be a :class:`~repro.plan.SolverPlan` (packed with
+        :func:`repro.plan.plan_to_bytes`) or the artifact byte string
+        itself — e.g. read straight from another store's ``plan_dir``.
+        The server admits it exactly like a local ``register(plan=)``,
+        persisting it when its store has a disk tier, so one build can
+        fan out across a gateway fleet without any replanning.
+        """
+        if isinstance(plan, (bytes, bytearray, memoryview)):
+            data = bytes(plan)
+        else:
+            from ..plan import plan_to_bytes
+
+            data = plan_to_bytes(plan)
+        obj, _, _ = self._request({"op": "push_plan"}, None, data)
+        self._require_ok(obj)
+        return str(obj["plan_id"])
+
+    def fetch_plan(self, plan_id: str, *, as_bytes: bool = False):
+        """Download a stored plan as a local, runnable plan object.
+
+        With ``as_bytes=True`` the raw artifact byte string is
+        returned instead (e.g. to relay into another server's
+        ``push_plan`` or write into a local ``plan_dir``).  Raises
+        :class:`RemoteError` when the server has no such plan.
+        """
+        obj, _, blob = self._request(
+            {"op": "fetch_plan", "plan_id": plan_id})
+        self._require_ok(obj)
+        if as_bytes:
+            return blob
+        from ..plan import plan_from_bytes
+
+        return plan_from_bytes(blob)
+
     def stats(self) -> dict:
         """Server + plan-store counters, as one dict."""
-        obj, _ = self._request({"op": "stats"})
+        obj, _, _ = self._request({"op": "stats"})
         self._require_ok(obj)
         return {"server": obj.get("stats"), "store": obj.get("store")}
 
     def shutdown(self) -> None:
         """Ask the server to shut down, then close this client."""
-        obj, _ = self._request({"op": "shutdown"})
+        obj, _, _ = self._request({"op": "shutdown"})
         self._require_ok(obj)
         self.close()
 

@@ -20,6 +20,14 @@ Operations (JSON header + named float64/int64 arrays per message):
     ``tag`` → result scalars + array ``x``.
 ``stats``
     Server counters + plan-store stats.
+``push_plan``
+    A serialized plan artifact (:func:`repro.plan.plan_to_bytes`) in
+    the frame blob → ``{"plan_id": ...}``; the server admits it like
+    a local ``register(plan=...)`` and persists it when its store has
+    a ``plan_dir`` — a gateway fleet shares one build this way.
+``fetch_plan``
+    ``plan_id`` → the artifact bytes in the response blob (served
+    from the disk tier when present, else packed on the fly).
 ``shutdown``
     Acknowledge, then close the server and stop accepting.
 """
@@ -32,8 +40,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import TransportError
+from ..errors import PlanArtifactError, TransportError
 from ..linalg.sparse import CsrMatrix
+from ..plan import plan_from_bytes, plan_to_bytes
 from ..runtime.server import ServeRequest
 from . import wire
 
@@ -82,14 +91,19 @@ class _Connection:
         for resp in self.server.serve(self._requests()):
             self._send_solve_response(resp)
 
-    def _reply(self, header: dict, arrays: Optional[dict] = None) -> None:
-        wire.send_message(self.conn, wire.T_RESPONSE, header, arrays)
+    def _reply(
+        self,
+        header: dict,
+        arrays: Optional[dict] = None,
+        blob: bytes = b"",
+    ) -> None:
+        wire.send_message(self.conn, wire.T_RESPONSE, header, arrays, blob)
 
     # -- the request generator -----------------------------------------
     def _requests(self):
         while True:
             try:
-                ftype, obj, arrays, _blob = wire.recv_message(self.conn)
+                ftype, obj, arrays, blob = wire.recv_message(self.conn)
             except TransportError:
                 return  # client went away: end this serve loop
             if ftype != wire.T_REQUEST:
@@ -122,6 +136,10 @@ class _Connection:
                 yield request
             elif op == "register":
                 self._handle_register(obj, arrays)
+            elif op == "push_plan":
+                self._handle_push_plan(obj, blob)
+            elif op == "fetch_plan":
+                self._handle_fetch_plan(obj)
             elif op == "stats":
                 self._reply(
                     {
@@ -189,6 +207,56 @@ class _Connection:
             )
             return
         self._reply({"ok": True, "op": "register", "plan_id": plan_id})
+
+    def _handle_push_plan(self, obj: dict, blob: bytes) -> None:
+        """Admit a ready-built plan artifact shipped in the blob."""
+        try:
+            if not blob:
+                raise PlanArtifactError(
+                    "push_plan carries no artifact bytes")
+            plan = plan_from_bytes(blob)
+            plan_id = self.server.register(plan=plan)
+        except Exception as exc:
+            self._reply(
+                {
+                    "ok": False,
+                    "op": "push_plan",
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return
+        self._reply({"ok": True, "op": "push_plan", "plan_id": plan_id})
+
+    def _handle_fetch_plan(self, obj: dict) -> None:
+        """Serve a stored plan as artifact bytes in the reply blob."""
+        plan_id = obj.get("plan_id")
+        try:
+            data = None
+            disk = getattr(self.server.store, "disk", None)
+            if disk is not None:
+                data = disk.get_bytes(plan_id)
+            if data is None:
+                data = plan_to_bytes(self.server.store.get(plan_id))
+        except Exception as exc:
+            self._reply(
+                {
+                    "ok": False,
+                    "op": "fetch_plan",
+                    "plan_id": plan_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return
+        self._reply(
+            {
+                "ok": True,
+                "op": "fetch_plan",
+                "plan_id": plan_id,
+                "nbytes": len(data),
+            },
+            None,
+            data,
+        )
 
     # -- responses ------------------------------------------------------
     def _send_solve_response(self, resp) -> None:

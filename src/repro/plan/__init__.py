@@ -20,12 +20,20 @@ splits the pipeline accordingly:
 build-or-fetch a plan and run a one-shot session.
 """
 
+from .artifact import (
+    load_plan, plan_from_bytes, plan_nbytes, plan_to_bytes, save_plan,
+)
 from .cache import PlanCache, default_plan_cache
-from .plan import SolverPlan, build_plan, get_plan, plan_key
+from .diskstore import DiskPlanStore
+from .plan import (
+    SolverPlan, build_plan, compute_plan_hash, get_plan, plan_key,
+)
 from .session import SolverSession, VtmSession
 
 __all__ = [
     "SolverPlan", "SolverSession", "VtmSession",
-    "PlanCache", "default_plan_cache",
-    "build_plan", "get_plan", "plan_key",
+    "PlanCache", "default_plan_cache", "DiskPlanStore",
+    "build_plan", "get_plan", "plan_key", "compute_plan_hash",
+    "save_plan", "load_plan", "plan_to_bytes", "plan_from_bytes",
+    "plan_nbytes",
 ]

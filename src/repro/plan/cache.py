@@ -20,9 +20,12 @@ from ..errors import ConfigurationError
 class PlanCache:
     """A small LRU mapping plan keys to built plans.
 
-    Thread-safe; the build callback runs outside the lock so concurrent
-    misses on *different* keys build in parallel (a duplicate build for
-    the same key is possible but harmless — last writer wins).
+    Thread-safe; the build callback runs outside the cache lock so
+    concurrent misses on *different* keys build in parallel, while
+    misses on the *same* key single-flight on a per-key build lock:
+    one caller runs the (expensive) build and every racer blocks,
+    then reuses the freshly cached plan instead of duplicating the
+    work (counted in ``n_coalesced``).
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -31,8 +34,12 @@ class PlanCache:
         self.maxsize = int(maxsize)
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        #: per-key single-flight build locks (live only while a build
+        #: for that key is in flight)
+        self._building: dict[Hashable, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
+        self.n_coalesced = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -58,14 +65,39 @@ class PlanCache:
     def get_or_build(self, key: Hashable, build: Callable[[], object]):
         """Fetch *key*, building (and caching) on a miss.
 
-        Returns ``(plan, cache_hit)``.
+        Returns ``(plan, cache_hit)``.  Concurrent misses on one key
+        coalesce: the first caller builds under a per-key lock, the
+        rest wait and return the cached plan (``cache_hit=True``,
+        ``n_coalesced`` bumped).  A failed build releases the key so
+        the next caller retries instead of caching the failure.
         """
         plan = self.get(key)
         if plan is not None:
             return plan, True
-        plan = build()
-        self.put(key, plan)
-        return plan, False
+        with self._lock:
+            build_lock = self._building.get(key)
+            if build_lock is None:
+                build_lock = threading.Lock()
+                self._building[key] = build_lock
+        with build_lock:
+            # double-check: the racer that held the lock may have
+            # cached the plan while this caller waited
+            with self._lock:
+                plan = self._entries.get(key)
+                if plan is not None:
+                    self._entries.move_to_end(key)
+                    self.n_coalesced += 1
+                    return plan, True
+            try:
+                plan = build()
+                self.put(key, plan)
+                return plan, False
+            finally:
+                # the entry (if any) is cached before the build lock
+                # is retired, so late arrivals hit instead of racing
+                # a fresh build; on failure the pop lets them retry
+                with self._lock:
+                    self._building.pop(key, None)
 
     def clear(self) -> None:
         with self._lock:
@@ -74,7 +106,8 @@ class PlanCache:
     def stats(self) -> dict:
         with self._lock:
             return {"entries": len(self._entries), "hits": self.hits,
-                    "misses": self.misses, "maxsize": self.maxsize}
+                    "misses": self.misses, "maxsize": self.maxsize,
+                    "n_coalesced": self.n_coalesced}
 
 
 _DEFAULT: Optional[PlanCache] = None

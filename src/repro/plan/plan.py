@@ -78,6 +78,20 @@ def graph_fingerprint(graph: ElectricGraph) -> str:
     return h.hexdigest()
 
 
+def compute_plan_hash(fingerprint: str, key) -> str:
+    """Content hash identifying a plan (store/artifact addressing).
+
+    Computable *before* a build — ``get_plan`` has both the graph
+    fingerprint and the plan key in hand on a cache miss, which is what
+    lets the disk tier look an artifact up without building anything.
+    ``repro.runtime.server.plan_hash`` delegates here.
+    """
+    h = hashlib.sha256()
+    h.update(fingerprint.encode())
+    h.update(repr(key).encode())
+    return h.hexdigest()[:16]
+
+
 def _topology_token(topology: Optional[Topology]) -> tuple:
     """Value-bearing topology key: link table + delay-model reprs.
 
@@ -516,12 +530,21 @@ def build_plan(a=None, b=None, *, mode: str = "dtm",
 
 
 def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,
-             use_cache: bool = True, **kwargs) -> SolverPlan:
+             use_cache: bool = True, plan_dir=None, **kwargs) -> SolverPlan:
     """Fetch a plan from the cache, building (and caching) on a miss.
 
     Key material covers every plan-affecting input (see
     :func:`plan_key`); the returned plan's ``from_cache`` flag reports
-    whether this call reused an existing plan.
+    whether this call reused an *in-process* cached plan.
+
+    ``plan_dir`` (a directory path or a prebuilt
+    :class:`~repro.plan.diskstore.DiskPlanStore`) adds a persistent
+    tier below the in-process cache: on a miss the disk store is
+    consulted by :func:`compute_plan_hash` before building, and a
+    fresh build is saved back as an mmap-able artifact — so a new
+    process (or a restarted server) against the same directory comes
+    up warm.  Like ``build_workers``, ``plan_dir`` is *not* key
+    material: a loaded plan is bitwise-equivalent to a built one.
     """
     split = kwargs.get("split")
     rebind_b = None
@@ -550,14 +573,34 @@ def get_plan(a=None, b=None, *, cache: Optional[PlanCache] = None,
         numerics=kwargs.get("numerics", "auto"),
         sparse_ordering=kwargs.get("sparse_ordering", "amd"),
         split=split)
-    if not use_cache:
+
+    def _build_or_load() -> SolverPlan:
+        """Build, with the optional disk tier consulted first."""
+        if plan_dir is None:
+            return build_plan(a, b, key=key, **kwargs)
+        # local import: diskstore -> artifact -> plan would otherwise
+        # be a circular import at module load
+        from .diskstore import DiskPlanStore
+
+        disk = plan_dir if isinstance(plan_dir, DiskPlanStore) \
+            else DiskPlanStore(plan_dir)
+        h = compute_plan_hash(graph_fingerprint(graph), key)
+        plan = disk.get(h)
+        if plan is not None:
+            return plan
         plan = build_plan(a, b, key=key, **kwargs)
+        disk.put(plan)
+        return plan
+
+    if not use_cache:
+        # bypasses the in-process cache only; the disk tier (when
+        # configured) still serves and persists the plan
+        plan = _build_or_load()
         plan.from_cache = False
         return plan
     # explicit None check: an *empty* PlanCache is falsy (__len__)
     cache = cache if cache is not None else default_plan_cache()
-    plan, hit = cache.get_or_build(
-        key, lambda: build_plan(a, b, key=key, **kwargs))
+    plan, hit = cache.get_or_build(key, _build_or_load)
     if rebind_b is not None:
         # the key excludes sources, so a hit may carry another call's
         # rhs: hand back a view whose default rhs is THIS call's b

@@ -24,7 +24,6 @@ loop — one bad client request must not take the service down.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -34,7 +33,8 @@ from typing import Iterable, Iterator, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..plan import SolverPlan, get_plan
+from ..plan import SolverPlan, compute_plan_hash, get_plan, plan_nbytes
+from ..plan.diskstore import DiskPlanStore
 from ..plan.session import SolveResult
 from .multiproc import MultiprocDtmRunner
 
@@ -45,12 +45,12 @@ def plan_hash(plan: SolverPlan) -> str:
     Covers the matrix fingerprint and every plan-affecting input (the
     plan cache key), *not* the right-hand side: all solves against one
     matrix/configuration share one entry, which is exactly the reuse
-    unit a warm runner amortizes.
+    unit a warm runner amortizes.  Delegates to
+    :func:`repro.plan.compute_plan_hash` — the same addressing the
+    disk artifact tier uses, so an in-memory store entry and its
+    on-disk artifact always share one name.
     """
-    h = hashlib.sha256()
-    h.update(plan.fingerprint().encode())
-    h.update(repr(plan.key).encode())
-    return h.hexdigest()[:16]
+    return compute_plan_hash(plan.fingerprint(), plan.key)
 
 
 class PlanStore:
@@ -58,19 +58,44 @@ class PlanStore:
 
     ``max_plans=None`` (default) keeps every registered plan forever —
     the PR-4 behaviour.  A positive ``max_plans`` bounds the store
-    with least-recently-used eviction: both :meth:`get` and a repeated
-    :meth:`put` refresh recency, and evictions are announced to
-    listeners registered via :meth:`add_evict_listener` (the server
-    uses this to shut down the evicted plan's warm runner pool).
-    Listeners run outside the store lock.
+    with least-recently-used eviction, and ``max_bytes`` bounds it by
+    *artifact payload size* (``repro.plan.plan_nbytes``) — plans vary
+    by orders of magnitude, so bytes are what actually cap a server's
+    memory.  Both :meth:`get` and a repeated :meth:`put` refresh
+    recency; evictions are announced to listeners registered via
+    :meth:`add_evict_listener` (the server uses this to shut down the
+    evicted plan's warm runner pool).  Listeners run outside the store
+    lock.  Whatever the bounds, the most recently admitted plan always
+    stays resident — a ``put`` must never evict its own plan out from
+    under the caller's follow-up ``get``.
+
+    ``plan_dir`` (a path or a :class:`~repro.plan.diskstore.
+    DiskPlanStore`) adds the durable tier: every :meth:`put` persists
+    an mmap-able artifact, and a :meth:`get` miss falls through to
+    disk — so a store constructed over a populated directory comes up
+    warm after a process restart.  The directory is a disposable
+    cache, never authoritative: in-memory eviction does not delete
+    artifacts, and a corrupt file is silently rebuilt around.
     """
 
-    def __init__(self, max_plans: Optional[int] = None) -> None:
+    def __init__(self, max_plans: Optional[int] = None, *,
+                 max_bytes: Optional[int] = None,
+                 plan_dir=None) -> None:
         if max_plans is not None and int(max_plans) < 1:
             raise ConfigurationError("max_plans must be >= 1 (or None)")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ConfigurationError("max_bytes must be >= 1 (or None)")
         self.max_plans = None if max_plans is None else int(max_plans)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        if plan_dir is None or isinstance(plan_dir, DiskPlanStore):
+            self.disk = plan_dir
+        else:
+            self.disk = DiskPlanStore(plan_dir)
         self.n_evicted = 0
+        self.n_disk_loads = 0
+        self.total_bytes = 0
         self._plans: OrderedDict[str, SolverPlan] = OrderedDict()
+        self._nbytes: dict[str, int] = {}
         self._lock = threading.Lock()
         self._listeners: list = []
 
@@ -90,19 +115,39 @@ class PlanStore:
             for callback in tuple(self._listeners):
                 callback(key, plan)
 
-    def put(self, plan: SolverPlan) -> str:
-        key = plan_hash(plan)
+    def _over_budget(self) -> bool:
+        if self.max_plans is not None and len(self._plans) > self.max_plans:
+            return True
+        return self.max_bytes is not None \
+            and self.total_bytes > self.max_bytes
+
+    def _admit(self, key: str, plan: SolverPlan,
+               nbytes: int) -> list:
+        """Insert under the lock; return the evicted ``(key, plan)``s."""
         evicted: list = []
         with self._lock:
             # first write wins: plans are immutable and content-keyed,
             # so re-registering is a no-op returning the same id (but
             # it still refreshes LRU recency)
-            self._plans.setdefault(key, plan)
+            if key not in self._plans:
+                self._plans[key] = plan
+                self._nbytes[key] = nbytes
+                self.total_bytes += nbytes
             self._plans.move_to_end(key)
-            while self.max_plans is not None \
-                    and len(self._plans) > self.max_plans:
-                evicted.append(self._plans.popitem(last=False))
+            # never evict the entry just admitted: the byte budget is
+            # a cap on *retention*, not an admission filter
+            while len(self._plans) > 1 and self._over_budget():
+                old_key, old_plan = self._plans.popitem(last=False)
+                self.total_bytes -= self._nbytes.pop(old_key, 0)
+                evicted.append((old_key, old_plan))
                 self.n_evicted += 1
+        return evicted
+
+    def put(self, plan: SolverPlan) -> str:
+        key = plan_hash(plan)
+        if self.disk is not None:
+            self.disk.put(plan)  # no-op when the artifact exists
+        evicted = self._admit(key, plan, plan_nbytes(plan))
         self._notify(evicted)
         return key
 
@@ -111,6 +156,14 @@ class PlanStore:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)  # a hit refreshes recency
+        if plan is None and self.disk is not None:
+            # warm-restart path: the artifact tier survives the
+            # process, so a miss here is served from disk (zero-copy
+            # mmap) instead of failing — no re-planning
+            plan = self.disk.get(key)
+            if plan is not None:
+                self.n_disk_loads += 1
+                self._notify(self._admit(key, plan, plan_nbytes(plan)))
         if plan is None:
             raise KeyError(f"no plan {key!r} in the store")
         return plan
@@ -129,11 +182,17 @@ class PlanStore:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "n_plans": len(self._plans),
                 "max_plans": self.max_plans,
                 "n_evicted": self.n_evicted,
+                "total_bytes": self.total_bytes,
+                "max_bytes": self.max_bytes,
+                "n_disk_loads": self.n_disk_loads,
             }
+        if self.disk is not None:
+            out["disk"] = self.disk.stats()
+        return out
 
 
 @dataclass(frozen=True)
@@ -205,10 +264,14 @@ class DtmServer:
     store:
         Shared :class:`PlanStore` (a fresh private one by default) —
         several servers can serve one store.
-    max_plans:
-        Convenience bound applied to the private store; pass a
-        pre-bounded :class:`PlanStore` instead when sharing one
-        (combining both is rejected as ambiguous).
+    max_plans / max_bytes / plan_dir:
+        Convenience configuration applied to the private store
+        (entry-count bound, byte bound, persistent artifact
+        directory); pass a pre-configured :class:`PlanStore` instead
+        when sharing one (combining either with ``store=`` is
+        rejected as ambiguous).  With ``plan_dir`` set, a restarted
+        server over the same directory serves its first solve from
+        the mmap-loaded artifact — no re-planning.
     runner_opts:
         Extra :class:`MultiprocDtmRunner` keyword arguments applied to
         every runner the server creates (e.g. ``transport="tcp"``).
@@ -221,16 +284,22 @@ class DtmServer:
     def __init__(self, *, shards: int = 2,
                  store: Optional[PlanStore] = None,
                  max_plans: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 plan_dir=None,
                  **runner_opts) -> None:
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
-        if store is not None and max_plans is not None:
+        if store is not None and (max_plans is not None
+                                  or max_bytes is not None
+                                  or plan_dir is not None):
             raise ConfigurationError(
-                "pass max_plans on the PlanStore when sharing one "
-                "(store= and max_plans= together are ambiguous)")
+                "configure max_plans/max_bytes/plan_dir on the "
+                "PlanStore when sharing one (combining them with "
+                "store= is ambiguous)")
         self.shards = int(shards)
         self.store = store if store is not None \
-            else PlanStore(max_plans=max_plans)
+            else PlanStore(max_plans=max_plans, max_bytes=max_bytes,
+                           plan_dir=plan_dir)
         self.store.add_evict_listener(self._on_evict)
         self._runner_opts = dict(runner_opts)
         self._runners: dict[str, MultiprocDtmRunner] = {}

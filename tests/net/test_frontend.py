@@ -15,7 +15,10 @@ from repro.api import ResidualRule, connect_dtm
 from repro.core.convergence import relative_residual
 from repro.errors import ConfigurationError, RemoteError
 from repro.net import DtmClient, DtmTcpFrontend
+from repro.plan import build_plan
+from repro.plan.artifact import artifact_plan_hash
 from repro.runtime import DtmServer
+from repro.runtime.server import plan_hash
 from repro.workloads.poisson import grid2d_poisson
 
 faulthandler.enable()
@@ -124,7 +127,7 @@ class TestHardenedLoopOverTcp:
 
     def test_unknown_op_is_error_response(self, service):
         _, _, client, _ = service
-        obj, _ = client._request({"op": "levitate"})
+        obj, _, _ = client._request({"op": "levitate"})
         assert not obj["ok"]
         assert "unknown op" in obj["error"]
         assert client.ping()  # connection still alive
@@ -135,6 +138,57 @@ class TestHardenedLoopOverTcp:
         bad = np.array([[2.0, 1.0], [0.0, 2.0]])
         with pytest.raises(RemoteError):
             client.register(bad, np.ones(2))
+
+
+class TestPlanTransfer:
+    def test_push_then_solve_then_fetch_round_trip(self, service, graph):
+        server, _, client, _ = service
+        plan = build_plan(graph, n_subdomains=4, seed=2)
+        pid = client.push_plan(plan)
+        assert pid == plan_hash(plan)
+        # the pushed plan is live server-side: solve against it
+        b = np.ones(graph.n)
+        remote = client.solve(pid, b, tol=1e-6)
+        assert remote.converged
+        assert relative_residual(plan.a_mat, remote.x, b) <= 1e-6
+        # and it comes back as a runnable local plan whose solve is
+        # bitwise-identical to the original's
+        fetched = client.fetch_plan(pid)
+        stop = ResidualRule(tol=1e-6)
+        x_fetched = fetched.session().solve(b, stopping=stop).x
+        x_original = plan.session().solve(b, stopping=stop).x
+        assert np.array_equal(x_fetched, x_original)
+
+    def test_fetch_as_bytes_is_a_valid_artifact(self, service, graph):
+        _, _, client, _ = service
+        plan = build_plan(graph, n_subdomains=4, seed=3)
+        pid = client.push_plan(plan)
+        data = client.fetch_plan(pid, as_bytes=True)
+        assert isinstance(data, (bytes, bytearray))
+        assert artifact_plan_hash(data) == pid
+
+    def test_push_accepts_raw_artifact_bytes(self, service, graph):
+        _, _, client, _ = service
+        from repro.plan import plan_to_bytes
+
+        plan = build_plan(graph, n_subdomains=4, seed=4)
+        pid = client.push_plan(plan_to_bytes(plan))
+        assert pid == plan_hash(plan)
+        assert client.solve(pid, np.ones(graph.n), tol=1e-6).converged
+
+    def test_fetch_unknown_plan_is_remote_error(self, service):
+        _, _, client, plan_id = service
+        with pytest.raises(RemoteError, match="KeyError"):
+            client.fetch_plan("deadbeef")
+        # the connection keeps serving after the error
+        assert client.ping()
+
+    def test_push_without_blob_is_error_response(self, service):
+        _, _, client, _ = service
+        obj, _, _ = client._request({"op": "push_plan"})
+        assert not obj["ok"]
+        assert "PlanArtifactError" in obj["error"]
+        assert client.ping()
 
 
 class TestAuth:

@@ -1,10 +1,13 @@
-"""PlanStore LRU bounds and the hardened serve loop (ISSUE 5).
+"""PlanStore LRU bounds and the hardened serve loop (ISSUE 5),
+plus the persistent plan tier and warm server restarts (ISSUE 7).
 
 The multiproc/server happy paths live in ``test_multiproc.py``; this
 file covers the serving satellites: a bounded store evicting
 least-recently-used plans (shutting their warm runners down with
-them), and the serve loop surviving malformed requests with error
-responses.  Runners here use ``shards=1`` (the in-process session
+them), the serve loop surviving malformed requests with error
+responses, the byte-budget LRU, and a restarted ``DtmServer`` serving
+its first solve straight from a populated ``plan_dir`` — no
+re-planning.  Runners here use ``shards=1`` (the in-process session
 path) so the tests stay fast.
 """
 
@@ -13,7 +16,7 @@ import pytest
 
 from repro.core.convergence import relative_residual
 from repro.errors import ConfigurationError
-from repro.plan import build_plan
+from repro.plan import build_plan, plan_nbytes
 from repro.runtime.server import (
     DtmServer,
     PlanStore,
@@ -200,3 +203,102 @@ class TestHardenedServe:
     def test_plan_hash_stable(self, plans):
         assert plan_hash(plans[0]) == plan_hash(plans[0])
         assert plan_hash(plans[0]) != plan_hash(plans[1])
+
+
+class TestPlanStoreBytes:
+    def test_byte_budget_keeps_only_the_newest(self, plans):
+        # max_bytes=1 cannot hold any plan, but the entry just
+        # admitted is never evicted: the store degrades to "newest
+        # only", it never becomes useless
+        store = PlanStore(max_bytes=1)
+        k0 = store.put(plans[0])
+        k1 = store.put(plans[1])
+        assert k0 not in store
+        assert k1 in store
+        assert store.n_evicted == 1
+
+    def test_byte_accounting_in_stats(self, plans):
+        store = PlanStore(max_bytes=10 * plan_nbytes(plans[0]))
+        store.put(plans[0])
+        stats = store.stats()
+        assert stats["total_bytes"] == plan_nbytes(plans[0])
+        assert stats["max_bytes"] == 10 * plan_nbytes(plans[0])
+        store.put(plans[1])
+        assert store.stats()["total_bytes"] == \
+            plan_nbytes(plans[0]) + plan_nbytes(plans[1])
+
+    def test_eviction_releases_bytes(self, plans):
+        budget = plan_nbytes(plans[0]) + plan_nbytes(plans[1])
+        store = PlanStore(max_bytes=budget)
+        store.put(plans[0])
+        store.put(plans[1])
+        store.put(plans[2])  # overflows: LRU falls out
+        assert store.stats()["total_bytes"] <= budget
+        assert store.n_evicted >= 1
+
+    def test_bad_byte_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanStore(max_bytes=0)
+
+
+class TestPlanDirTier:
+    def test_put_persists_an_artifact(self, plans, tmp_path):
+        store = PlanStore(plan_dir=str(tmp_path / "plans"))
+        key = store.put(plans[0])
+        assert key in store.disk
+
+    def test_fresh_store_warm_loads_from_disk(self, plans, tmp_path):
+        plan_dir = str(tmp_path / "plans")
+        key = PlanStore(plan_dir=plan_dir).put(plans[0])
+        fresh = PlanStore(plan_dir=plan_dir)
+        assert len(fresh) == 0  # nothing in memory yet
+        loaded = fresh.get(key)
+        assert loaded.n == plans[0].n
+        assert fresh.stats()["n_disk_loads"] == 1
+        assert key in fresh  # admitted into the memory tier
+        fresh.get(key)  # second get is a memory hit
+        assert fresh.stats()["n_disk_loads"] == 1
+
+    def test_disk_stats_are_nested(self, plans, tmp_path):
+        store = PlanStore(plan_dir=str(tmp_path / "plans"))
+        store.put(plans[0])
+        stats = store.stats()
+        assert stats["disk"]["n_stores"] == 1
+        assert stats["disk"]["total_bytes"] > 0
+
+
+class TestWarmRestart:
+    def test_restarted_server_serves_without_replanning(self, plans,
+                                                        tmp_path):
+        """ISSUE 7 acceptance: a DtmServer restarted against a
+        populated plan_dir serves its first solve from the artifact
+        — one disk load, no register, bitwise-identical result."""
+        plan_dir = str(tmp_path / "plans")
+        plan = plans[2]
+        b = np.ones(plan.n)
+        with DtmServer(shards=1, plan_dir=plan_dir) as server1:
+            key = server1.register(plan=plan)
+            x_before = server1.solve(key, b, tol=1e-7).x
+
+        # the restart: a brand-new server, same directory, no register
+        with DtmServer(shards=1, plan_dir=plan_dir) as server2:
+            res = server2.solve(key, b, tol=1e-7)
+            assert res.converged
+            assert np.array_equal(res.x, x_before)
+            assert server2.store.stats()["n_disk_loads"] == 1
+
+    def test_unknown_plan_still_raises_after_restart(self, plans,
+                                                     tmp_path):
+        with DtmServer(shards=1,
+                       plan_dir=str(tmp_path / "plans")) as server:
+            with pytest.raises(KeyError):
+                server.solve("deadbeef", np.ones(8))
+
+    def test_store_and_plan_dir_conflict(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            DtmServer(shards=1, store=PlanStore(),
+                      plan_dir=str(tmp_path / "plans"))
+
+    def test_store_and_max_bytes_conflict(self):
+        with pytest.raises(ConfigurationError):
+            DtmServer(shards=1, store=PlanStore(), max_bytes=1 << 20)
