@@ -1,15 +1,17 @@
-"""Tier-2 smoke targets for the kernel, plan, multiproc, net,
+"""Tier-2 smoke targets for the kernel, plan, multiproc, net, mesh,
 plan-construction and plan-store benches.
 
 Fast sanity passes over :mod:`bench_kernel_micro`,
 :mod:`bench_plan_reuse`, :mod:`bench_multiproc`, :mod:`bench_net`,
-:mod:`bench_planbuild` and :mod:`bench_planstore`: run a small case
+:mod:`bench_mesh`, :mod:`bench_planbuild` and
+:mod:`bench_planstore`: run a small case
 each, check the built-in
 equivalence guards fired (they raise on divergence), the JSON records
 have the expected shape, and the architectural win is present at all
 (fleet not slower than the Python loop; cached setup not slower than
 re-planning; sharded solves converge to tolerance; the TCP fabric
-converges to the same tolerance as shm; sparse plan construction
+converges to the same tolerance as shm; the worker mesh converges to
+the same tolerance as the router path; sparse plan construction
 matches dense to 1e-10 and pooled builds match serial bitwise; a
 saved-then-loaded plan solves bitwise-identically to the built
 plan).  They deliberately do *not*
@@ -27,6 +29,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from bench_kernel_micro import bench_case, run_bench  # noqa: E402
+from bench_mesh import bench_case as mesh_bench_case  # noqa: E402
 from bench_multiproc import bench_case as mp_bench_case  # noqa: E402
 from bench_net import bench_case as net_bench_case  # noqa: E402
 from bench_plan_reuse import run_bench as run_plan_bench  # noqa: E402
@@ -87,6 +90,22 @@ def test_net_bench_smoke():
     assert case["client"]["roundtrip_s"] > 0
     assert case["tcp_vs_shm"] > 0
     assert len(case["tcp"]["sweeps"]) == 2
+
+
+def test_mesh_bench_smoke():
+    case = mesh_bench_case(40, n_parts=4, parts_shape=(2, 2),
+                           wall_budget=120.0)
+    assert case["n"] == 1600
+    assert case["shards"] == 4
+    # both paths converged to the same reference-free tolerance; the
+    # tiny case makes no headline ratio claim (that is the full
+    # bench's job, gated by check_bench against BENCH_mesh.json)
+    assert case["tcp"]["relative_residual"] <= case["tol"]
+    assert case["mesh"]["relative_residual"] <= case["tol"]
+    assert case["tcp"]["solve_s"] > 0
+    assert case["mesh"]["solve_s"] > 0
+    assert case["mesh_vs_router"] > 0
+    assert len(case["mesh"]["sweeps"]) == 4
 
 
 def test_plan_bench_smoke(tmp_path):

@@ -2,13 +2,16 @@
 
 Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
 :mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`,
-:mod:`benchmarks.bench_net`, :mod:`benchmarks.bench_planbuild` and
+:mod:`benchmarks.bench_net`, :mod:`benchmarks.bench_mesh`,
+:mod:`benchmarks.bench_planbuild` and
 :mod:`benchmarks.bench_planstore` (or previously written JSONs passed
 via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc`` /
-``--fresh-net`` / ``--fresh-planbuild`` / ``--fresh-planstore``)
+``--fresh-net`` / ``--fresh-mesh`` / ``--fresh-planbuild`` /
+``--fresh-planstore``)
 against the committed ``benchmarks/BENCH_kernel.json``,
 ``BENCH_plan.json``, ``BENCH_multiproc.json``, ``BENCH_net.json``,
-``BENCH_planbuild.json`` and ``BENCH_planstore.json``.  A case
+``BENCH_mesh.json``, ``BENCH_planbuild.json`` and
+``BENCH_planstore.json``.  A case
 **regresses** when its speedup
 ratio — a machine-relative number, robust on hosts slower than the
 one that wrote the baseline — drops by more than ``--tolerance``
@@ -18,7 +21,12 @@ one that wrote the baseline — drops by more than ``--tolerance``
 sharded-vs-simulator wall-clock ratio (headline ``speedup_at_4``,
 which additionally must clear the absolute 1.5x floor), the net
 bench's tcp-vs-shm warm-solve ratio (headline ``tcp_vs_shm_at_2``,
-floored by the baseline's ``ratio_floor``), the planbuild bench's
+floored by the baseline's ``ratio_floor``), the mesh bench's
+direct-socket-vs-router ratio (headline ``mesh_vs_router_at_4``,
+floored by the baseline's ``ratio_floor`` of 1.0 — direct sockets
+must beat the router path — plus the recovery case: a worker killed
+mid-solve must recover to the same stopping decision within the
+baseline's ``overhead_ceiling``), the planbuild bench's
 dense-vs-sparse plan-construction ratio (headline ``speedup_at_320``,
 floored by the baseline's ``speedup_floor`` of 3x, plus the 500k-
 unknown build's ``vs_dense320 > 1`` demonstration), and the planstore
@@ -65,6 +73,8 @@ DEFAULT_MULTIPROC_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_multiproc.json")
 DEFAULT_NET_BASELINE = os.path.join(_ROOT, "benchmarks",
                                     "BENCH_net.json")
+DEFAULT_MESH_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                     "BENCH_mesh.json")
 DEFAULT_PLANBUILD_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_planbuild.json")
 DEFAULT_PLANSTORE_BASELINE = os.path.join(_ROOT, "benchmarks",
@@ -76,6 +86,7 @@ _REGEN = {
     "BENCH_plan.json": "benchmarks/bench_plan_reuse.py",
     "BENCH_multiproc.json": "benchmarks/bench_multiproc.py",
     "BENCH_net.json": "benchmarks/bench_net.py",
+    "BENCH_mesh.json": "benchmarks/bench_mesh.py",
     "BENCH_planbuild.json": "benchmarks/bench_planbuild.py",
     "BENCH_planstore.json": "benchmarks/bench_planstore.py",
 }
@@ -258,6 +269,82 @@ def compare_net(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_mesh(baseline: dict, fresh: dict, tolerance: float, *,
+                 require_all: bool = True) -> tuple[list[str], list[str]]:
+    """Compare a fresh worker-mesh record against the baseline.
+
+    Two failing signals.  First the per-case warm **mesh_vs_router**
+    solve-time ratio (tcp's router-path solve is the in-run control,
+    so the ratio is host-independent), with the baseline's absolute
+    ``ratio_floor`` applied at the headline case — the ISSUE 8
+    acceptance criterion is that direct neighbor sockets *beat* the
+    router path at 4 shards, so a mesh degraded to hub-fallback-only
+    fails here.  Second the **recovery** case: a worker hard-killed
+    mid-solve must actually trigger a recovery, complete to the same
+    stopping decision as the clean control run, and stay within the
+    baseline's ``overhead_ceiling`` wall-clock overhead.  With
+    ``require_all=False`` (quick mode) baseline cases absent from the
+    fresh run — the 10k-unknown headline — downgrade to warnings; the
+    cases that *did* run are fully gated.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    floor = float(baseline.get("ratio_floor", 1.0))
+    ceiling = float(baseline.get("overhead_ceiling", 10.0))
+    base_cases = {c["nx"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["nx"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("mesh fresh record has no cases")
+        return problems, warnings
+    headline_nx = max(base_cases) if base_cases else None
+    for nx, base in sorted(base_cases.items()):
+        cur = fresh_cases.get(nx)
+        if cur is None:
+            msg = f"mesh nx={nx}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        ratio = cur.get("mesh_vs_router")
+        base_ratio = base.get("mesh_vs_router")
+        if ratio is None:
+            problems.append(
+                f"mesh nx={nx}: fresh case lacks mesh_vs_router")
+            continue
+        if nx == headline_nx and ratio < floor:
+            problems.append(
+                f"mesh nx={nx}: mesh_vs_router ratio {ratio:.2f} is "
+                f"below the {floor} floor (direct sockets no longer "
+                "beat the router path)")
+        if base_ratio and ratio < base_ratio * (1.0 - tolerance):
+            problems.append(
+                f"mesh nx={nx}: mesh_vs_router fell from "
+                f"{base_ratio:.2f} to {ratio:.2f} (more than "
+                f"{tolerance:.0%} drop)")
+    if baseline.get("recovery"):
+        rec = fresh.get("recovery")
+        if rec is None:
+            problems.append(
+                "mesh: recovery case missing from fresh run")
+        else:
+            overhead = rec.get("overhead")
+            if overhead is None:
+                problems.append(
+                    "mesh: fresh recovery case lacks overhead")
+            elif overhead > ceiling:
+                problems.append(
+                    f"mesh: recovery overhead {overhead:.2f}x exceeds "
+                    f"the {ceiling}x ceiling (a killed worker stalls "
+                    "the solve)")
+            if rec.get("n_recoveries", 0) < 1:
+                problems.append(
+                    "mesh: the scripted kill never fired — the "
+                    "recovery case gated nothing")
+            if not rec.get("same_decision"):
+                problems.append(
+                    "mesh: the killed run reached a different "
+                    "stopping decision than the clean control run")
+    return problems, warnings
+
+
 def compare_planbuild(baseline: dict, fresh: dict, tolerance: float, *,
                       require_all: bool = True
                       ) -> tuple[list[str], list[str]]:
@@ -410,7 +497,8 @@ def _speedup_summary(record: dict) -> dict:
         return {}
     out = {k: record[k]
            for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4",
-                     "tcp_vs_shm_at_2", "speedup_at_320")
+                     "tcp_vs_shm_at_2", "mesh_vs_router_at_4",
+                     "speedup_at_320")
            if record.get(k) is not None}
     if isinstance(record.get("large"), dict) \
             and record["large"].get("vs_dense320") is not None:
@@ -418,9 +506,12 @@ def _speedup_summary(record: dict) -> dict:
     if isinstance(record.get("warm_restart"), dict) \
             and record["warm_restart"].get("restart_speedup") is not None:
         out["restart_speedup"] = record["warm_restart"]["restart_speedup"]
+    if isinstance(record.get("recovery"), dict) \
+            and record["recovery"].get("overhead") is not None:
+        out["recovery_overhead"] = record["recovery"]["overhead"]
     out["cases"] = [{k: c.get(k)
                      for k in ("n_parts", "nx", "speedup", "speedup_at_4",
-                               "tcp_vs_shm")
+                               "tcp_vs_shm", "mesh_vs_router")
                      if c.get(k) is not None}
                     for c in record.get("cases", [])]
     return out
@@ -429,11 +520,12 @@ def _speedup_summary(record: dict) -> dict:
 def _write_report(path: str, *, exit_code: int, problems, warnings,
                   checked, args, kernel_fresh: dict,
                   plan_fresh: dict, multiproc_fresh: dict,
-                  net_fresh: dict, planbuild_fresh: dict,
+                  net_fresh: dict, mesh_fresh: dict,
+                  planbuild_fresh: dict,
                   planstore_fresh: dict,
                   error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/5",
+        "schema": "check_bench-report/6",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
@@ -441,6 +533,7 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
         "plan_tolerance": args.plan_tolerance,
         "multiproc_tolerance": args.multiproc_tolerance,
         "net_tolerance": args.net_tolerance,
+        "mesh_tolerance": args.mesh_tolerance,
         "planbuild_tolerance": args.planbuild_tolerance,
         "planstore_tolerance": args.planstore_tolerance,
         "strict_time": bool(args.strict_time),
@@ -456,6 +549,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                       "record": multiproc_fresh},
         "net": {"measured": _speedup_summary(net_fresh),
                 "record": net_fresh},
+        "mesh": {"measured": _speedup_summary(mesh_fresh),
+                 "record": mesh_fresh},
         "planbuild": {"measured": _speedup_summary(planbuild_fresh),
                       "record": planbuild_fresh},
         "planstore": {"measured": _speedup_summary(planstore_fresh),
@@ -541,6 +636,19 @@ def _load_or_run_net(args, baseline: dict) -> dict:
     return run_bench(cases, out="")
 
 
+def _load_or_run_mesh(args, baseline: dict) -> dict:
+    if args.fresh_mesh:
+        return _load_fresh(args.fresh_mesh)
+    from bench_mesh import QUICK_CASES, run_bench
+
+    cases = tuple(sorted(c["nx"] for c in baseline.get("cases", [])))
+    if args.quick:
+        cases = tuple(nx for nx in cases if nx in QUICK_CASES) \
+            or QUICK_CASES
+    return run_bench(cases, recovery=bool(baseline.get("recovery")),
+                     out="")
+
+
 def _load_or_run_planbuild(args, baseline: dict) -> dict:
     if args.fresh_planbuild:
         return _load_fresh(args.fresh_planbuild)
@@ -574,6 +682,7 @@ def main(argv=None) -> int:
     ap.add_argument("--multiproc-baseline",
                     default=DEFAULT_MULTIPROC_BASELINE)
     ap.add_argument("--net-baseline", default=DEFAULT_NET_BASELINE)
+    ap.add_argument("--mesh-baseline", default=DEFAULT_MESH_BASELINE)
     ap.add_argument("--planbuild-baseline",
                     default=DEFAULT_PLANBUILD_BASELINE)
     ap.add_argument("--planstore-baseline",
@@ -587,6 +696,8 @@ def main(argv=None) -> int:
                     "re-run")
     ap.add_argument("--fresh-net", default=None,
                     help="pre-computed fresh net JSON; omit to re-run")
+    ap.add_argument("--fresh-mesh", default=None,
+                    help="pre-computed fresh mesh JSON; omit to re-run")
     ap.add_argument("--fresh-planbuild", default=None,
                     help="pre-computed fresh planbuild JSON; omit to "
                     "re-run")
@@ -601,6 +712,8 @@ def main(argv=None) -> int:
                     help="skip the multiproc baseline")
     ap.add_argument("--skip-net", action="store_true",
                     help="skip the net-transport baseline")
+    ap.add_argument("--skip-mesh", action="store_true",
+                    help="skip the worker-mesh baseline")
     ap.add_argument("--skip-planbuild", action="store_true",
                     help="skip the plan-construction baseline")
     ap.add_argument("--skip-planstore", action="store_true",
@@ -621,6 +734,12 @@ def main(argv=None) -> int:
                     "bench's tcp-vs-shm warm-solve ratio (scheduler-"
                     "noisy; the baseline's ratio_floor is the hard "
                     "backstop; default 0.50)")
+    ap.add_argument("--mesh-tolerance", type=float, default=0.50,
+                    help="allowed relative regression for the mesh "
+                    "bench's direct-vs-router warm-solve ratio "
+                    "(scheduler-noisy; the baseline's ratio_floor and "
+                    "overhead_ceiling are the hard backstops; default "
+                    "0.50)")
     ap.add_argument("--planbuild-tolerance", type=float, default=0.50,
                     help="allowed relative regression for the "
                     "planbuild bench's dense-vs-sparse build speedups "
@@ -648,6 +767,7 @@ def main(argv=None) -> int:
     plan_fresh: dict = {}
     multiproc_fresh: dict = {}
     net_fresh: dict = {}
+    mesh_fresh: dict = {}
     planbuild_fresh: dict = {}
     planstore_fresh: dict = {}
 
@@ -658,7 +778,7 @@ def main(argv=None) -> int:
                           checked=checked, args=args,
                           kernel_fresh=fresh, plan_fresh=plan_fresh,
                           multiproc_fresh=multiproc_fresh,
-                          net_fresh=net_fresh,
+                          net_fresh=net_fresh, mesh_fresh=mesh_fresh,
                           planbuild_fresh=planbuild_fresh,
                           planstore_fresh=planstore_fresh,
                           error=error)
@@ -701,6 +821,16 @@ def main(argv=None) -> int:
             problems += p
             warnings += w
             checked.append(os.path.relpath(args.net_baseline, _ROOT))
+
+        if not args.skip_mesh:
+            mesh_baseline = _require_baseline(args.mesh_baseline)
+            mesh_fresh = _load_or_run_mesh(args, mesh_baseline)
+            p, w = compare_mesh(mesh_baseline, mesh_fresh,
+                                args.mesh_tolerance,
+                                require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.mesh_baseline, _ROOT))
 
         if not args.skip_planbuild:
             pb_baseline = _require_baseline(args.planbuild_baseline)

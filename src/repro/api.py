@@ -190,7 +190,12 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     shared memory on this machine; ``"tcp"`` runs the same latest-wins
     mailbox frames over loopback sockets — the fabric that also spans
     machines (a :class:`repro.net.TcpTransport` instance bound to a
-    LAN address accepts remote workers).
+    LAN address accepts remote workers); ``"mesh"`` adds direct
+    worker-to-worker neighbor sockets plus automatic failure recovery
+    (a shard worker lost mid-solve is respawned and re-snapshotted
+    from the coordinator's last published state — see
+    :class:`repro.net.MeshTransport` and PERFORMANCE.md → "Worker
+    mesh & failure recovery").
     """
     if backend not in ("sim", "multiproc"):
         raise ConfigurationError(

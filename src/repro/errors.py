@@ -65,6 +65,15 @@ class MultiprocError(ReproError):
     """The multiprocess sharded runtime lost or timed out a worker."""
 
 
+class WorkerLostError(MultiprocError):
+    """A shard worker died or went silent and could not be recovered.
+
+    Raised by recovery-enabled runners when a lost worker exhausts its
+    respawn budget or misses its rejoin deadline; transports without
+    recovery raise plain :class:`MultiprocError` on the first loss.
+    """
+
+
 class TransportError(ReproError):
     """A network transport failed (connect, handshake, framing, EOF)."""
 

@@ -4,16 +4,21 @@ Two halves, mirroring the runtime/serving split:
 
 * :mod:`repro.net.transport` — the :class:`Transport` abstraction the
   sharded runtime executes over: :class:`ShmTransport` (one machine,
-  ``multiprocessing.shared_memory``, the PR-4 fabric) and
+  ``multiprocessing.shared_memory``, the PR-4 fabric),
   :class:`TcpTransport` (length-prefixed latest-wins wave frames over
   loopback/LAN sockets; workers may join from other machines via
-  ``python -m repro.net.worker``);
+  ``python -m repro.net.worker``) and :class:`MeshTransport`
+  (:mod:`repro.net.mesh`: direct worker-to-worker neighbor sockets,
+  heartbeat liveness and failure recovery; chaos scenarios are
+  scripted with :mod:`repro.net.faults`);
 * :mod:`repro.net.frontend` / :mod:`repro.net.client` — a socket front
   end for :class:`~repro.runtime.server.DtmServer` plus the matching
   :class:`DtmClient` (``register`` / ``solve`` / ``solve_many`` /
   ``stats`` / ``shutdown`` over a JSON+binary wire protocol).
 """
 
+from .faults import FaultPlan, ShardFaults
+from .mesh import MeshTransport
 from .transport import (
     EdgeMailbox,
     ShmTransport,
@@ -26,6 +31,9 @@ __all__ = [
     "DtmClient",
     "DtmTcpFrontend",
     "EdgeMailbox",
+    "FaultPlan",
+    "MeshTransport",
+    "ShardFaults",
     "ShmTransport",
     "TcpTransport",
     "Transport",

@@ -96,8 +96,12 @@ class DtmClient:
     token:
         Shared secret, when the front end requires one.
     timeout:
-        Socket timeout in seconds for connect and each response
-        (``None`` blocks indefinitely — solves can be long).
+        Deadline in seconds for connect and for each response.  A
+        server that dies mid-solve (or hangs) surfaces as
+        :class:`~repro.errors.RemoteError` when the deadline passes
+        instead of blocking this client forever; ``None`` blocks
+        indefinitely.  :meth:`solve` accepts a per-call ``deadline``
+        override for known-long solves.
     """
 
     def __init__(
@@ -117,6 +121,7 @@ class DtmClient:
         sock.settimeout(timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        self.timeout = timeout
         self.token = token
         self._closed = False
 
@@ -126,14 +131,37 @@ class DtmClient:
         header: dict,
         arrays: Optional[dict] = None,
         blob: bytes = b"",
+        *,
+        deadline: Optional[float] = None,
     ) -> tuple:
         """Returns ``(header, arrays, blob)`` of the response frame."""
         if self._closed:
             raise ConfigurationError("client is closed")
         if self.token is not None:
             header = dict(header, token=self.token)
-        wire.send_message(self._sock, wire.T_REQUEST, header, arrays, blob)
-        ftype, obj, arrays_out, blob_out = wire.recv_message(self._sock)
+        effective = self.timeout if deadline is None else deadline
+        if deadline is not None:
+            self._sock.settimeout(deadline)
+        try:
+            wire.send_message(
+                self._sock, wire.T_REQUEST, header, arrays, blob
+            )
+            ftype, obj, arrays_out, blob_out = wire.recv_message(self._sock)
+        except TransportError as exc:
+            if isinstance(exc.__cause__, socket.timeout):
+                # after a timeout the stream may hold a half-read
+                # frame; the connection is unusable — close it so a
+                # retry cannot desynchronize the protocol
+                self.close()
+                raise RemoteError(
+                    f"no response from the DTM server within "
+                    f"{effective:.0f}s (it may have died mid-solve); "
+                    "the connection has been closed"
+                ) from exc
+            raise
+        finally:
+            if deadline is not None and not self._closed:
+                self._sock.settimeout(self.timeout)
         if ftype != wire.T_RESPONSE:
             raise ProtocolError(f"expected a response frame, got {ftype}")
         return obj, arrays_out, blob_out
@@ -192,8 +220,14 @@ class DtmClient:
         stopping=None,
         warm_start: bool = False,
         tag=None,
+        deadline: Optional[float] = None,
     ) -> SolveResult:
-        """One remote solve; raises :class:`RemoteError` on failure."""
+        """One remote solve; raises :class:`RemoteError` on failure.
+
+        *deadline* overrides the client-wide ``timeout`` for this one
+        response — raise it for solves known to run long, lower it to
+        fail fast when the server is suspected dead.
+        """
         header = {
             "op": "solve",
             "plan_id": plan_id,
@@ -203,7 +237,7 @@ class DtmClient:
             "tag": tag,
         }
         b_vec = np.asarray(b, dtype=np.float64)
-        obj, arrays, _ = self._request(header, {"b": b_vec})
+        obj, arrays, _ = self._request(header, {"b": b_vec}, deadline=deadline)
         self._require_ok(obj)
         return _result_from_wire(obj, arrays)
 

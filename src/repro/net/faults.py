@@ -1,0 +1,254 @@
+"""Deterministic fault injection for chaos-testing the worker mesh.
+
+Chaos scenarios must be *scriptable*: a test that kills shard 2 at
+sweep 25 has to kill shard 2 at sweep 25 every run, and a 10% frame
+drop has to drop the same frames given the same emission sequence.
+Everything here is therefore deterministic by construction — no
+randomness, no wall-clock coupling:
+
+* :class:`ShardFaults` — one shard's fault script (picklable; it
+  crosses the ``spawn`` boundary inside the worker descriptor args);
+* :class:`FaultPlan` — the per-shard map a
+  :class:`~repro.runtime.multiproc.MultiprocDtmRunner` threads through
+  to its spawned workers (respawned workers get **no** faults — a
+  fault fires against the original incarnation only, otherwise a
+  kill-at-sweep-N worker would die in an endless respawn loop);
+* :class:`FrameFaultInjector` — Bresenham-style accumulator deciding
+  drop/delay per outgoing wave frame (an exact ``fraction`` of frames
+  is affected, evenly spread, same decisions every run);
+* :class:`FaultyWorkerPort` — a transparent port wrapper that hard-
+  kills the process (``os._exit``, no error marker — indistinguishable
+  from SIGKILL) or severs peer sockets when the sweep count hits the
+  scripted value.
+
+Frame drop/delay needs a transport whose port exposes
+``install_frame_faults`` (the mesh); kill and peer-close faults work
+on any transport.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+#: exit code of a fault-killed worker (distinguishable in waitpid
+#: from a clean exit, but carries no error marker — the runner must
+#: detect the death itself, exactly like a real SIGKILL)
+KILL_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class ShardFaults:
+    """One shard's deterministic fault script.
+
+    Parameters
+    ----------
+    kill_at_sweep:
+        Hard-kill the worker process when its total sweep count
+        reaches this value; ``0`` kills before the first sweep (at
+        x0 load).  ``None`` disables.
+    close_peers_at_sweep:
+        Abruptly close every direct peer socket (inbound and
+        outbound) once at this sweep count — the mesh must fall back
+        to the hub path and redial.  Mesh ports only; a no-op
+        elsewhere.
+    drop_fraction:
+        Fraction of outgoing wave frames silently dropped, spread
+        evenly (``0.25`` drops exactly every fourth frame).
+    delay_fraction:
+        Fraction of the *non-dropped* outgoing wave frames delayed by
+        ``delay_s`` seconds before delivery; a frame delayed past its
+        epoch is discarded instead of replayed into the next one.
+    delay_s:
+        Delay applied to selected frames, in seconds.
+    """
+
+    kill_at_sweep: Optional[int] = None
+    close_peers_at_sweep: Optional[int] = None
+    drop_fraction: float = 0.0
+    delay_fraction: float = 0.0
+    delay_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("drop_fraction", "delay_fraction"):
+            frac = getattr(self, name)
+            if not 0.0 <= frac <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be within [0, 1], got {frac!r}"
+                )
+        if self.drop_fraction + self.delay_fraction > 1.0:
+            raise ConfigurationError(
+                "drop_fraction + delay_fraction must not exceed 1"
+            )
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+
+    @property
+    def wants_frame_faults(self) -> bool:
+        return self.drop_fraction > 0.0 or self.delay_fraction > 0.0
+
+    @property
+    def wants_port_wrapper(self) -> bool:
+        return (
+            self.kill_at_sweep is not None
+            or self.close_peers_at_sweep is not None
+        )
+
+    def frame_injector(self) -> Optional["FrameFaultInjector"]:
+        if not self.wants_frame_faults:
+            return None
+        return FrameFaultInjector(
+            self.drop_fraction, self.delay_fraction, self.delay_s
+        )
+
+
+class FaultPlan:
+    """Per-shard fault scripts for one runner's worker fleet."""
+
+    def __init__(self, shard_faults: dict) -> None:
+        self.shard_faults = {}
+        for shard, faults in shard_faults.items():
+            if not isinstance(faults, ShardFaults):
+                raise ConfigurationError(
+                    f"FaultPlan values must be ShardFaults, got "
+                    f"{type(faults).__name__}"
+                )
+            self.shard_faults[int(shard)] = faults
+
+    def for_shard(self, index: int) -> Optional[ShardFaults]:
+        return self.shard_faults.get(int(index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.shard_faults!r})"
+
+
+class FrameFaultInjector:
+    """Deterministic per-frame drop/delay decisions.
+
+    Bresenham-style quota tracking per fault kind: frame *i* of a
+    stream is dropped exactly when ``floor(i * drop_fraction)``
+    exceeds the drops issued so far, and likewise for delays over the
+    frames that survive the drop decision (``delay_fraction`` is a
+    fraction of the frames that actually go out).  Quotas are computed
+    from a single multiplication — no accumulated float drift — so the
+    selected set depends only on the emission sequence: exactly
+    reproducible, exactly the requested fraction, evenly interleaved
+    rather than bursty.
+
+    Quotas are kept per destination *stream*: a sender visits its
+    outboxes in a fixed cycle, so one shared accumulator would phase-
+    lock with that cycle (a 50% drop over two alternating neighbors
+    blacks out one neighbor entirely instead of thinning both links).
+    """
+
+    #: absorbs float representation error in the quota products
+    #: (e.g. ``800 * 0.3`` landing at ``239.999…``)
+    _EPS = 1e-9
+
+    def __init__(
+        self, drop_fraction: float, delay_fraction: float, delay_s: float
+    ) -> None:
+        self.drop_fraction = float(drop_fraction)
+        self.delay_fraction = float(delay_fraction)
+        self.delay_s = float(delay_s)
+        self._streams: dict = {}  # stream -> [frames, dropped, delayed]
+        self.n_frames = 0
+        self.n_dropped = 0
+        self.n_delayed = 0
+
+    def wave_action(self, stream=None) -> tuple:
+        """Decide one outgoing frame: ``(action, delay_seconds)``.
+
+        ``action`` is ``"send"``, ``"drop"`` or ``"delay"``.
+        *stream* identifies the destination (the mesh passes the
+        receiving shard); each stream meets its fractions exactly.
+        """
+        counts = self._streams.setdefault(stream, [0, 0, 0])
+        counts[0] += 1
+        self.n_frames += 1
+        drop_quota = int(counts[0] * self.drop_fraction + self._EPS)
+        if drop_quota > counts[1]:
+            counts[1] += 1
+            self.n_dropped += 1
+            return "drop", 0.0
+        outgoing = counts[0] - counts[1]
+        delay_quota = int(outgoing * self.delay_fraction + self._EPS)
+        if delay_quota > counts[2]:
+            counts[2] += 1
+            self.n_delayed += 1
+            return "delay", self.delay_s
+        return "send", 0.0
+
+
+class FaultyWorkerPort:
+    """Transparent port wrapper executing kill / peer-close scripts.
+
+    Delegates every port operation; only ``read_x0`` (the
+    kill-before-first-sweep hook — it runs after an epoch bump and
+    before any sweep) and ``record_sweeps`` (the at-sweep-N hooks)
+    are intercepted.
+    """
+
+    def __init__(self, port, faults: ShardFaults) -> None:
+        self._port = port
+        self._kill_at = faults.kill_at_sweep
+        self._close_peers_at = faults.close_peers_at_sweep
+        self._peers_closed = False
+
+    def __getattr__(self, name):
+        return getattr(self._port, name)
+
+    def _die(self) -> None:
+        # no error marker, no cleanup: the coordinator must *detect*
+        # this death, not be told about it
+        os._exit(KILL_EXIT_CODE)
+
+    def read_x0(self):
+        if self._kill_at is not None and self._kill_at <= 0:
+            self._die()
+        return self._port.read_x0()
+
+    def record_sweeps(self, total: int) -> None:
+        if (
+            self._close_peers_at is not None
+            and not self._peers_closed
+            and total >= self._close_peers_at
+        ):
+            self._peers_closed = True
+            close = getattr(self._port, "close_peer_conns", None)
+            if close is not None:
+                close()
+        if self._kill_at is not None and total >= self._kill_at:
+            self._die()
+        self._port.record_sweeps(total)
+
+
+def apply_faults(port, faults: Optional[ShardFaults]):
+    """Arm one worker port with a shard's fault script (worker-side)."""
+    if faults is None:
+        return port
+    injector = faults.frame_injector()
+    if injector is not None:
+        install = getattr(port, "install_frame_faults", None)
+        if install is None:
+            raise ConfigurationError(
+                "frame drop/delay faults need a mesh worker port; "
+                f"{type(port).__name__} cannot inject frame faults"
+            )
+        install(injector)
+    if faults.wants_port_wrapper:
+        port = FaultyWorkerPort(port, faults)
+    return port
+
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "ShardFaults",
+    "FaultPlan",
+    "FrameFaultInjector",
+    "FaultyWorkerPort",
+    "apply_faults",
+]

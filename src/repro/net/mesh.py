@@ -1,0 +1,560 @@
+"""Decentralized worker mesh: direct neighbor sockets + recovery.
+
+The paper's transmission model is fully decentralized — subdomains
+exchange waves with their neighbors directly, and no central party
+touches the data path.  :class:`MeshTransport` realizes that over the
+existing wire framing:
+
+* **Direct neighbor sockets.**  Every worker opens a listen socket and
+  publishes its address in the HELLO frame; the hub rebroadcasts the
+  full peer directory (``T_PEERS``) on every membership change.  A
+  background dialer connects to the peers a shard emits to, with
+  exponential backoff, so startup order never matters.  Once a direct
+  connection is up, ``post_waves`` ships ``T_WAVES`` frames
+  peer-to-peer; the coordinator's router is only a *fallback* path
+  while a direct socket is absent or broken.  The coordinator keeps
+  what the paper assigns it: control, stopping probes and RHS swaps.
+
+* **Failure recovery.**  Workers heartbeat (``T_HEARTBEAT``) through
+  the control socket; the hub tracks per-shard liveness and exposes
+  :meth:`~_MeshHub.stale_workers`.  A worker that dies is respawned by
+  the runner and re-registers: the hub's :meth:`_Router._register`
+  levels it from the coordinator's mirrors (spec, x0, its current
+  wave slice, control words) — the re-snapshot — and broadcasts a new
+  peer directory generation so neighbors redial it.  Workers that
+  join while a stop is in flight are reported via
+  :meth:`~_MeshHub.stop_joiners` so the coordinator can forgive their
+  acks for that epoch; the stopping decision is still re-verified
+  against the gathered state, so recovery can cost extra rounds but
+  never a wrong answer.
+
+Latest-wins stays intact: each incoming slot has exactly one emitting
+peer, each frame is applied whole, and per-connection FIFO makes the
+newest frame win.  A sender switches between the direct and fallback
+path only when a socket appears or dies, and any momentarily stale
+slot is overwritten by the very next post — the asynchronous
+relaxation tolerates it by construction (Avron et al. 2013), and the
+coordinator's residual re-verification would catch it regardless.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, ProtocolError, TransportError
+from . import wire
+from .transport import (
+    EPOCH,
+    STOP,
+    TcpCoordinatorPort,
+    TcpTransport,
+    TcpWorkerPort,
+    _Router,
+    sweep_cell,
+)
+
+#: default seconds of heartbeat silence before a connected worker is
+#: reported stale (hung-but-connected; dropped sockets surface faster
+#: via ``lost_workers`` and dead processes via the runner's waitpid)
+LIVENESS_TIMEOUT = 5.0
+
+#: workers heartbeat at most this often (seconds); piggybacked on the
+#: control polls the shard loop already performs, so an idle worker
+#: stays visibly alive between epochs
+HEARTBEAT_EVERY = 0.2
+
+
+class _MeshHub(_Router):
+    """Router extended with a peer directory and liveness tracking.
+
+    Keeps every base responsibility (mirrors, levelling snapshot on
+    register, ``T_WAVES`` fallback forwarding) and adds: listen-address
+    capture from the HELLO frame, whole-directory ``T_PEERS``
+    rebroadcast on membership changes, heartbeat bookkeeping, and the
+    stop-joiner set the recovery-aware coordinator consults.
+    """
+
+    def __init__(self, *args, liveness_timeout: float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.liveness_timeout = float(liveness_timeout)
+        self.peer_addrs: dict = {}  # shard -> (host, port)
+        self.peer_gen = 0
+        self.last_seen: dict = {}  # shard -> time.monotonic()
+        self.stop_joiner_set: set = set()
+
+    # -- registration / membership -------------------------------------
+    def _on_register(self, conn, shard: int, header: dict) -> None:
+        self.last_seen[shard] = time.monotonic()
+        if self.ctrl[STOP]:
+            # joined mid-stop: it will idle-wait for the next epoch,
+            # so the coordinator must not expect its ack this one
+            self.stop_joiner_set.add(shard)
+        listen = header.get("listen")
+        if listen:
+            try:
+                host = conn.getpeername()[0]
+            except OSError:  # pragma: no cover - conn died during hello
+                return
+            self.peer_addrs[shard] = (host, int(listen))
+        self.peer_gen += 1
+        self._broadcast_peers()
+
+    def _drop(self, conn, shard: int) -> None:
+        with self.lock:
+            entry = self._conns.get(shard)
+            current = entry is not None and entry[0] is conn
+        super()._drop(conn, shard)
+        if not current:
+            # a stale socket's late EOF after the shard already
+            # re-registered must not retire the live incarnation
+            return
+        with self.lock:
+            if shard in self.peer_addrs and not self.closing:
+                # retire the address so senders stop dialing a corpse;
+                # a respawn re-registers with its new port
+                del self.peer_addrs[shard]
+                self.peer_gen += 1
+                self._broadcast_peers()
+
+    def _broadcast_peers(self) -> None:
+        with self.lock:
+            header = {
+                "gen": self.peer_gen,
+                "peers": [
+                    [s, h, p] for s, (h, p) in sorted(self.peer_addrs.items())
+                ],
+            }
+            for conn, wlock in list(self._conns.values()):
+                try:
+                    with wlock:
+                        wire.send_message(conn, wire.T_PEERS, header)
+                except TransportError:
+                    pass  # dropped peer is reported via lost_workers
+
+    # -- frames / liveness ---------------------------------------------
+    def _handle_frame(
+        self, conn, shard: int, ftype: int, header, arrays, blob
+    ) -> None:
+        self.last_seen[shard] = time.monotonic()
+        if ftype == wire.T_HEARTBEAT:
+            self.ctrl[sweep_cell(shard)] = int(header.get("sweeps", 0))
+            return
+        super()._handle_frame(conn, shard, ftype, header, arrays, blob)
+
+    def on_begin_epoch(self) -> None:
+        """Reset per-epoch recovery state (called before the bump).
+
+        Heartbeat timestamps are refreshed so a coordinator that sat
+        idle between solves never sees minutes-old timestamps as an
+        instant staleness verdict, and the stop-joiner set starts the
+        epoch empty (those workers sweep normally from now on).
+        """
+        with self.lock:
+            now = time.monotonic()
+            for shard in self._conns:
+                self.last_seen[shard] = now
+            self.stop_joiner_set.clear()
+
+    def stale_workers(self) -> list:
+        now = time.monotonic()
+        with self.lock:
+            return sorted(
+                shard
+                for shard in self._conns
+                if now - self.last_seen.get(shard, now)
+                > self.liveness_timeout
+            )
+
+    def stop_joiners(self) -> set:
+        with self.lock:
+            return set(self.stop_joiner_set)
+
+
+class MeshCoordinatorPort(TcpCoordinatorPort):
+    """Coordinator port over the mesh hub's mirrors."""
+
+    def begin_epoch(self, epoch: int) -> None:
+        self._router.on_begin_epoch()
+        super().begin_epoch(epoch)
+
+    def stale_workers(self) -> list:
+        return self._router.stale_workers()
+
+    def stop_joiners(self) -> set:
+        return self._router.stop_joiners()
+
+
+class _PeerConn:
+    """One established outbound peer socket with its send lock."""
+
+    __slots__ = ("sock", "wlock", "addr")
+
+    def __init__(self, sock, addr) -> None:
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.addr = addr
+
+
+class MeshWorkerPort(TcpWorkerPort):
+    """Worker port that exchanges neighbor waves peer-to-peer.
+
+    The hub connection (inherited) still carries control, x0, state
+    publishes, acks and heartbeats; wave frames to neighbors prefer a
+    direct socket and fall back to the hub path until one is up.  All
+    inbound applying (hub reader, per-peer readers) only ever writes
+    local arrays, preserving the no-send-on-receive rule that rules
+    out distributed write-write deadlock.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: str,
+        shard: int,
+        *,
+        listen_port: int = 0,
+        listen_host: str = "0.0.0.0",
+        connect_timeout: float = 30.0,
+        heartbeat_every: float = HEARTBEAT_EVERY,
+    ) -> None:
+        # peer state must exist before super().__init__ starts the hub
+        # reader thread — a T_PEERS frame can arrive immediately
+        self._token = str(token)
+        self._closing = False
+        self._peers_lock = threading.Lock()
+        self._peer_dir: dict = {}  # shard -> (host, port)
+        self._peer_gen = -1
+        self._peer_out: dict = {}  # shard -> _PeerConn
+        self._peer_in: list = []  # inbound sockets (for close/faults)
+        self._dial_wakeup = threading.Event()
+        self._hb_every = float(heartbeat_every)
+        self._hb_last = 0.0
+        self._faults = None
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((listen_host, int(listen_port)))
+        listener.listen(8)
+        self._listener = listener
+        self.listen_port = int(listener.getsockname()[1])
+        super().__init__(
+            host,
+            port,
+            token,
+            shard,
+            connect_timeout=connect_timeout,
+            hello_extra={"listen": self.listen_port},
+        )
+        self._out_dsts = [dst for dst, _, _ in self._outboxes]
+        accept = threading.Thread(
+            target=self._accept_loop, name="dtm-mesh-accept", daemon=True
+        )
+        accept.start()
+        dialer = threading.Thread(
+            target=self._dial_loop, name="dtm-mesh-dial", daemon=True
+        )
+        dialer.start()
+
+    # -- hub frames -----------------------------------------------------
+    def _apply_frame(self, ftype: int, header, arrays, blob) -> None:
+        if ftype == wire.T_PEERS:
+            with self._peers_lock:
+                gen = int(header.get("gen", 0))
+                if gen <= self._peer_gen:
+                    return  # stale directory
+                self._peer_gen = gen
+                self._peer_dir = {
+                    int(s): (str(h), int(p))
+                    for s, h, p in header.get("peers", [])
+                    if int(s) != self.shard
+                }
+            self._dial_wakeup.set()
+            return
+        super()._apply_frame(ftype, header, arrays, blob)
+
+    # -- inbound peer side ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = threading.Thread(
+                target=self._peer_reader,
+                args=(conn,),
+                name="dtm-mesh-peer",
+                daemon=True,
+            )
+            reader.start()
+
+    def _peer_reader(self, conn) -> None:
+        lo, hi = self._slot_lo, self._slot_hi
+        try:
+            ftype, header, _arrays, _blob = wire.recv_message(conn)
+            if ftype != wire.T_PEER_HELLO:
+                raise ProtocolError("expected PEER_HELLO frame")
+            if header.get("token") != self._token:
+                raise ProtocolError("peer presented a bad token")
+            self._peer_in.append(conn)
+            while True:
+                ftype, header, arrays, _blob = wire.recv_message(conn)
+                if ftype != wire.T_WAVES:
+                    raise ProtocolError(
+                        f"unexpected peer frame {ftype}"
+                    )
+                slots = arrays["slots"]
+                values = arrays["values"]
+                if slots.shape != values.shape:
+                    raise ProtocolError(
+                        "peer wave frame has mismatched shapes"
+                    )
+                if np.any((slots < lo) | (slots >= hi)):
+                    raise ProtocolError(
+                        "peer wave frame targets slots outside this "
+                        f"shard's range [{lo}, {hi})"
+                    )
+                self._in_waves[slots - lo] = values
+        except (TransportError, ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                self._peer_in.remove(conn)
+            except ValueError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort
+                pass
+
+    # -- outbound peer side ---------------------------------------------
+    def _dial_loop(self) -> None:
+        backoff: dict = {}  # shard -> (next_attempt, delay)
+        while not self._closing:
+            self._dial_wakeup.wait(timeout=0.1)
+            self._dial_wakeup.clear()
+            if self._closing:
+                return
+            with self._peers_lock:
+                directory = dict(self._peer_dir)
+            now = time.monotonic()
+            for dst in self._out_dsts:
+                addr = directory.get(dst)
+                conn = self._peer_out.get(dst)
+                if conn is not None and conn.addr != addr:
+                    # peer moved (respawn) or left the directory
+                    self._retire_peer(dst)
+                    conn = None
+                if addr is None or conn is not None:
+                    continue
+                next_at, delay = backoff.get(dst, (0.0, 0.05))
+                if now < next_at:
+                    continue
+                try:
+                    sock = socket.create_connection(addr, timeout=5.0)
+                    sock.settimeout(None)
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                    wire.send_message(
+                        sock,
+                        wire.T_PEER_HELLO,
+                        {"token": self._token, "shard": self.shard},
+                    )
+                except (OSError, TransportError):
+                    backoff[dst] = (
+                        now + delay,
+                        min(delay * 2.0, 2.0),
+                    )
+                    continue
+                backoff.pop(dst, None)
+                self._peer_out[dst] = _PeerConn(sock, addr)
+
+    def _retire_peer(self, dst: int) -> None:
+        conn = self._peer_out.pop(dst, None)
+        if conn is not None:
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - best-effort
+                pass
+
+    def _send_wave_frame(self, dst, slots, values) -> None:
+        """One wave frame: direct peer socket, hub path as fallback."""
+        conn = self._peer_out.get(dst)
+        if conn is not None:
+            try:
+                with conn.wlock:
+                    wire.send_message(
+                        conn.sock,
+                        wire.T_WAVES,
+                        {"dst": int(dst)},
+                        {"slots": slots, "values": values},
+                    )
+                return
+            except TransportError:
+                self._retire_peer(dst)
+                self._dial_wakeup.set()
+        self._send_hub(
+            wire.T_WAVES,
+            {"dst": int(dst)},
+            {"slots": slots, "values": values},
+        )
+
+    def post_waves(self, out: np.ndarray) -> None:
+        self._in_waves[self._loop_local] = out[self._loop_pos]
+        faults = self._faults
+        for dst, emit_pos, dest_slots in self._outboxes:
+            if faults is not None:
+                action, delay_s = faults.wave_action(dst)
+                if action == "drop":
+                    continue
+                if action == "delay":
+                    self._delay_frame(
+                        dst, dest_slots, out[emit_pos].copy(), delay_s
+                    )
+                    continue
+            self._send_wave_frame(dst, dest_slots, out[emit_pos])
+        if self._outboxes:
+            # the load-bearing yield (see TcpWorkerPort.post_waves)
+            time.sleep(0)
+
+    # -- fault injection hooks (driven by repro.net.faults) --------------
+    def install_frame_faults(self, injector) -> None:
+        """Route outgoing wave frames through a fault injector."""
+        self._faults = injector
+
+    def _delay_frame(self, dst, slots, values, delay_s: float) -> None:
+        epoch = int(self._mirror[EPOCH])
+
+        def flush() -> None:
+            # a frame delayed past its epoch is dropped: replaying it
+            # into a later epoch would resurrect waves the coordinator
+            # already reset
+            if self._closing or int(self._mirror[EPOCH]) != epoch:
+                return
+            try:
+                self._send_wave_frame(dst, slots, values)
+            except (TransportError, OSError):
+                pass
+
+        timer = threading.Timer(float(delay_s), flush)
+        timer.daemon = True
+        timer.start()
+
+    def close_peer_conns(self) -> None:
+        """Abruptly close every peer socket (socket-close injection).
+
+        The mesh must recover on its own: senders fall back to the hub
+        path and the dialer re-establishes direct sockets.
+        """
+        for dst in list(self._peer_out):
+            self._retire_peer(dst)
+        for conn in list(self._peer_in):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort
+                pass
+        self._dial_wakeup.set()
+
+    # -- liveness --------------------------------------------------------
+    def _maybe_heartbeat(self) -> None:
+        now = time.monotonic()
+        if now - self._hb_last < self._hb_every:
+            return
+        self._hb_last = now
+        try:
+            self._send_hub(
+                wire.T_HEARTBEAT,
+                {"shard": self.shard, "sweeps": self._sweeps},
+            )
+        except TransportError:
+            pass  # the hub reader thread raises SHUTDOWN for the loop
+
+    def current_epoch(self) -> int:
+        self._maybe_heartbeat()
+        return super().current_epoch()
+
+    def record_sweeps(self, total: int) -> None:
+        super().record_sweeps(total)
+        self._maybe_heartbeat()
+
+    def close(self) -> None:
+        self._closing = True
+        self._dial_wakeup.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+        self.close_peer_conns()
+        super().close()
+
+
+class MeshTransport(TcpTransport):
+    """Socket fabric with direct neighbor edges and failure recovery.
+
+    Same coordinator address/token contract as :class:`TcpTransport`;
+    workers additionally open peer listen sockets and exchange wave
+    frames directly.  Sets ``supports_recovery`` so
+    :class:`~repro.runtime.multiproc.MultiprocDtmRunner` respawns and
+    re-snapshots lost shard workers instead of aborting the solve.
+    """
+
+    name = "mesh"
+    supports_recovery = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+        *,
+        liveness_timeout: float = LIVENESS_TIMEOUT,
+    ) -> None:
+        super().__init__(host, port, token)
+        self.liveness_timeout = float(liveness_timeout)
+
+    def bind(
+        self,
+        specs,
+        *,
+        n_slots: int,
+        n_states: int,
+        idle_sleep: float,
+        probe_every: int,
+    ) -> MeshCoordinatorPort:
+        if self._router is not None:
+            raise ConfigurationError("MeshTransport is already bound")
+        hub = _MeshHub(
+            specs,
+            host=self.host,
+            port=self.port,
+            token=self.token,
+            n_slots=n_slots,
+            n_states=n_states,
+            idle_sleep=idle_sleep,
+            probe_every=probe_every,
+            liveness_timeout=self.liveness_timeout,
+        )
+        hub.start()
+        self._router = hub
+        self.port = int(hub.address[1])
+        return MeshCoordinatorPort(self, hub)
+
+    def worker_descriptor(self, index: int) -> tuple:
+        if self._router is None:
+            raise ConfigurationError("bind the transport before workers")
+        return ("mesh", self.host, self.port, self.token, int(index), 0)
+
+
+__all__ = [
+    "LIVENESS_TIMEOUT",
+    "HEARTBEAT_EVERY",
+    "MeshTransport",
+    "MeshCoordinatorPort",
+    "MeshWorkerPort",
+]

@@ -164,6 +164,28 @@ class CoordinatorPort:
         """Shards whose connection dropped (TCP); always [] for shm."""
         return []
 
+    def connected_shards(self):
+        """Shards currently attached, or ``None`` when not tracked.
+
+        Socket transports report the shards with a live connection;
+        the shm fabric has no notion of attachment and returns
+        ``None`` (meaning "assume all present").
+        """
+        return None
+
+    def stale_workers(self) -> list:
+        """Shards whose liveness signal has gone quiet (mesh only)."""
+        return []
+
+    def stop_joiners(self) -> set:
+        """Shards that (re)joined while STOP was set this epoch.
+
+        Such workers idle-wait for the next epoch instead of sweeping,
+        so a recovery-aware coordinator must not wait for their acks.
+        Cleared by :meth:`begin_epoch`.
+        """
+        return set()
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -217,6 +239,11 @@ class Transport:
     """Factory for one coordinator port plus per-shard worker ports."""
 
     name = "abstract"
+
+    #: transports that re-snapshot a (re)joining worker from the
+    #: coordinator's mirrors can survive a lost shard mid-solve; the
+    #: runner enables automatic recovery when this is set
+    supports_recovery = False
 
     def bind(
         self,
@@ -650,7 +677,16 @@ class _Router:
                     self._send_ctrl(conn, word, int(self.ctrl[word]))
                 cell = probe_cell(self.n_shards, shard)
                 self._send_ctrl(conn, PROBE, int(self.ctrl[cell]))
+            self._on_register(conn, shard, header)
         return shard
+
+    def _on_register(self, conn, shard: int, header: dict) -> None:
+        """Hook after a worker is levelled (called under ``self.lock``).
+
+        The mesh hub uses it to record the worker's peer listen
+        address and rebroadcast the directory; the base router has
+        nothing to add.
+        """
 
     @staticmethod
     def _send_ctrl(conn, word: int, value: int) -> None:
@@ -660,73 +696,87 @@ class _Router:
 
     # -- worker frames --------------------------------------------------
     def _reader_loop(self, conn, shard: int) -> None:
-        n = self.n_shards
         while True:
-            ftype, header, arrays, _blob = wire.recv_message(conn)
-            if ftype == wire.T_WAVES:
-                dst = int(header["dst"])
-                if not 0 <= dst < n:
-                    raise ProtocolError(f"wave frame to bad shard {dst}")
-                slots = arrays["slots"]
-                values = arrays["values"]
-                dst_lo, dst_hi = self.slot_bounds[dst]
-                if slots.shape != values.shape:
+            ftype, header, arrays, blob = wire.recv_message(conn)
+            self._handle_frame(conn, shard, ftype, header, arrays, blob)
+
+    def _handle_frame(
+        self, conn, shard: int, ftype: int, header, arrays, blob
+    ) -> None:
+        """Apply one worker frame to the mirrors (overridable).
+
+        The mesh hub extends the dispatch with heartbeat frames; the
+        wave/state/ack/err core is shared verbatim.
+        """
+        n = self.n_shards
+        if ftype == wire.T_WAVES:
+            dst = int(header["dst"])
+            if not 0 <= dst < n:
+                raise ProtocolError(f"wave frame to bad shard {dst}")
+            slots = arrays["slots"]
+            values = arrays["values"]
+            dst_lo, dst_hi = self.slot_bounds[dst]
+            if slots.shape != values.shape:
+                raise ProtocolError(
+                    f"wave frame from shard {shard} has mismatched "
+                    "slot/value shapes"
+                )
+            # single-writer discipline: a frame may only touch the
+            # destination shard's slot range (slots outside it
+            # would overwrite cells some other shard owns)
+            if slots.size:
+                lo_ok = int(slots.min()) >= dst_lo
+                hi_ok = int(slots.max()) < dst_hi
+                if not (lo_ok and hi_ok):
                     raise ProtocolError(
-                        f"wave frame from shard {shard} has mismatched "
-                        "slot/value shapes"
+                        f"wave frame from shard {shard} violates "
+                        f"shard {dst}'s slot range "
+                        f"[{dst_lo}, {dst_hi})"
                     )
-                # single-writer discipline: a frame may only touch the
-                # destination shard's slot range (slots outside it
-                # would overwrite cells some other shard owns)
-                if slots.size:
-                    lo_ok = int(slots.min()) >= dst_lo
-                    hi_ok = int(slots.max()) < dst_hi
-                    if not (lo_ok and hi_ok):
-                        raise ProtocolError(
-                            f"wave frame from shard {shard} violates "
-                            f"shard {dst}'s slot range "
-                            f"[{dst_lo}, {dst_hi})"
+            self.waves[slots] = values
+            entry = self._conns.get(dst)
+            if entry is not None and dst != shard:
+                dst_conn, dst_lock = entry
+                try:
+                    with dst_lock:
+                        wire.send_message(
+                            dst_conn,
+                            wire.T_WAVES,
+                            header,
+                            arrays,
                         )
-                self.waves[slots] = values
-                entry = self._conns.get(dst)
-                if entry is not None and dst != shard:
-                    dst_conn, dst_lock = entry
-                    try:
-                        with dst_lock:
-                            wire.send_message(
-                                dst_conn,
-                                wire.T_WAVES,
-                                header,
-                                arrays,
-                            )
-                    except TransportError:
-                        pass  # dropped peer is reported via lost_workers
-            elif ftype == wire.T_STATES:
-                state_lo, state_hi = self.state_bounds[shard]
-                slot_lo, slot_hi = self.slot_bounds[shard]
-                states = arrays["states"]
-                waves = arrays["waves"]
-                if states.shape != (state_hi - state_lo,):
-                    raise ProtocolError(
-                        f"state frame from shard {shard} has wrong shape"
-                    )
-                if waves.shape != (slot_hi - slot_lo,):
-                    raise ProtocolError(
-                        f"wave slice from shard {shard} has wrong shape"
-                    )
-                self.states[state_lo:state_hi] = states
-                self.waves[slot_lo:slot_hi] = waves
-                self.ctrl[sweep_cell(shard)] = int(header["sweeps"])
-                self.ctrl[probe_cell(n, shard)] = 0
-            elif ftype == wire.T_ACK:
-                self.ctrl[ack_cell(n, shard)] = int(header["epoch"])
-            elif ftype == wire.T_ERR:
-                self.err_text = str(header.get("error", ""))
-                self.ctrl[ERR] = shard + 1
-            else:
-                raise ProtocolError(f"unexpected worker frame {ftype}")
+                except TransportError:
+                    pass  # dropped peer is reported via lost_workers
+        elif ftype == wire.T_STATES:
+            state_lo, state_hi = self.state_bounds[shard]
+            slot_lo, slot_hi = self.slot_bounds[shard]
+            states = arrays["states"]
+            waves = arrays["waves"]
+            if states.shape != (state_hi - state_lo,):
+                raise ProtocolError(
+                    f"state frame from shard {shard} has wrong shape"
+                )
+            if waves.shape != (slot_hi - slot_lo,):
+                raise ProtocolError(
+                    f"wave slice from shard {shard} has wrong shape"
+                )
+            self.states[state_lo:state_hi] = states
+            self.waves[slot_lo:slot_hi] = waves
+            self.ctrl[sweep_cell(shard)] = int(header["sweeps"])
+            self.ctrl[probe_cell(n, shard)] = 0
+        elif ftype == wire.T_ACK:
+            self.ctrl[ack_cell(n, shard)] = int(header["epoch"])
+        elif ftype == wire.T_ERR:
+            self.err_text = str(header.get("error", ""))
+            self.ctrl[ERR] = shard + 1
+        else:
+            raise ProtocolError(f"unexpected worker frame {ftype}")
 
     # -- coordinator operations ----------------------------------------
+    def connected_shards(self) -> list:
+        with self.lock:
+            return sorted(self._conns)
+
     def broadcast_ctrl(self, word: int, value: int) -> None:
         with self.lock:
             self.ctrl[word] = int(value)
@@ -915,6 +965,9 @@ class TcpCoordinatorPort(CoordinatorPort):
     def lost_workers(self) -> list:
         return sorted(self._router.lost)
 
+    def connected_shards(self) -> list:
+        return self._router.connected_shards()
+
     def close(self) -> None:
         self._transport.close()
 
@@ -936,6 +989,7 @@ class TcpWorkerPort(WorkerPort):
         shard: int,
         *,
         connect_timeout: float = 30.0,
+        hello_extra: Optional[dict] = None,
     ) -> None:
         try:
             sock = socket.create_connection(
@@ -948,12 +1002,12 @@ class TcpWorkerPort(WorkerPort):
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        self._sock_wlock = threading.Lock()
         self.shard = int(shard)
-        wire.send_message(
-            sock,
-            wire.T_HELLO,
-            {"token": token, "shard": self.shard},
-        )
+        hello = {"token": token, "shard": self.shard}
+        if hello_extra:
+            hello.update(hello_extra)
+        wire.send_message(sock, wire.T_HELLO, hello)
         ftype, header, _arrays, blob = wire.recv_message(sock)
         if ftype == wire.T_ERR:
             raise TransportError(
@@ -985,36 +1039,42 @@ class TcpWorkerPort(WorkerPort):
         reader.start()
 
     def _reader_loop(self) -> None:
-        lo, hi = self._slot_lo, self._slot_hi
         try:
             while True:
-                ftype, header, arrays, _blob = wire.recv_message(self._sock)
-                if ftype == wire.T_WAVES:
-                    slots = arrays["slots"]
-                    if np.any((slots < lo) | (slots >= hi)):
-                        raise ProtocolError(
-                            "wave frame targets slots outside this "
-                            f"shard's range [{lo}, {hi})"
-                        )
-                    self._in_waves[slots - lo] = arrays["values"]
-                elif ftype == wire.T_X0:
-                    x0 = arrays["x0"]
-                    if x0.shape != self._x0.shape:
-                        raise ProtocolError("x0 frame has wrong shape")
-                    self._x0[:] = x0
-                elif ftype == wire.T_CTRL:
-                    word = int(header["word"])
-                    self._mirror[word] = int(header["value"])
-                else:
-                    raise ProtocolError(
-                        f"unexpected coordinator frame {ftype}"
-                    )
+                ftype, header, arrays, blob = wire.recv_message(self._sock)
+                self._apply_frame(ftype, header, arrays, blob)
         except ProtocolError:
             self._mirror[SHUTDOWN] = 1
             raise
         except (TransportError, OSError):
             # a vanished coordinator must release the worker loop
             self._mirror[SHUTDOWN] = 1
+
+    def _apply_frame(self, ftype: int, header, arrays, blob) -> None:
+        """Apply one coordinator frame to local state (overridable).
+
+        The mesh port extends the dispatch with peer-directory frames;
+        the wave/x0/ctrl core is shared verbatim.
+        """
+        lo, hi = self._slot_lo, self._slot_hi
+        if ftype == wire.T_WAVES:
+            slots = arrays["slots"]
+            if np.any((slots < lo) | (slots >= hi)):
+                raise ProtocolError(
+                    "wave frame targets slots outside this "
+                    f"shard's range [{lo}, {hi})"
+                )
+            self._in_waves[slots - lo] = arrays["values"]
+        elif ftype == wire.T_X0:
+            x0 = arrays["x0"]
+            if x0.shape != self._x0.shape:
+                raise ProtocolError("x0 frame has wrong shape")
+            self._x0[:] = x0
+        elif ftype == wire.T_CTRL:
+            word = int(header["word"])
+            self._mirror[word] = int(header["value"])
+        else:
+            raise ProtocolError(f"unexpected coordinator frame {ftype}")
 
     def shutdown_requested(self) -> bool:
         return bool(self._mirror[SHUTDOWN])
@@ -1031,11 +1091,20 @@ class TcpWorkerPort(WorkerPort):
     def wave_snapshot(self) -> np.ndarray:
         return np.array(self._in_waves)
 
+    def _send_hub(self, ftype: int, header, arrays=None) -> None:
+        """Serialized send on the coordinator socket.
+
+        The worker loop, heartbeats and (under fault injection) a
+        delay-flusher thread may all emit hub frames; a lock keeps the
+        frames whole on the wire.
+        """
+        with self._sock_wlock:
+            wire.send_message(self._sock, ftype, header, arrays)
+
     def post_waves(self, out: np.ndarray) -> None:
         self._in_waves[self._loop_local] = out[self._loop_pos]
         for dst, emit_pos, dest_slots in self._outboxes:
-            wire.send_message(
-                self._sock,
+            self._send_hub(
                 wire.T_WAVES,
                 {"dst": dst},
                 {"slots": dest_slots, "values": out[emit_pos]},
@@ -1052,8 +1121,7 @@ class TcpWorkerPort(WorkerPort):
 
     def publish_states(self, states: np.ndarray, sweeps: int) -> None:
         self._sweeps = int(sweeps)
-        wire.send_message(
-            self._sock,
+        self._send_hub(
             wire.T_STATES,
             {"shard": self.shard, "sweeps": self._sweeps},
             {"states": states, "waves": self._in_waves},
@@ -1066,16 +1134,14 @@ class TcpWorkerPort(WorkerPort):
         self._mirror[PROBE] = 0
 
     def ack(self, epoch: int) -> None:
-        wire.send_message(
-            self._sock,
+        self._send_hub(
             wire.T_ACK,
             {"shard": self.shard, "epoch": int(epoch)},
         )
 
     def mark_error(self, detail: str = "") -> None:
         try:
-            wire.send_message(
-                self._sock,
+            self._send_hub(
                 wire.T_ERR,
                 {"shard": self.shard, "error": detail},
             )
@@ -1098,11 +1164,15 @@ def resolve_transport(transport) -> Transport:
         return ShmTransport()
     if transport == "tcp":
         return TcpTransport()
+    if transport == "mesh":
+        from .mesh import MeshTransport  # avoid an import cycle
+
+        return MeshTransport()
     if isinstance(transport, Transport):
         return transport
     raise ConfigurationError(
-        f"unknown transport {transport!r}; use 'shm', 'tcp' or a "
-        "Transport instance"
+        f"unknown transport {transport!r}; use 'shm', 'tcp', 'mesh' "
+        "or a Transport instance"
     )
 
 
@@ -1122,6 +1192,14 @@ def open_worker_port(descriptor) -> tuple:
     if kind == "tcp":
         _, host, tcp_port, token, index = descriptor
         port = TcpWorkerPort(host, tcp_port, token, index)
+        return port.spec, port, port.idle_sleep, port.probe_every
+    if kind == "mesh":
+        from .mesh import MeshWorkerPort  # avoid an import cycle
+
+        _, host, tcp_port, token, index, listen = descriptor
+        port = MeshWorkerPort(
+            host, tcp_port, token, index, listen_port=listen
+        )
         return port.spec, port, port.idle_sleep, port.probe_every
     raise ConfigurationError(f"unknown worker descriptor kind {kind!r}")
 

@@ -44,6 +44,18 @@ T_CTRL = 6
 T_ACK = 7
 T_ERR = 8
 
+# -- frame types used by the mesh transport (worker-to-worker) ---------
+#: direct peer handshake: the first frame on a worker→worker socket,
+#: carrying the shared token and the sender's shard index
+T_PEER_HELLO = 9
+#: hub→workers peer directory: ``{"gen": n, "peers": [[shard, host,
+#: port], ...]}`` — rebroadcast whole on every membership change, so a
+#: late or rejoining worker levels from one frame
+T_PEERS = 10
+#: worker→hub liveness beacon: ``{"shard": i, "sweeps": n}`` — also
+#: refreshes the hub's sweep counters between state publishes
+T_HEARTBEAT = 11
+
 # -- frame types used by the serving front end -------------------------
 T_REQUEST = 16
 T_RESPONSE = 17

@@ -66,7 +66,7 @@ from ..core.convergence import (
     begin_monitor,
     relative_residual,
 )
-from ..errors import ConfigurationError, MultiprocError
+from ..errors import ConfigurationError, MultiprocError, WorkerLostError
 from ..net.transport import (
     EdgeMailbox,
     open_worker_port,
@@ -108,12 +108,17 @@ def _run_worker(spec: ShardSpec, port, idle_sleep: float,
         if epoch == last_epoch:
             time.sleep(idle_sleep)
             continue
-        last_epoch = epoch
         # the coordinator clears STOP *before* bumping the epoch; wait
         # out any stale STOP observation (weakly ordered platforms)
         # instead of acking a zero-sweep epoch
         while port.stop_requested() and not port.shutdown_requested():
             time.sleep(idle_sleep)
+        # re-read after the wait: a worker that (re)joined while a stop
+        # was in flight waited out that *previous* epoch's STOP above,
+        # and must sweep and ack the epoch the coordinator is actually
+        # running, not the one it observed on join
+        epoch = port.current_epoch()
+        last_epoch = epoch
         kern.load_x0(port.read_x0())
         # publish the zero-sweep state so early coordinator probes see
         # x0-consistent values instead of stale zeros
@@ -157,15 +162,21 @@ def _run_worker(spec: ShardSpec, port, idle_sleep: float,
         port.ack(epoch)
 
 
-def _worker_main(descriptor) -> None:
+def _worker_main(descriptor, faults=None) -> None:
     """Entry point of one shard worker (module-level for spawn).
 
     Opens a worker port from the transport descriptor and runs the
-    shard loop.  Any exception marks the error cell (or sends an error
-    frame) before exiting, so the coordinator fails fast instead of
-    hanging on acks.
+    shard loop.  *faults* is an optional
+    :class:`~repro.net.faults.ShardFaults` script armed on the port —
+    the chaos-testing hook.  Any exception marks the error cell (or
+    sends an error frame) before exiting, so the coordinator fails
+    fast instead of hanging on acks.
     """
     spec, port, idle_sleep, probe_every = open_worker_port(descriptor)
+    if faults is not None:
+        from ..net.faults import apply_faults
+
+        port = apply_faults(port, faults)
     try:
         _run_worker(spec, port, idle_sleep, probe_every)
     except Exception:  # pragma: no cover - exercised via error tests
@@ -230,15 +241,34 @@ class MultiprocDtmRunner:
         Seconds to wait for workers to acknowledge epoch transitions
         before declaring them lost.
     transport:
-        ``"shm"`` (default), ``"tcp"``, or a
+        ``"shm"`` (default), ``"tcp"``, ``"mesh"``, or a
         :class:`~repro.net.transport.Transport` instance — the fabric
         waves/states/control travel over.  ``"shm"`` requires one
         machine; ``"tcp"`` works across address spaces and, with a
-        bound LAN address, across machines.
+        bound LAN address, across machines; ``"mesh"`` adds direct
+        worker-to-worker neighbor sockets and failure recovery.
     spawn_workers:
-        Spawn one local process per shard (default).  With a TCP
-        transport you may pass ``False`` and attach workers yourself
-        (``python -m repro.net.worker``) — e.g. from other machines.
+        Spawn one local process per shard (default).  With a TCP or
+        mesh transport you may pass ``False`` and attach workers
+        yourself (``python -m repro.net.worker``) — e.g. from other
+        machines.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan` armed on the
+        spawned workers — the deterministic chaos-testing hook.
+        Respawned workers never inherit faults (each script fires
+        against the original incarnation only).
+    recover:
+        Recover lost workers (respawn local ones with a fresh state
+        snapshot; wait for external ones to reconnect) instead of
+        aborting the solve.  Default: whatever the transport supports
+        (``True`` for mesh, ``False`` for shm/tcp).
+    max_recoveries:
+        Worker losses tolerated over the runner's lifetime before
+        :class:`~repro.errors.WorkerLostError` is raised.
+    recovery_timeout:
+        Seconds a lost worker may take to rejoin (respawn + register,
+        or external reconnect) before the solve is abandoned with
+        :class:`~repro.errors.WorkerLostError`.
 
     Workers persist across :meth:`solve` calls (epochs), which is what
     makes a warm runner a *serving* unit: right-hand-side swaps cost
@@ -250,7 +280,11 @@ class MultiprocDtmRunner:
                  mp_context: str = "spawn",
                  ack_timeout: float = 30.0,
                  transport="shm",
-                 spawn_workers: bool = True) -> None:
+                 spawn_workers: bool = True,
+                 faults=None,
+                 recover: Optional[bool] = None,
+                 max_recoveries: int = 8,
+                 recovery_timeout: float = 30.0) -> None:
         if plan.mode != "dtm":
             raise ConfigurationError(
                 f"MultiprocDtmRunner needs a dtm-mode plan, got "
@@ -268,16 +302,27 @@ class MultiprocDtmRunner:
         self.poll_interval = float(poll_interval)
         self.idle_sleep = float(idle_sleep)
         self.ack_timeout = float(ack_timeout)
+        if max_recoveries < 0:
+            raise ConfigurationError("max_recoveries must be >= 0")
+        if recovery_timeout <= 0:
+            raise ConfigurationError("recovery_timeout must be positive")
         self._last_waves: Optional[np.ndarray] = None
         self.n_solves = 0
         self._closed = False
         self._procs: list = []
         self._epoch = 0
+        self.faults = faults
+        self.max_recoveries = int(max_recoveries)
+        self.recovery_timeout = float(recovery_timeout)
+        self.n_recoveries = 0
+        self._recovering: dict = {}  # shard -> rejoin deadline
+        self._spawn_workers_flag = bool(spawn_workers)
 
         if self.shards == 1:
             self._session: Optional[SolverSession] = SolverSession(plan)
             self.specs: list[ShardSpec] = []
             self.transport = None
+            self.recover = False
             return
         self._session = None
         self.specs = extract_shards(plan, self.shards)
@@ -295,6 +340,13 @@ class MultiprocDtmRunner:
             if self._n_states else np.zeros(0, dtype=np.int64)
         self._ctx = get_context(mp_context)
         self.transport = resolve_transport(transport)
+        self.recover = (bool(self.transport.supports_recovery)
+                        if recover is None else bool(recover))
+        if faults is not None and not spawn_workers:
+            raise ConfigurationError(
+                "a FaultPlan arms spawned workers; with "
+                "spawn_workers=False script faults on the external "
+                "workers themselves")
         self._port = self.transport.bind(
             self.specs, n_slots=self._n_slots, n_states=self._n_states,
             idle_sleep=self.idle_sleep, probe_every=self.probe_every)
@@ -302,16 +354,22 @@ class MultiprocDtmRunner:
             self._spawn_workers()
 
     # -- lifecycle ------------------------------------------------------
+    def _spawn_one(self, index: int, faults=None):
+        descriptor = self.transport.worker_descriptor(index)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(descriptor, faults),
+            name=f"dtm-shard-{index}",
+            daemon=True)
+        proc.start()
+        return proc
+
     def _spawn_workers(self) -> None:
         for spec in self.specs:
-            descriptor = self.transport.worker_descriptor(spec.index)
-            proc = self._ctx.Process(
-                target=_worker_main,
-                args=(descriptor,),
-                name=f"dtm-shard-{spec.index}",
-                daemon=True)
-            proc.start()
-            self._procs.append(proc)
+            shard_faults = (self.faults.for_shard(spec.index)
+                            if self.faults is not None else None)
+            self._procs.append(
+                self._spawn_one(spec.index, shard_faults))
 
     def close(self) -> None:
         """Shut the worker pool down and release the transport."""
@@ -337,6 +395,10 @@ class MultiprocDtmRunner:
         self.close()
 
     # -- health ---------------------------------------------------------
+    def _dead_shards(self) -> set:
+        return {i for i, p in enumerate(self._procs)
+                if not p.is_alive()}
+
     def _check_workers(self) -> None:
         failed = self._port.failed_shard()
         if failed:
@@ -346,24 +408,87 @@ class MultiprocDtmRunner:
             raise MultiprocError(
                 f"shard worker {failed - 1} raised{suffix}; the runner "
                 "cannot continue")
-        dead = [p.name for p in self._procs if not p.is_alive()]
+        dead = self._dead_shards()
+        lost = set(self._port.lost_workers())
+        stale = set(self._port.stale_workers())
+        if self.recover:
+            self._maintain_recovery(dead | lost | stale)
+            return
         if dead:
+            names = sorted(self._procs[i].name for i in dead)
             raise MultiprocError(
-                f"worker processes died without error marker: {dead} "
+                f"worker processes died without error marker: {names} "
                 "(killed or crashed hard); restart the runner")
-        lost = self._port.lost_workers()
         if lost:
             raise MultiprocError(
                 f"shard connections dropped without error marker: "
-                f"{lost}; restart the runner")
+                f"{sorted(lost)}; restart the runner")
+        if stale:
+            raise MultiprocError(
+                f"shard workers went silent: {sorted(stale)}; "
+                "restart the runner")
+
+    # -- failure recovery -----------------------------------------------
+    def _maintain_recovery(self, troubled: set) -> None:
+        """Advance the per-shard recovery state machine.
+
+        A shard enters recovery when it is dead (waitpid), lost
+        (dropped control socket) or stale (silent heartbeats): local
+        workers are terminated and respawned **without faults**;
+        external workers are given until their deadline to reconnect
+        on their own.  A shard leaves recovery when it is healthy and
+        registered again — the hub's levelling snapshot already
+        re-seeded it from the coordinator's mirrors.  While a shard is
+        recovering, :meth:`_wait_acks` forgives its ack and the gather
+        uses its last published state; the stopping decision is still
+        re-verified on the gathered state, so a loss can cost extra
+        rounds, never a wrong answer.
+        """
+        now = time.perf_counter()
+        connected = self._port.connected_shards()
+        connected = (set(range(self.shards)) if connected is None
+                     else set(connected))
+        for shard in list(self._recovering):
+            if shard not in troubled and shard in connected:
+                del self._recovering[shard]
+                continue
+            if now > self._recovering[shard]:
+                raise WorkerLostError(
+                    f"shard {shard} did not rejoin within "
+                    f"{self.recovery_timeout:.0f}s of being lost")
+        for shard in sorted(troubled):
+            if shard in self._recovering:
+                continue
+            self.n_recoveries += 1
+            if self.n_recoveries > self.max_recoveries:
+                raise WorkerLostError(
+                    f"shard {shard} lost after the recovery budget "
+                    f"({self.max_recoveries}) was exhausted")
+            self._recovering[shard] = now + self.recovery_timeout
+            if shard < len(self._procs):
+                proc = self._procs[shard]
+                if proc.is_alive():  # stale/hung, not dead: replace it
+                    proc.terminate()
+                proc.join(timeout=5.0)
+                self._procs[shard] = self._spawn_one(shard)
 
     def _wait_acks(self, epoch: int) -> None:
         deadline = time.perf_counter() + self.ack_timeout
         pending = set(range(self.shards))
         while pending:
             self._check_workers()
+            forgiven = set()
+            if self.recover:
+                # shards mid-recovery cannot ack; shards that joined
+                # while this stop was in flight idle-wait for the next
+                # epoch and must not be waited on either — their last
+                # published states serve the gather, and the stopping
+                # decision is re-verified against it
+                forgiven = (set(self._recovering)
+                            | self._port.stop_joiners())
             acks = self._port.acks()
-            done = {i for i in pending if int(acks[i]) >= epoch}
+            done = {i for i in pending
+                    if int(acks[i]) >= epoch or i in forgiven}
             pending -= done
             if not pending:
                 return

@@ -228,3 +228,56 @@ class TestShutdown:
             with pytest.raises(ConfigurationError):
                 client.ping()
         server.close()
+
+
+class TestClientDeadline:
+    """ISSUE 8 regression: a coordinator that dies mid-solve must not
+    hang the client forever — the configurable deadline surfaces it as
+    :class:`RemoteError` and closes the (now unusable) connection."""
+
+    @pytest.fixture()
+    def silent_server(self):
+        """Accepts connections, then never responds (a dead solve)."""
+        import socket
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        held = []
+
+        def accept_loop():
+            while True:
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                held.append(conn)  # keep it open, say nothing
+
+        t = threading.Thread(target=accept_loop, daemon=True)
+        t.start()
+        try:
+            yield listener.getsockname()
+        finally:
+            listener.close()
+            for conn in held:
+                conn.close()
+            t.join(timeout=5.0)
+
+    def test_client_timeout_raises_remote_error(self, silent_server):
+        client = DtmClient(silent_server, timeout=0.5)
+        with pytest.raises(RemoteError, match="no response"):
+            client.ping()
+        # the half-dead connection was closed, not left to desync
+        with pytest.raises(ConfigurationError):
+            client.ping()
+
+    def test_per_solve_deadline_override(self, silent_server):
+        import time
+
+        client = DtmClient(silent_server, timeout=300.0)
+        t0 = time.monotonic()
+        with pytest.raises(RemoteError, match="died mid-solve"):
+            client.solve("some-plan", np.ones(4), deadline=0.5)
+        assert time.monotonic() - t0 < 10.0
+        client.close()
