@@ -3,15 +3,16 @@
 Compares fresh runs of :mod:`benchmarks.bench_kernel_micro`,
 :mod:`benchmarks.bench_plan_reuse`, :mod:`benchmarks.bench_multiproc`,
 :mod:`benchmarks.bench_net`, :mod:`benchmarks.bench_mesh`,
-:mod:`benchmarks.bench_planbuild` and
-:mod:`benchmarks.bench_planstore` (or previously written JSONs passed
+:mod:`benchmarks.bench_planbuild`,
+:mod:`benchmarks.bench_planstore` and :mod:`benchmarks.bench_obs`
+(or previously written JSONs passed
 via ``--fresh`` / ``--fresh-plan`` / ``--fresh-multiproc`` /
 ``--fresh-net`` / ``--fresh-mesh`` / ``--fresh-planbuild`` /
-``--fresh-planstore``)
+``--fresh-planstore`` / ``--fresh-obs``)
 against the committed ``benchmarks/BENCH_kernel.json``,
 ``BENCH_plan.json``, ``BENCH_multiproc.json``, ``BENCH_net.json``,
-``BENCH_mesh.json``, ``BENCH_planbuild.json`` and
-``BENCH_planstore.json``.  A case
+``BENCH_mesh.json``, ``BENCH_planbuild.json``,
+``BENCH_planstore.json`` and ``BENCH_obs.json``.  A case
 **regresses** when its speedup
 ratio — a machine-relative number, robust on hosts slower than the
 one that wrote the baseline — drops by more than ``--tolerance``
@@ -33,7 +34,11 @@ unknown build's ``vs_dense320 > 1`` demonstration), and the planstore
 bench's mmap-load-vs-rebuild ratio (headline ``speedup_at_320``,
 floored by the baseline's ``speedup_floor`` of 10x, plus the
 warm-restart case, which must beat a cold replan with exactly one
-disk load and a bitwise-identical solve).
+disk load and a bitwise-identical solve), and the obs bench's
+**disabled-path telemetry overhead** on the fleet sweep (headline
+``overhead_disabled_pct_at_256``, capped by the baseline's absolute
+``overhead_ceiling_pct`` of 2% — observability must cost nothing
+when off).
 Absolute kernel sweep times exceeding the baseline print warnings
 only, unless ``--strict-time`` promotes them to failures.  Exit code
 0 = pass, 1 = regression, 2 = usage/baseline problems.
@@ -79,6 +84,8 @@ DEFAULT_PLANBUILD_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_planbuild.json")
 DEFAULT_PLANSTORE_BASELINE = os.path.join(_ROOT, "benchmarks",
                                           "BENCH_planstore.json")
+DEFAULT_OBS_BASELINE = os.path.join(_ROOT, "benchmarks",
+                                    "BENCH_obs.json")
 
 #: bench script that regenerates each baseline, for error messages
 _REGEN = {
@@ -89,6 +96,7 @@ _REGEN = {
     "BENCH_mesh.json": "benchmarks/bench_mesh.py",
     "BENCH_planbuild.json": "benchmarks/bench_planbuild.py",
     "BENCH_planstore.json": "benchmarks/bench_planstore.py",
+    "BENCH_obs.json": "benchmarks/bench_obs.py",
 }
 
 
@@ -487,6 +495,49 @@ def compare_planstore(baseline: dict, fresh: dict, tolerance: float, *,
     return problems, warnings
 
 
+def compare_obs(baseline: dict, fresh: dict, *,
+                require_all: bool = True) -> tuple[list[str], list[str]]:
+    """Compare a fresh telemetry-overhead record against the baseline.
+
+    The failing signal is the headline **disabled-path overhead** at
+    the largest case (``overhead_disabled_pct_at_256``) exceeding the
+    baseline's absolute ``overhead_ceiling_pct`` (2%, the ISSUE 10
+    acceptance criterion: observability must cost nothing when off).
+    Both sweep times come from the same run on the same machine, so
+    the percentage is host-independent; smaller cases are advisory
+    only — on O(60 µs) sweeps allocation luck swings the ratio past
+    any sane ceiling in either direction.  A fresh record lacking the
+    headline is a failure, never a silent pass.
+    """
+    problems: list[str] = []
+    warnings: list[str] = []
+    ceiling = float(baseline.get("overhead_ceiling_pct", 2.0))
+    base_cases = {c["n_parts"]: c for c in baseline.get("cases", [])}
+    fresh_cases = {c["n_parts"]: c for c in fresh.get("cases", [])}
+    if not fresh_cases:
+        problems.append("obs fresh record has no cases")
+        return problems, warnings
+    headline = max(base_cases) if base_cases else None
+    for n_parts, _base in sorted(base_cases.items()):
+        cur = fresh_cases.get(n_parts)
+        if cur is None:
+            msg = f"obs P={n_parts}: case missing from fresh run"
+            (problems if require_all else warnings).append(msg)
+            continue
+        overhead = cur.get("overhead_disabled_pct")
+        if overhead is None:
+            problems.append(
+                f"obs P={n_parts}: fresh case lacks "
+                "overhead_disabled_pct")
+            continue
+        if overhead > ceiling:
+            msg = (f"obs P={n_parts}: disabled-path overhead "
+                   f"{overhead:+.2f}% exceeds the {ceiling:.0f}% "
+                   "ceiling (telemetry is no longer free when off)")
+            (problems if n_parts == headline else warnings).append(msg)
+    return problems, warnings
+
+
 class _UsageError(Exception):
     """A problem that should exit 2, not read as a regression."""
 
@@ -498,7 +549,7 @@ def _speedup_summary(record: dict) -> dict:
     out = {k: record[k]
            for k in ("speedup_at_256", "speedup_at_64", "speedup_at_4",
                      "tcp_vs_shm_at_2", "mesh_vs_router_at_4",
-                     "speedup_at_320")
+                     "speedup_at_320", "overhead_disabled_pct_at_256")
            if record.get(k) is not None}
     if isinstance(record.get("large"), dict) \
             and record["large"].get("vs_dense320") is not None:
@@ -511,7 +562,9 @@ def _speedup_summary(record: dict) -> dict:
         out["recovery_overhead"] = record["recovery"]["overhead"]
     out["cases"] = [{k: c.get(k)
                      for k in ("n_parts", "nx", "speedup", "speedup_at_4",
-                               "tcp_vs_shm", "mesh_vs_router")
+                               "tcp_vs_shm", "mesh_vs_router",
+                               "overhead_disabled_pct",
+                               "overhead_enabled_pct")
                      if c.get(k) is not None}
                     for c in record.get("cases", [])]
     return out
@@ -523,9 +576,10 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                   net_fresh: dict, mesh_fresh: dict,
                   planbuild_fresh: dict,
                   planstore_fresh: dict,
+                  obs_fresh: dict,
                   error: str = "") -> None:
     report = {
-        "schema": "check_bench-report/6",
+        "schema": "check_bench-report/7",
         "pass": exit_code == 0,
         "exit_code": exit_code,
         "error": error,
@@ -555,6 +609,8 @@ def _write_report(path: str, *, exit_code: int, problems, warnings,
                       "record": planbuild_fresh},
         "planstore": {"measured": _speedup_summary(planstore_fresh),
                       "record": planstore_fresh},
+        "obs": {"measured": _speedup_summary(obs_fresh),
+                "record": obs_fresh},
     }
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -675,6 +731,17 @@ def _load_or_run_planstore(args, baseline: dict) -> dict:
                      out="")
 
 
+def _load_or_run_obs(args, baseline: dict) -> dict:
+    if args.fresh_obs:
+        return _load_fresh(args.fresh_obs)
+    from bench_obs import QUICK_REPEATS, QUICK_SWEEPS, run_bench
+
+    parts = tuple(sorted(c["n_parts"] for c in baseline.get("cases", [])))
+    kwargs = {"sweeps": QUICK_SWEEPS, "repeats": QUICK_REPEATS} \
+        if args.quick else {}
+    return run_bench(parts or (64, 256), out="", **kwargs)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -687,6 +754,7 @@ def main(argv=None) -> int:
                     default=DEFAULT_PLANBUILD_BASELINE)
     ap.add_argument("--planstore-baseline",
                     default=DEFAULT_PLANSTORE_BASELINE)
+    ap.add_argument("--obs-baseline", default=DEFAULT_OBS_BASELINE)
     ap.add_argument("--fresh", default=None,
                     help="pre-computed fresh kernel JSON; omit to re-run")
     ap.add_argument("--fresh-plan", default=None,
@@ -704,6 +772,9 @@ def main(argv=None) -> int:
     ap.add_argument("--fresh-planstore", default=None,
                     help="pre-computed fresh planstore JSON; omit to "
                     "re-run")
+    ap.add_argument("--fresh-obs", default=None,
+                    help="pre-computed fresh obs-overhead JSON; omit "
+                    "to re-run")
     ap.add_argument("--skip-plan", action="store_true",
                     help="skip the plan baseline")
     ap.add_argument("--skip-kernel", action="store_true",
@@ -718,6 +789,8 @@ def main(argv=None) -> int:
                     help="skip the plan-construction baseline")
     ap.add_argument("--skip-planstore", action="store_true",
                     help="skip the persistent-plan-store baseline")
+    ap.add_argument("--skip-obs", action="store_true",
+                    help="skip the telemetry-overhead baseline")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression (default 0.20)")
     ap.add_argument("--plan-tolerance", type=float, default=0.50,
@@ -770,6 +843,7 @@ def main(argv=None) -> int:
     mesh_fresh: dict = {}
     planbuild_fresh: dict = {}
     planstore_fresh: dict = {}
+    obs_fresh: dict = {}
 
     def report(code: int, error: str = "") -> int:
         if args.json_report:
@@ -781,6 +855,7 @@ def main(argv=None) -> int:
                           net_fresh=net_fresh, mesh_fresh=mesh_fresh,
                           planbuild_fresh=planbuild_fresh,
                           planstore_fresh=planstore_fresh,
+                          obs_fresh=obs_fresh,
                           error=error)
         return code
 
@@ -853,6 +928,15 @@ def main(argv=None) -> int:
             warnings += w
             checked.append(os.path.relpath(args.planstore_baseline,
                                            _ROOT))
+
+        if not args.skip_obs:
+            obs_baseline = _require_baseline(args.obs_baseline)
+            obs_fresh = _load_or_run_obs(args, obs_baseline)
+            p, w = compare_obs(obs_baseline, obs_fresh,
+                               require_all=not args.quick)
+            problems += p
+            warnings += w
+            checked.append(os.path.relpath(args.obs_baseline, _ROOT))
     except _UsageError as exc:
         print(str(exc), file=sys.stderr)
         return report(2, error=str(exc))

@@ -132,6 +132,8 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
               shards: int = 2,
               wall_budget: float = 60.0,
               transport: str = "shm",
+              obs=None,
+              trace=None,
               **sim_kwargs) -> SolveResult:
     """Solve an SPD system with asynchronous DTM on a simulated machine.
 
@@ -196,6 +198,12 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
     from the coordinator's last published state — see
     :class:`repro.net.MeshTransport` and PERFORMANCE.md → "Worker
     mesh & failure recovery").
+
+    ``obs=True`` (or ``REPRO_OBS=1``) collects solve/sweep/traffic
+    metrics into a registry (see :mod:`repro.obs`); ``trace=True``
+    attaches a per-solve :class:`~repro.obs.SolveTrace` timeline to
+    the result as ``result.trace``.  Both default to off and cost
+    nothing when off; see PERFORMANCE.md → "Telemetry".
     """
     if backend not in ("sim", "multiproc"):
         raise ConfigurationError(
@@ -246,15 +254,16 @@ def solve_dtm(a, b=None, *, n_subdomains: int = 4,
         from .runtime.multiproc import MultiprocDtmRunner
 
         with MultiprocDtmRunner(plan, shards=shards,
-                                transport=transport) as runner:
+                                transport=transport, obs=obs) as runner:
             return runner.solve(
                 b_vec, t_max=t_max, tol=tol, stopping=stopping,
-                wall_budget=wall_budget,
+                wall_budget=wall_budget, trace=trace,
                 sample_interval=run_kwargs.get("sample_interval"),
                 max_events=run_kwargs.get("max_events"))
-    session = SolverSession(plan, use_fleet=use_fleet, **sim_kwargs)
+    session = SolverSession(plan, use_fleet=use_fleet, obs=obs,
+                            **sim_kwargs)
     return session.solve(b_vec, t_max=t_max, tol=tol, stopping=stopping,
-                         **run_kwargs)
+                         trace=trace, **run_kwargs)
 
 
 def solve_vtm_system(a, b=None, *, n_subdomains: int = 4, impedance=1.0,

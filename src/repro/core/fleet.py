@@ -179,6 +179,21 @@ class FleetKernel:
         self._build_groups()
         self._views: Optional[list[FleetKernelView]] = None
 
+    #: class-level default so forked kernels (object.__new__ copies in
+    #: :meth:`fork`) inherit the disabled state without extra work
+    _c_solves = None
+
+    def install_obs(self, registry) -> None:
+        """Count subdomain solves on *registry* (hot path: guarded).
+
+        Left uninstalled (the default), the sweep loop pays one
+        attribute check per batch — the near-zero disabled cost the
+        telemetry layer promises.
+        """
+        self._c_solves = registry.counter(
+            "repro_fleet_solves_total",
+            "subdomain solves executed by the in-process fleet")
+
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
@@ -239,6 +254,8 @@ class FleetKernel:
                         g.W3, wv[:, :, None])[:, :, 0]
             self.n_solves += 1
             self.dirty[:] = False
+            if self._c_solves is not None:
+                self._c_solves.inc(self.n_parts)
             return
         parts = self._normalize_parts(active_mask)
         if parts.size == 0:
@@ -257,6 +274,8 @@ class FleetKernel:
                     g.W3[pos], wv[:, :, None])[:, :, 0]
         self.n_solves[parts] += 1
         self.dirty[parts] = False
+        if self._c_solves is not None:
+            self._c_solves.inc(int(parts.size))
 
     def _solve_part(self, q: int) -> None:
         """Single-subdomain resolve (executor path; GEMV on slices)."""
@@ -269,6 +288,8 @@ class FleetKernel:
             self.u[p0:p1] = loc.u0 + loc.W @ self.waves[s0:s1]
         self.n_solves[q] += 1
         self.dirty[q] = False
+        if self._c_solves is not None:
+            self._c_solves.inc()
 
     # ------------------------------------------------------------------
     # Table 1 step 3.2: emit new boundary conditions

@@ -301,6 +301,22 @@ class DtmClient:
         self._require_ok(obj)
         return {"server": obj.get("stats"), "store": obj.get("store")}
 
+    def metrics(self, *, as_text: bool = False):
+        """The server's merged fleet-wide metrics snapshot.
+
+        Returns a :class:`~repro.obs.MetricsSnapshot` — the server's
+        own registry merged with the latest snapshot from every shard
+        worker process — or, with ``as_text=True``, the server-side
+        Prometheus text rendering ready to expose to a scraper.
+        """
+        obj, _, _ = self._request({"op": "metrics"})
+        self._require_ok(obj)
+        if as_text:
+            return obj["text"]
+        from ..obs import MetricsSnapshot
+
+        return MetricsSnapshot.from_jsonable(obj["metrics"])
+
     def shutdown(self) -> None:
         """Ask the server to shut down, then close this client."""
         obj, _, _ = self._request({"op": "shutdown"})

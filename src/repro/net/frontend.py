@@ -42,6 +42,7 @@ import numpy as np
 
 from ..errors import PlanArtifactError, TransportError
 from ..linalg.sparse import CsrMatrix
+from ..obs import render_prometheus
 from ..plan import plan_from_bytes, plan_to_bytes
 from ..runtime.server import ServeRequest
 from . import wire
@@ -149,6 +150,8 @@ class _Connection:
                         "store": self.server.store.stats(),
                     },
                 )
+            elif op == "metrics":
+                self._handle_metrics()
             elif op == "ping":
                 self._reply({"ok": True, "op": "ping"})
             elif op == "shutdown":
@@ -165,6 +168,28 @@ class _Connection:
                         "error": f"ProtocolError: unknown op {op!r}",
                     },
                 )
+
+    def _handle_metrics(self) -> None:
+        """Serve the fleet-wide merged snapshot + its text rendering."""
+        try:
+            snap = self.server.metrics_snapshot()
+        except Exception as exc:
+            self._reply(
+                {
+                    "ok": False,
+                    "op": "metrics",
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return
+        self._reply(
+            {
+                "ok": True,
+                "op": "metrics",
+                "metrics": snap.to_jsonable(),
+                "text": render_prometheus(snap),
+            },
+        )
 
     def _build_solve(self, obj: dict, arrays: dict):
         """Decode one solve request; returns ``(request, error)``."""

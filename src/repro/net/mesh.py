@@ -143,6 +143,9 @@ class _MeshHub(_Router):
         self.last_seen[shard] = time.monotonic()
         if ftype == wire.T_HEARTBEAT:
             self.ctrl[sweep_cell(shard)] = int(header.get("sweeps", 0))
+            obs = header.get("obs")
+            if obs is not None:
+                self.worker_obs[shard] = obs
             return
         super()._handle_frame(conn, shard, ftype, header, arrays, blob)
 
@@ -236,6 +239,14 @@ class MeshWorkerPort(TcpWorkerPort):
         self._hb_every = float(heartbeat_every)
         self._hb_last = 0.0
         self._faults = None
+        # mesh counters stay None until install_obs; the dialer and
+        # accept threads start before any registry can be attached
+        self._c_frames = None
+        self._c_dropped = None
+        self._c_delayed = None
+        self._c_fallback = None
+        self._c_dials = None
+        self._c_dial_failures = None
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((listen_host, int(listen_port)))
@@ -259,6 +270,39 @@ class MeshWorkerPort(TcpWorkerPort):
             target=self._dial_loop, name="dtm-mesh-dial", daemon=True
         )
         dialer.start()
+
+    def install_obs(self, registry) -> None:
+        """Mesh data-path counters on top of the base worker set.
+
+        ``frames`` counts outbound wave frames before fault injection,
+        so scripted drop quotas are verifiable against it;
+        ``fallback`` counts frames routed through the hub while no
+        direct peer socket was up; ``dials``/``dial_failures`` expose
+        the backoff dialer's churn.
+        """
+        super().install_obs(registry)
+        shard = str(self.shard)
+
+        def counter(name, help_text):
+            return registry.counter(name, help_text, shard=shard)
+
+        self._c_frames = counter(
+            "repro_mesh_frames_total",
+            "outbound neighbor wave frames (before fault injection)")
+        self._c_dropped = counter(
+            "repro_mesh_frames_dropped_total",
+            "wave frames dropped by scripted fault injection")
+        self._c_delayed = counter(
+            "repro_mesh_frames_delayed_total",
+            "wave frames delayed by scripted fault injection")
+        self._c_fallback = counter(
+            "repro_mesh_fallback_total",
+            "wave frames sent via the hub for lack of a peer socket")
+        self._c_dials = counter(
+            "repro_mesh_dials_total", "peer dial attempts")
+        self._c_dial_failures = counter(
+            "repro_mesh_dial_failures_total",
+            "peer dial attempts that failed (backoff applied)")
 
     # -- hub frames -----------------------------------------------------
     def _apply_frame(self, ftype: int, header, arrays, blob) -> None:
@@ -355,6 +399,8 @@ class MeshWorkerPort(TcpWorkerPort):
                 next_at, delay = backoff.get(dst, (0.0, 0.05))
                 if now < next_at:
                     continue
+                if self._c_dials is not None:
+                    self._c_dials.inc()
                 try:
                     sock = socket.create_connection(addr, timeout=5.0)
                     sock.settimeout(None)
@@ -367,6 +413,8 @@ class MeshWorkerPort(TcpWorkerPort):
                         {"token": self._token, "shard": self.shard},
                     )
                 except (OSError, TransportError):
+                    if self._c_dial_failures is not None:
+                        self._c_dial_failures.inc()
                     backoff[dst] = (
                         now + delay,
                         min(delay * 2.0, 2.0),
@@ -399,6 +447,8 @@ class MeshWorkerPort(TcpWorkerPort):
             except TransportError:
                 self._retire_peer(dst)
                 self._dial_wakeup.set()
+        if self._c_fallback is not None:
+            self._c_fallback.inc()
         self._send_hub(
             wire.T_WAVES,
             {"dst": int(dst)},
@@ -409,11 +459,17 @@ class MeshWorkerPort(TcpWorkerPort):
         self._in_waves[self._loop_local] = out[self._loop_pos]
         faults = self._faults
         for dst, emit_pos, dest_slots in self._outboxes:
+            if self._c_frames is not None:
+                self._c_frames.inc()
             if faults is not None:
                 action, delay_s = faults.wave_action(dst)
                 if action == "drop":
+                    if self._c_dropped is not None:
+                        self._c_dropped.inc()
                     continue
                 if action == "delay":
+                    if self._c_delayed is not None:
+                        self._c_delayed.inc()
                     self._delay_frame(
                         dst, dest_slots, out[emit_pos].copy(), delay_s
                     )
@@ -467,11 +523,11 @@ class MeshWorkerPort(TcpWorkerPort):
         if now - self._hb_last < self._hb_every:
             return
         self._hb_last = now
+        header = {"shard": self.shard, "sweeps": self._sweeps}
+        if self._obs is not None:
+            header["obs"] = self._obs.snapshot().to_jsonable()
         try:
-            self._send_hub(
-                wire.T_HEARTBEAT,
-                {"shard": self.shard, "sweeps": self._sweeps},
-            )
+            self._send_hub(wire.T_HEARTBEAT, header)
         except TransportError:
             pass  # the hub reader thread raises SHUTDOWN for the loop
 
@@ -526,6 +582,7 @@ class MeshTransport(TcpTransport):
         n_states: int,
         idle_sleep: float,
         probe_every: int,
+        obs_enabled: bool = False,
     ) -> MeshCoordinatorPort:
         if self._router is not None:
             raise ConfigurationError("MeshTransport is already bound")
@@ -538,6 +595,7 @@ class MeshTransport(TcpTransport):
             n_states=n_states,
             idle_sleep=idle_sleep,
             probe_every=probe_every,
+            obs_enabled=obs_enabled,
             liveness_timeout=self.liveness_timeout,
         )
         hub.start()

@@ -186,12 +186,32 @@ class CoordinatorPort:
         """
         return set()
 
+    def install_obs(self, registry) -> None:
+        """Attach a metric registry for coordinator-side counters."""
+
+    def worker_metrics(self) -> dict:
+        """Latest worker metric snapshots, ``shard -> jsonable``.
+
+        Socket transports collect these from the snapshots workers
+        piggyback on their state/heartbeat frames; the shm fabric has
+        no byte channel and reports none (per-shard sweep progress is
+        synthesized coordinator-side from ``sweep_counts`` instead).
+        """
+        return {}
+
     def close(self) -> None:
         raise NotImplementedError
 
 
 class WorkerPort:
     """Worker-side handle: everything one shard loop touches."""
+
+    #: True when the coordinator asked workers to run with telemetry
+    #: on (socket transports level the flag in the SPEC frame)
+    obs_enabled = False
+
+    def install_obs(self, registry) -> None:
+        """Attach a worker-side metric registry (transport counters)."""
 
     def shutdown_requested(self) -> bool:
         raise NotImplementedError
@@ -253,6 +273,7 @@ class Transport:
         n_states: int,
         idle_sleep: float,
         probe_every: int,
+        obs_enabled: bool = False,
     ) -> CoordinatorPort:
         raise NotImplementedError
 
@@ -321,6 +342,7 @@ class ShmTransport(Transport):
         n_states: int,
         idle_sleep: float,
         probe_every: int,
+        obs_enabled: bool = False,
     ) -> "ShmCoordinatorPort":
         if self._finalizer is not None:
             raise ConfigurationError("ShmTransport is already bound")
@@ -556,8 +578,15 @@ class _Router:
         n_states: int,
         idle_sleep: float,
         probe_every: int,
+        obs_enabled: bool = False,
     ) -> None:
         self.token = token
+        self.obs_enabled = bool(obs_enabled)
+        #: shard -> latest jsonable metric snapshot the worker
+        #: piggybacked on a state/heartbeat frame
+        self.worker_obs: dict = {}
+        self._c_rx_waves = None
+        self._c_rx_states = None
         self.n_shards = len(specs)
         self.n_slots = int(n_slots)
         self.n_states = int(n_states)
@@ -651,6 +680,7 @@ class _Router:
                 "n_states": self.n_states,
                 "idle_sleep": self.idle_sleep,
                 "probe_every": self.probe_every,
+                "obs": self.obs_enabled,
             }
             with wlock:
                 wire.send_message(
@@ -710,6 +740,8 @@ class _Router:
         """
         n = self.n_shards
         if ftype == wire.T_WAVES:
+            if self._c_rx_waves is not None:
+                self._c_rx_waves.inc()
             dst = int(header["dst"])
             if not 0 <= dst < n:
                 raise ProtocolError(f"wave frame to bad shard {dst}")
@@ -764,6 +796,11 @@ class _Router:
             self.waves[slot_lo:slot_hi] = waves
             self.ctrl[sweep_cell(shard)] = int(header["sweeps"])
             self.ctrl[probe_cell(n, shard)] = 0
+            if self._c_rx_states is not None:
+                self._c_rx_states.inc()
+            obs = header.get("obs")
+            if obs is not None:
+                self.worker_obs[shard] = obs
         elif ftype == wire.T_ACK:
             self.ctrl[ack_cell(n, shard)] = int(header["epoch"])
         elif ftype == wire.T_ERR:
@@ -773,6 +810,17 @@ class _Router:
             raise ProtocolError(f"unexpected worker frame {ftype}")
 
     # -- coordinator operations ----------------------------------------
+    def install_obs(self, registry) -> None:
+        """Create the router's frame counters on *registry*."""
+        self._c_rx_waves = registry.counter(
+            "repro_router_frames_total",
+            "frames the coordinator router received, by type",
+            type="waves")
+        self._c_rx_states = registry.counter(
+            "repro_router_frames_total",
+            "frames the coordinator router received, by type",
+            type="states")
+
     def connected_shards(self) -> list:
         with self.lock:
             return sorted(self._conns)
@@ -886,6 +934,7 @@ class TcpTransport(Transport):
         n_states: int,
         idle_sleep: float,
         probe_every: int,
+        obs_enabled: bool = False,
     ) -> "TcpCoordinatorPort":
         if self._router is not None:
             raise ConfigurationError("TcpTransport is already bound")
@@ -898,6 +947,7 @@ class TcpTransport(Transport):
             n_states=n_states,
             idle_sleep=idle_sleep,
             probe_every=probe_every,
+            obs_enabled=obs_enabled,
         )
         router.start()
         self._router = router
@@ -968,6 +1018,12 @@ class TcpCoordinatorPort(CoordinatorPort):
     def connected_shards(self) -> list:
         return self._router.connected_shards()
 
+    def install_obs(self, registry) -> None:
+        self._router.install_obs(registry)
+
+    def worker_metrics(self) -> dict:
+        return dict(self._router.worker_obs)
+
     def close(self) -> None:
         self._transport.close()
 
@@ -1018,6 +1074,9 @@ class TcpWorkerPort(WorkerPort):
         self.spec = ShardSpec.from_payload(blob)
         self.idle_sleep = float(header["idle_sleep"])
         self.probe_every = int(header["probe_every"])
+        self.obs_enabled = bool(header.get("obs", False))
+        self._obs = None
+        self._c_tx_frames = None
         spec = self.spec
         self._slot_lo = int(spec.slot_lo)
         self._slot_hi = int(spec.slot_hi)
@@ -1091,6 +1150,19 @@ class TcpWorkerPort(WorkerPort):
     def wave_snapshot(self) -> np.ndarray:
         return np.array(self._in_waves)
 
+    def install_obs(self, registry) -> None:
+        """Worker-side frame counters + snapshot piggyback.
+
+        Once installed, every state publish carries a jsonable
+        snapshot of *registry* in its header, which the router stores
+        per shard — the cross-process aggregation channel.
+        """
+        self._obs = registry
+        self._c_tx_frames = registry.counter(
+            "repro_net_frames_sent_total",
+            "wave frames this worker emitted toward the hub",
+            shard=str(self.shard))
+
     def _send_hub(self, ftype: int, header, arrays=None) -> None:
         """Serialized send on the coordinator socket.
 
@@ -1103,6 +1175,8 @@ class TcpWorkerPort(WorkerPort):
 
     def post_waves(self, out: np.ndarray) -> None:
         self._in_waves[self._loop_local] = out[self._loop_pos]
+        if self._c_tx_frames is not None and self._outboxes:
+            self._c_tx_frames.inc(len(self._outboxes))
         for dst, emit_pos, dest_slots in self._outboxes:
             self._send_hub(
                 wire.T_WAVES,
@@ -1121,9 +1195,12 @@ class TcpWorkerPort(WorkerPort):
 
     def publish_states(self, states: np.ndarray, sweeps: int) -> None:
         self._sweeps = int(sweeps)
+        header = {"shard": self.shard, "sweeps": self._sweeps}
+        if self._obs is not None:
+            header["obs"] = self._obs.snapshot().to_jsonable()
         self._send_hub(
             wire.T_STATES,
-            {"shard": self.shard, "sweeps": self._sweeps},
+            header,
             {"states": states, "waves": self._in_waves},
         )
 

@@ -1,0 +1,46 @@
+"""Unified telemetry: metric registry, solve traces, Prometheus export.
+
+See :mod:`repro.obs.registry` for the enable/disable contract (the
+``obs=`` kwargs and ``REPRO_OBS=1``), :mod:`repro.obs.trace` for the
+per-solve timeline vocabulary and :mod:`repro.obs.export` for the
+text exposition format.
+"""
+
+from .export import render_prometheus
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    component_registry,
+    default_registry,
+    merge_snapshots,
+    obs_env_enabled,
+    resolve_obs,
+    set_default_registry,
+)
+from .trace import SolveTrace, resolve_trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "SolveTrace",
+    "component_registry",
+    "default_registry",
+    "merge_snapshots",
+    "obs_env_enabled",
+    "render_prometheus",
+    "resolve_obs",
+    "resolve_trace",
+    "set_default_registry",
+]

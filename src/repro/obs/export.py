@@ -1,0 +1,103 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+Renders any :class:`~repro.obs.registry.MetricsSnapshot` (or its
+JSON-able wire form) in the Prometheus text format, version 0.0.4:
+``# HELP`` / ``# TYPE`` comments followed by one sample line per
+series, histograms expanded into cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``.  This is the payload a future
+HTTP gateway serves at ``/metrics``; until then
+``DtmClient.metrics().render_text()`` produces the same bytes for
+ad-hoc scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .registry import MetricsSnapshot
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _sanitize_name(name: str) -> str:
+    out = "".join(c if c in _NAME_OK else "_" for c in name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(labels: dict, extra: tuple = ()) -> str:
+    pairs = [
+        f'{_sanitize_name(k)}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    pairs += [f'{k}="{_escape_label(v)}"' for k, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _fmt_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else repr(float(bound))
+
+
+def render_prometheus(snapshot) -> str:
+    """The Prometheus text form of *snapshot* (ends with a newline)."""
+    if not isinstance(snapshot, MetricsSnapshot):
+        snapshot = MetricsSnapshot.from_jsonable(snapshot)
+    lines: list[str] = []
+    for name in sorted(snapshot.metrics):
+        met = snapshot.metrics[name]
+        pname = _sanitize_name(name)
+        if met.get("help"):
+            lines.append(f"# HELP {pname} {met['help']}")
+        lines.append(f"# TYPE {pname} {met['type']}")
+        for key in sorted(met["series"]):
+            labels = dict(json.loads(key))
+            sample = met["series"][key]
+            if met["type"] == "histogram":
+                bounds = list(met.get("bounds") or [])
+                cum = 0
+                for bound, count in zip(
+                    bounds + [math.inf], sample["buckets"]
+                ):
+                    cum += count
+                    lines.append(
+                        f"{pname}_bucket"
+                        f"{_fmt_labels(labels, (('le', _fmt_bound(bound)),))}"
+                        f" {_fmt_value(cum)}"
+                    )
+                lines.append(
+                    f"{pname}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{pname}_count{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{pname}{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample)}"
+                )
+    return "\n".join(lines) + "\n"

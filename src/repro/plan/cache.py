@@ -15,6 +15,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable, Optional
 
 from ..errors import ConfigurationError
+from ..obs import component_registry
 
 
 class PlanCache:
@@ -26,9 +27,15 @@ class PlanCache:
     one caller runs the (expensive) build and every racer blocks,
     then reuses the freshly cached plan instead of duplicating the
     work (counted in ``n_coalesced``).
+
+    Hit/miss/coalesce counting routes through a metric registry (see
+    :mod:`repro.obs`): pass ``obs=`` to share one, or leave it unset
+    for a private always-on registry — ``stats()`` and the ``hits`` /
+    ``misses`` / ``n_coalesced`` attributes keep their historical
+    meaning either way.
     """
 
-    def __init__(self, maxsize: int = 32) -> None:
+    def __init__(self, maxsize: int = 32, *, obs=None) -> None:
         if maxsize < 1:
             raise ConfigurationError("plan cache maxsize must be >= 1")
         self.maxsize = int(maxsize)
@@ -37,9 +44,28 @@ class PlanCache:
         #: per-key single-flight build locks (live only while a build
         #: for that key is in flight)
         self._building: dict[Hashable, threading.Lock] = {}
-        self.hits = 0
-        self.misses = 0
-        self.n_coalesced = 0
+        self.obs = component_registry(obs)
+        self._c_hits = self.obs.counter(
+            "repro_plan_cache_hits_total", "plan cache hits")
+        self._c_misses = self.obs.counter(
+            "repro_plan_cache_misses_total", "plan cache misses")
+        self._c_coalesced = self.obs.counter(
+            "repro_plan_cache_coalesced_total",
+            "concurrent builds coalesced onto one flight")
+        self._g_entries = self.obs.gauge(
+            "repro_plan_cache_entries", "cached plans")
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def n_coalesced(self) -> int:
+        return int(self._c_coalesced.value)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -49,10 +75,10 @@ class PlanCache:
         with self._lock:
             plan = self._entries.get(key)
             if plan is None:
-                self.misses += 1
+                self._c_misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._c_hits.inc()
             return plan
 
     def put(self, key: Hashable, plan) -> None:
@@ -61,6 +87,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+            self._g_entries.set(len(self._entries))
 
     def get_or_build(self, key: Hashable, build: Callable[[], object]):
         """Fetch *key*, building (and caching) on a miss.
@@ -86,7 +113,7 @@ class PlanCache:
                 plan = self._entries.get(key)
                 if plan is not None:
                     self._entries.move_to_end(key)
-                    self.n_coalesced += 1
+                    self._c_coalesced.inc()
                     return plan, True
             try:
                 plan = build()
@@ -102,12 +129,20 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._g_entries.set(0)
 
     def stats(self) -> dict:
+        """The historical key schema, read off the registry."""
         with self._lock:
             return {"entries": len(self._entries), "hits": self.hits,
                     "misses": self.misses, "maxsize": self.maxsize,
                     "n_coalesced": self.n_coalesced}
+
+    def metrics_snapshot(self):
+        """Mergeable snapshot of this cache's instruments."""
+        with self._lock:
+            self._g_entries.set(len(self._entries))
+        return self.obs.snapshot()
 
 
 _DEFAULT: Optional[PlanCache] = None

@@ -33,10 +33,12 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from typing import Optional
 
 from ..errors import ConfigurationError, PlanArtifactError
+from ..obs import component_registry
 from .artifact import (
     artifact_plan_hash,
     load_plan,
@@ -62,19 +64,52 @@ def plan_disk_hash(plan: SolverPlan) -> str:
 class DiskPlanStore:
     """Content-addressed, byte-bounded directory of plan artifacts."""
 
-    def __init__(self, directory, *,
-                 max_bytes: Optional[int] = None) -> None:
+    def __init__(self, directory, *, max_bytes: Optional[int] = None,
+                 obs=None) -> None:
         if max_bytes is not None and int(max_bytes) < 1:
             raise ConfigurationError("max_bytes must be >= 1 (or None)")
         self.directory = os.fspath(directory)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         os.makedirs(self.directory, exist_ok=True)
         self._thread_lock = threading.Lock()
-        self.n_hits = 0
-        self.n_misses = 0
-        self.n_stores = 0
-        self.n_evicted = 0
-        self.n_corrupt = 0
+        # stats() routes through a metric registry (repro.obs); the
+        # attribute names below stay as read-only compatibility views
+        self.obs = component_registry(obs)
+        self._c_hits = self.obs.counter(
+            "repro_disk_store_hits_total", "disk artifacts found")
+        self._c_misses = self.obs.counter(
+            "repro_disk_store_misses_total", "disk artifacts absent")
+        self._c_stores = self.obs.counter(
+            "repro_disk_store_stores_total", "artifacts persisted")
+        self._c_evicted = self.obs.counter(
+            "repro_disk_store_evictions_total",
+            "artifacts evicted over the byte budget")
+        self._c_corrupt = self.obs.counter(
+            "repro_disk_store_corrupt_total",
+            "corrupt artifacts dropped on load")
+        self._h_load = self.obs.histogram(
+            "repro_disk_store_load_seconds",
+            "artifact load (mmap open + header parse) latency")
+
+    @property
+    def n_hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def n_misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def n_stores(self) -> int:
+        return int(self._c_stores.value)
+
+    @property
+    def n_evicted(self) -> int:
+        return int(self._c_evicted.value)
+
+    @property
+    def n_corrupt(self) -> int:
+        return int(self._c_corrupt.value)
 
     # -- paths / locking ------------------------------------------------
     def path_for(self, plan_hash: str) -> str:
@@ -152,7 +187,7 @@ class DiskPlanStore:
                 self._touch(path)  # first write wins; refresh recency
                 return h
             save_plan(plan, path)
-            self.n_stores += 1
+            self._c_stores.inc()
             self._evict_over_budget()
         return h
 
@@ -183,7 +218,7 @@ class DiskPlanStore:
                 except OSError:
                     pass
                 raise
-            self.n_stores += 1
+            self._c_stores.inc()
             self._evict_over_budget()
         return h
 
@@ -198,15 +233,17 @@ class DiskPlanStore:
         """
         path = self.path_for(plan_hash)
         if not os.path.exists(path):
-            self.n_misses += 1
+            self._c_misses.inc()
             return None
+        t0 = time.perf_counter()
         try:
             plan = load_plan(path, mmap=mmap)
         except PlanArtifactError:
             self._drop_corrupt(path)
-            self.n_misses += 1
+            self._c_misses.inc()
             return None
-        self.n_hits += 1
+        self._h_load.observe(time.perf_counter() - t0)
+        self._c_hits.inc()
         self._touch(path)
         return plan
 
@@ -217,16 +254,16 @@ class DiskPlanStore:
             with open(path, "rb") as f:
                 data = f.read()
         except OSError:
-            self.n_misses += 1
+            self._c_misses.inc()
             return None
         try:
             if artifact_plan_hash(data) != plan_hash:
                 raise PlanArtifactError("artifact hash mismatch")
         except PlanArtifactError:
             self._drop_corrupt(path)
-            self.n_misses += 1
+            self._c_misses.inc()
             return None
-        self.n_hits += 1
+        self._c_hits.inc()
         self._touch(path)
         return data
 
@@ -255,7 +292,7 @@ class DiskPlanStore:
             pass  # recency refresh is best-effort
 
     def _drop_corrupt(self, path: str) -> None:
-        self.n_corrupt += 1
+        self._c_corrupt.inc()
         with self._locked():
             try:
                 os.unlink(path)
@@ -281,7 +318,7 @@ class DiskPlanStore:
             except OSError:
                 continue
             total -= nbytes
-            self.n_evicted += 1
+            self._c_evicted.inc()
 
 
 __all__ = ["DiskPlanStore", "plan_disk_hash"]

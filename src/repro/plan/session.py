@@ -39,6 +39,7 @@ from ..core.convergence import (
 from ..core.kernel import build_kernels
 from ..errors import ConfigurationError, ValidationError
 from ..graph.evs import SplitResult
+from ..obs import resolve_obs, resolve_trace
 from ..sim.executor import DtmSimulator
 from ..utils.timeseries import TimeSeries
 
@@ -77,6 +78,9 @@ class SolveResult:
     #: Per-shard diagnostics of a multiprocess solve (None on the
     #: single-process backends); see :class:`repro.sim.trace.ShardReport`.
     shard_reports: Optional[list] = None
+    #: The per-solve timeline when the caller passed ``trace=`` (see
+    #: :class:`repro.obs.SolveTrace`); None when tracing was off.
+    trace: Optional[object] = None
 
     @property
     def stop_iterations(self) -> int:
@@ -105,7 +109,7 @@ class _SessionBase:
     """Shared per-session state: forked locals/fleet, RHS tracking."""
 
     def __init__(self, plan, *, send_threshold: float = 0.0,
-                 use_fleet: bool = True) -> None:
+                 use_fleet: bool = True, obs=None) -> None:
         self.plan = plan
         self.use_fleet = bool(use_fleet)
         self.send_threshold = float(send_threshold)
@@ -113,6 +117,11 @@ class _SessionBase:
         self.fleet = plan.fork_fleet(self.locals,
                                      send_threshold=send_threshold) \
             if self.use_fleet else None
+        # telemetry is opt-in (obs=True / a registry / REPRO_OBS=1);
+        # disabled sessions keep the fleet's hot path uninstrumented
+        self.obs = resolve_obs(obs)
+        if self.obs.enabled and self.fleet is not None:
+            self.fleet.install_obs(self.obs)
         # forked locals encode the rhs the plan was BUILT with, which on
         # a with_base_rhs view differs from plan.base_b — track the
         # locals' provenance so the first solve swaps when needed
@@ -218,12 +227,12 @@ class SolverSession(_SessionBase):
                  use_fleet: bool = True, compute=None,
                  min_solve_interval: Optional[float] = None,
                  log_messages: bool = False,
-                 probe_ports=None) -> None:
+                 probe_ports=None, obs=None) -> None:
         if plan.mode != "dtm":
             raise ConfigurationError(
                 f"SolverSession needs a dtm-mode plan, got {plan.mode!r}")
         super().__init__(plan, send_threshold=send_threshold,
-                         use_fleet=use_fleet)
+                         use_fleet=use_fleet, obs=obs)
         self._sim_opts = dict(compute=compute,
                               min_solve_interval=min_solve_interval,
                               log_messages=log_messages,
@@ -265,6 +274,7 @@ class SolverSession(_SessionBase):
               sample_interval: Optional[float] = None,
               max_events: Optional[int] = None,
               reference: Optional[np.ndarray] = None,
+              trace=None,
               _x0_list: Optional[list] = None) -> SolveResult:
         """One DTM solve against *b* (default: the plan's baked-in rhs).
 
@@ -276,18 +286,35 @@ class SolverSession(_SessionBase):
         rule the plan's direct reference solution is never computed and
         the result's ``rms_error`` is ``nan``.
         """
+        tr = resolve_trace(trace)
         b_vec = self._resolve_rhs(b)
         reused = self._reused()
-        self._swap_to(b_vec, x0_list=_x0_list)
+        if tr is not None:
+            tr.event("plan_lookup", reused=bool(reused))
+            with tr.span("rhs_swap"):
+                self._swap_to(b_vec, x0_list=_x0_list)
+        else:
+            self._swap_to(b_vec, x0_list=_x0_list)
         warm = self._warm_waves(warm_start)
         sim = self._make_sim(warm)
         rule = as_stopping_rule(stopping, tol=tol)
         if rule.needs_reference and reference is None:
             reference = self.plan.reference(b_vec)
-        res = sim.run(t_max, tol=tol, stopping=stopping,
-                      reference=reference,
-                      sample_interval=sample_interval,
-                      max_events=max_events)
+        if tr is not None:
+            with tr.span("solve", backend="simulator",
+                         warm=warm is not None):
+                res = sim.run(t_max, tol=tol, stopping=stopping,
+                              reference=reference,
+                              sample_interval=sample_interval,
+                              max_events=max_events)
+            tr.event("stop", rule=res.stopped_by,
+                     converged=bool(res.converged),
+                     solves=int(res.n_solves))
+        else:
+            res = sim.run(t_max, tol=tol, stopping=stopping,
+                          reference=reference,
+                          sample_interval=sample_interval,
+                          max_events=max_events)
         served = self._finish(self._gather_waves(sim))
         return SolveResult(
             x=res.x,
@@ -300,7 +327,8 @@ class SolverSession(_SessionBase):
             split=self._current_split,
             plan_reused=reused, plan_solves=served,
             warm_started=warm is not None,
-            stopped_by=res.stopped_by, stop_metric=res.stop_metric)
+            stopped_by=res.stopped_by, stop_metric=res.stop_metric,
+            trace=tr)
 
 class VtmSession(_SessionBase):
     """Repeated synchronous VTM solves over one vtm-mode plan."""

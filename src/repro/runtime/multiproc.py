@@ -72,6 +72,14 @@ from ..net.transport import (
     open_worker_port,
     resolve_transport,
 )
+from ..obs import (
+    MetricRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+    obs_env_enabled,
+    resolve_obs,
+    resolve_trace,
+)
 from ..plan.session import SolveResult, SolverSession, _as_rhs
 from ..plan.shard import ShardSpec, extract_shards
 from ..sim.trace import (
@@ -173,6 +181,11 @@ def _worker_main(descriptor, faults=None) -> None:
     fast instead of hanging on acks.
     """
     spec, port, idle_sleep, probe_every = open_worker_port(descriptor)
+    if port.obs_enabled or obs_env_enabled():
+        # each worker keeps a private registry; socket ports piggyback
+        # its snapshots on state/heartbeat frames for the coordinator
+        # to merge (the shm port has no byte channel and ignores it)
+        port.install_obs(MetricRegistry())
     if faults is not None:
         from ..net.faults import apply_faults
 
@@ -284,7 +297,8 @@ class MultiprocDtmRunner:
                  faults=None,
                  recover: Optional[bool] = None,
                  max_recoveries: int = 8,
-                 recovery_timeout: float = 30.0) -> None:
+                 recovery_timeout: float = 30.0,
+                 obs=None) -> None:
         if plan.mode != "dtm":
             raise ConfigurationError(
                 f"MultiprocDtmRunner needs a dtm-mode plan, got "
@@ -317,6 +331,18 @@ class MultiprocDtmRunner:
         self.n_recoveries = 0
         self._recovering: dict = {}  # shard -> rejoin deadline
         self._spawn_workers_flag = bool(spawn_workers)
+        # telemetry: obs=None follows REPRO_OBS, obs=True gets a fresh
+        # registry; the disabled default costs one attribute check per
+        # instrumented site (see repro.obs)
+        self.obs = resolve_obs(obs)
+        self._obs_sweeps_seen: dict = {}
+        self._c_solves = self.obs.counter(
+            "repro_runner_solves_total",
+            "solves served by this multiprocess runner")
+        self._c_recoveries = self.obs.counter(
+            "repro_runner_recoveries_total",
+            "lost shard workers recovered (respawn or rejoin)")
+        self._active_trace = None
 
         if self.shards == 1:
             self._session: Optional[SolverSession] = SolverSession(plan)
@@ -349,7 +375,10 @@ class MultiprocDtmRunner:
                 "workers themselves")
         self._port = self.transport.bind(
             self.specs, n_slots=self._n_slots, n_states=self._n_states,
-            idle_sleep=self.idle_sleep, probe_every=self.probe_every)
+            idle_sleep=self.idle_sleep, probe_every=self.probe_every,
+            obs_enabled=self.obs.enabled)
+        if self.obs.enabled:
+            self._port.install_obs(self.obs)
         if spawn_workers:
             self._spawn_workers()
 
@@ -460,6 +489,9 @@ class MultiprocDtmRunner:
             if shard in self._recovering:
                 continue
             self.n_recoveries += 1
+            self._c_recoveries.inc()
+            if self._active_trace is not None:
+                self._active_trace.event("recovery", shard=int(shard))
             if self.n_recoveries > self.max_recoveries:
                 raise WorkerLostError(
                     f"shard {shard} lost after the recovery budget "
@@ -560,7 +592,8 @@ class MultiprocDtmRunner:
               wall_budget: float = 60.0, max_rounds: int = 4,
               t_max: float = 5000.0,
               sample_interval: Optional[float] = None,
-              max_events: Optional[int] = None) -> SolveResult:
+              max_events: Optional[int] = None,
+              trace=None) -> SolveResult:
         """One sharded solve against *b* (default: the plan's rhs).
 
         ``stopping=None`` means ``ResidualRule(tol)`` at every shard
@@ -586,7 +619,7 @@ class MultiprocDtmRunner:
             return self._session.solve(
                 b, t_max=t_max, tol=tol, stopping=stopping,
                 warm_start=warm_start, sample_interval=sample_interval,
-                max_events=max_events)
+                max_events=max_events, trace=trace)
         if sample_interval is not None or max_events is not None:
             raise ConfigurationError(
                 "sample_interval/max_events are simulator knobs; with "
@@ -601,6 +634,8 @@ class MultiprocDtmRunner:
         rule = self._resolve_rule(stopping, tol)
         res_tol = _residual_tol(rule)
         quiet_thr = _quiescence_threshold(rule)
+        tr = resolve_trace(trace)
+        self._active_trace = tr
 
         # rhs swap, coordinator-side: one back-substitution per
         # subdomain against the plan's retained factors, then one
@@ -613,6 +648,9 @@ class MultiprocDtmRunner:
                         self._state_off[loc.part + 1]] = \
                     loc.response_for(rhs)
         self._port.write_x0(x0_full)
+        if tr is not None:
+            tr.event("rhs_swap", shards=self.shards, warm=bool(
+                warm_start and self._last_waves is not None))
         warm = warm_start and self._last_waves is not None
         self._port.write_waves(
             self._last_waves if warm else np.zeros(self._n_slots))
@@ -632,6 +670,8 @@ class MultiprocDtmRunner:
             self._epoch += 1
             epoch = self._epoch
             self._port.begin_epoch(epoch)
+            if tr is not None:
+                tr.event("round", epoch=epoch)
             while True:
                 self._port.request_probes()
                 time.sleep(self.poll_interval)
@@ -647,6 +687,9 @@ class MultiprocDtmRunner:
             t = time.perf_counter() - t0
             x = self._gather()
             final_rr = relative_residual(plan.a_mat, x, b_vec)
+            if tr is not None:
+                tr.event("stop_check", epoch=epoch,
+                         residual=float(final_rr))
             if event is None:
                 event = monitor.finalize(
                     t, StateProbe(lambda: x, waves_fn))
@@ -670,6 +713,9 @@ class MultiprocDtmRunner:
         wall = time.perf_counter() - t0
         self._last_waves = self._port.read_waves()
         self.n_solves += 1
+        self._c_solves.inc()
+        self._sync_sweep_counters()
+        self._active_trace = None
         served = plan.record_solve()
         reports = self.shard_reports(base_sweeps)
         converged = event is not None and event.converged
@@ -679,6 +725,10 @@ class MultiprocDtmRunner:
         if converged and event.rule == "quiescence" \
                 and quiet_thr is not None:
             converged = self._wave_fixed_point_delta() <= quiet_thr
+        if tr is not None:
+            tr.event("stop",
+                     rule=event.rule if event is not None else None,
+                     converged=bool(converged), wall=float(wall))
         return SolveResult(
             x=x,
             rms_error=np.nan,
@@ -695,7 +745,45 @@ class MultiprocDtmRunner:
             stop_metric=(event.metric if event is not None
                          else final_rr),
             shard_reports=reports,
+            trace=tr,
         )
+
+    # -- telemetry ------------------------------------------------------
+    def _sync_sweep_counters(self) -> None:
+        """Fold ``sweep_counts()`` into per-shard counters.
+
+        Works on every transport (shm included, which has no worker
+        snapshot channel): the counter advances by the delta since the
+        last sync.  A respawned worker restarts its count at zero; the
+        negative delta is skipped and the counter resumes once the new
+        incarnation passes the old mark.
+        """
+        if not self.obs.enabled or self._session is not None \
+                or self._closed:
+            return
+        counts = self._port.sweep_counts()
+        for spec in self.specs:
+            i = spec.index
+            delta = int(counts[i]) - self._obs_sweeps_seen.get(i, 0)
+            if delta > 0:
+                self.obs.counter(
+                    "repro_worker_sweeps_total",
+                    "sweeps executed, per shard worker",
+                    shard=str(i)).inc(delta)
+                self._obs_sweeps_seen[i] = int(counts[i])
+
+    def worker_metrics_snapshots(self) -> list:
+        """Latest piggybacked worker snapshots (jsonable dicts)."""
+        if self._session is not None or self._closed:
+            return []
+        return list(self._port.worker_metrics().values())
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Merged view: coordinator registry + every worker snapshot."""
+        self._sync_sweep_counters()
+        snaps = [self.obs.snapshot()]
+        snaps.extend(self.worker_metrics_snapshots())
+        return merge_snapshots(snaps)
 
 
 def solve_dtm_multiproc(plan, b=None, *, shards: int = 2,

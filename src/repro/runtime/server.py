@@ -27,13 +27,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import (
+    MetricsSnapshot,
+    component_registry,
+    merge_snapshots,
+    resolve_obs,
+)
 from ..plan import SolverPlan, compute_plan_hash, get_plan, plan_nbytes
+from ..plan.cache import default_plan_cache
 from ..plan.diskstore import DiskPlanStore
 from ..plan.session import SolveResult
 from .multiproc import MultiprocDtmRunner
@@ -80,24 +87,46 @@ class PlanStore:
 
     def __init__(self, max_plans: Optional[int] = None, *,
                  max_bytes: Optional[int] = None,
-                 plan_dir=None) -> None:
+                 plan_dir=None, obs=None) -> None:
         if max_plans is not None and int(max_plans) < 1:
             raise ConfigurationError("max_plans must be >= 1 (or None)")
         if max_bytes is not None and int(max_bytes) < 1:
             raise ConfigurationError("max_bytes must be >= 1 (or None)")
         self.max_plans = None if max_plans is None else int(max_plans)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
+        # stats() routes through a metric registry (repro.obs); the
+        # n_evicted/n_disk_loads/total_bytes names stay as views
+        self.obs = component_registry(obs)
         if plan_dir is None or isinstance(plan_dir, DiskPlanStore):
             self.disk = plan_dir
         else:
-            self.disk = DiskPlanStore(plan_dir)
-        self.n_evicted = 0
-        self.n_disk_loads = 0
-        self.total_bytes = 0
+            self.disk = DiskPlanStore(plan_dir, obs=self.obs)
+        self._c_evicted = self.obs.counter(
+            "repro_plan_store_evictions_total",
+            "plans evicted from the in-memory LRU")
+        self._c_disk_loads = self.obs.counter(
+            "repro_plan_store_disk_loads_total",
+            "in-memory misses served from the artifact tier")
+        self._g_plans = self.obs.gauge(
+            "repro_plan_store_plans", "plans resident in memory")
+        self._g_bytes = self.obs.gauge(
+            "repro_plan_store_bytes", "artifact payload bytes resident")
         self._plans: OrderedDict[str, SolverPlan] = OrderedDict()
         self._nbytes: dict[str, int] = {}
         self._lock = threading.Lock()
         self._listeners: list = []
+
+    @property
+    def n_evicted(self) -> int:
+        return int(self._c_evicted.value)
+
+    @property
+    def n_disk_loads(self) -> int:
+        return int(self._c_disk_loads.value)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self._g_bytes.value)
 
     def add_evict_listener(self, callback) -> None:
         """Register ``callback(key, plan)`` to run after each eviction."""
@@ -132,15 +161,16 @@ class PlanStore:
             if key not in self._plans:
                 self._plans[key] = plan
                 self._nbytes[key] = nbytes
-                self.total_bytes += nbytes
+                self._g_bytes.inc(nbytes)
             self._plans.move_to_end(key)
             # never evict the entry just admitted: the byte budget is
             # a cap on *retention*, not an admission filter
             while len(self._plans) > 1 and self._over_budget():
                 old_key, old_plan = self._plans.popitem(last=False)
-                self.total_bytes -= self._nbytes.pop(old_key, 0)
+                self._g_bytes.dec(self._nbytes.pop(old_key, 0))
                 evicted.append((old_key, old_plan))
-                self.n_evicted += 1
+                self._c_evicted.inc()
+            self._g_plans.set(len(self._plans))
         return evicted
 
     def put(self, plan: SolverPlan) -> str:
@@ -162,7 +192,7 @@ class PlanStore:
             # mmap) instead of failing — no re-planning
             plan = self.disk.get(key)
             if plan is not None:
-                self.n_disk_loads += 1
+                self._c_disk_loads.inc()
                 self._notify(self._admit(key, plan, plan_nbytes(plan)))
         if plan is None:
             raise KeyError(f"no plan {key!r} in the store")
@@ -181,6 +211,7 @@ class PlanStore:
             return list(self._plans)
 
     def stats(self) -> dict:
+        """The historical key schema, read off the registry."""
         with self._lock:
             out = {
                 "n_plans": len(self._plans),
@@ -193,6 +224,15 @@ class PlanStore:
         if self.disk is not None:
             out["disk"] = self.disk.stats()
         return out
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Mergeable snapshot of the store (and its disk tier)."""
+        with self._lock:
+            self._g_plans.set(len(self._plans))
+        if self.disk is not None and self.disk.obs is not self.obs:
+            return merge_snapshots(
+                [self.obs.snapshot(), self.disk.obs.snapshot()])
+        return self.obs.snapshot()
 
 
 @dataclass(frozen=True)
@@ -230,17 +270,89 @@ class ServeResponse:
         return self.error is None
 
 
-@dataclass
 class ServerStats:
-    """Aggregate serving counters (what a dashboard would scrape)."""
+    """Aggregate serving counters (what a dashboard would scrape).
 
-    n_registered: int = 0
-    n_solves: int = 0
-    n_warm_hits: int = 0
-    n_errors: int = 0
-    n_evicted: int = 0
-    total_solve_seconds: float = 0.0
-    per_plan_solves: dict = field(default_factory=dict)
+    Backed by a metric registry (:mod:`repro.obs`): the historical
+    attribute names are read-only views, :meth:`snapshot` keeps its
+    key schema, and per-plan solve wall times land in a
+    ``repro_server_solve_seconds{plan=...}`` histogram whose per-plan
+    observation counts double as the ``per_plan_solves`` view.
+    """
+
+    def __init__(self, obs=None) -> None:
+        self.obs = component_registry(obs)
+        self._g_registered = self.obs.gauge(
+            "repro_server_registered_plans", "plans registered")
+        self._c_solves = self.obs.counter(
+            "repro_server_solves_total", "solve requests served")
+        self._c_warm = self.obs.counter(
+            "repro_server_warm_hits_total",
+            "solves dispatched to an already-warm runner")
+        self._c_errors = self.obs.counter(
+            "repro_server_errors_total", "failed serve requests")
+        self._c_evicted = self.obs.counter(
+            "repro_server_evictions_total",
+            "warm runners retired by plan eviction")
+        self._solve_hists: dict = {}
+        self._hist_lock = threading.Lock()
+
+    # -- recording (the server calls these under its stats lock) -------
+    def set_registered(self, n: int) -> None:
+        self._g_registered.set(n)
+
+    def record_warm_hit(self) -> None:
+        self._c_warm.inc()
+
+    def record_error(self) -> None:
+        self._c_errors.inc()
+
+    def record_evicted(self) -> None:
+        self._c_evicted.inc()
+
+    def record_solve(self, plan_id, wall_seconds: float) -> None:
+        hist = self._solve_hists.get(plan_id)
+        if hist is None:
+            with self._hist_lock:
+                hist = self._solve_hists.get(plan_id)
+                if hist is None:
+                    hist = self.obs.histogram(
+                        "repro_server_solve_seconds",
+                        "per-plan solve wall time",
+                        plan=str(plan_id))
+                    self._solve_hists[plan_id] = hist
+        hist.observe(wall_seconds)
+        self._c_solves.inc()
+
+    # -- compatibility views --------------------------------------------
+    @property
+    def n_registered(self) -> int:
+        return int(self._g_registered.value)
+
+    @property
+    def n_solves(self) -> int:
+        return int(self._c_solves.value)
+
+    @property
+    def n_warm_hits(self) -> int:
+        return int(self._c_warm.value)
+
+    @property
+    def n_errors(self) -> int:
+        return int(self._c_errors.value)
+
+    @property
+    def n_evicted(self) -> int:
+        return int(self._c_evicted.value)
+
+    @property
+    def total_solve_seconds(self) -> float:
+        return sum(h.sum for h in self._solve_hists.values())
+
+    @property
+    def per_plan_solves(self) -> dict:
+        return {pid: int(h.count)
+                for pid, h in self._solve_hists.items()}
 
     def snapshot(self) -> dict:
         return {
@@ -250,7 +362,7 @@ class ServerStats:
             "n_errors": self.n_errors,
             "n_evicted": self.n_evicted,
             "total_solve_seconds": self.total_solve_seconds,
-            "per_plan_solves": dict(self.per_plan_solves),
+            "per_plan_solves": self.per_plan_solves,
         }
 
 
@@ -286,6 +398,7 @@ class DtmServer:
                  max_plans: Optional[int] = None,
                  max_bytes: Optional[int] = None,
                  plan_dir=None,
+                 obs=None,
                  **runner_opts) -> None:
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
@@ -297,11 +410,17 @@ class DtmServer:
                 "PlanStore when sharing one (combining them with "
                 "store= is ambiguous)")
         self.shards = int(shards)
+        self.obs = component_registry(obs)
         self.store = store if store is not None \
             else PlanStore(max_plans=max_plans, max_bytes=max_bytes,
-                           plan_dir=plan_dir)
+                           plan_dir=plan_dir, obs=self.obs)
         self.store.add_evict_listener(self._on_evict)
         self._runner_opts = dict(runner_opts)
+        # an explicit obs opt-in propagates to the sharded runners so
+        # worker processes snapshot their registries too; the default
+        # leaves the hot paths on the REPRO_OBS-gated null registry
+        if resolve_obs(obs).enabled:
+            self._runner_opts.setdefault("obs", True)
         self._runners: dict[str, MultiprocDtmRunner] = {}
         self._lock = threading.Lock()
         self._solve_locks: dict = {}
@@ -309,7 +428,7 @@ class DtmServer:
         #: the TCP front end drives serve() from one thread per
         #: connection, so accounting must not race
         self._stats_lock = threading.Lock()
-        self.stats = ServerStats()
+        self.stats = ServerStats(obs=self.obs)
         self._seq = 0
         self._closed = False
 
@@ -337,7 +456,7 @@ class DtmServer:
                 f"DtmServer serves dtm-mode plans, got {plan.mode!r}")
         key = self.store.put(plan)
         with self._stats_lock:
-            self.stats.n_registered = len(self.store)
+            self.stats.set_registered(len(self.store))
         return key
 
     def _on_evict(self, key: str, plan: SolverPlan) -> None:
@@ -357,8 +476,8 @@ class DtmServer:
             # re-register), so a bounded store bounds this dict too
             self._solve_locks.pop(key, None)
         with self._stats_lock:
-            self.stats.n_evicted += 1
-            self.stats.n_registered = len(self.store)
+            self.stats.record_evicted()
+            self.stats.set_registered(len(self.store))
 
     # -- dispatch -------------------------------------------------------
     def _solve_lock(self, plan_id) -> threading.Lock:
@@ -381,7 +500,7 @@ class DtmServer:
         with self._lock:
             runner = self._runners.get(plan_id)
             if runner is not None:
-                self.stats.n_warm_hits += 1
+                self.stats.record_warm_hit()
                 return runner
             plan = self.store.get(plan_id)
             runner = MultiprocDtmRunner(plan, shards=self.shards,
@@ -404,10 +523,7 @@ class DtmServer:
             result = self.runner(plan_id).solve(b, **solve_kwargs)
         wall = time.perf_counter() - t0
         with self._stats_lock:
-            self.stats.n_solves += 1
-            self.stats.total_solve_seconds += wall
-            self.stats.per_plan_solves[plan_id] = \
-                self.stats.per_plan_solves.get(plan_id, 0) + 1
+            self.stats.record_solve(plan_id, wall)
         return result
 
     def serve(self, requests: Iterable[ServeRequest]
@@ -436,7 +552,7 @@ class DtmServer:
                     warm_start=req.warm_start)
             except Exception as exc:
                 with self._stats_lock:
-                    self.stats.n_errors += 1
+                    self.stats.record_error()
                 yield ServeResponse(
                     plan_id=plan_id, result=None, seq=seq,
                     wall_seconds=time.perf_counter() - t0, tag=tag,
@@ -446,6 +562,38 @@ class DtmServer:
                                 seq=seq,
                                 wall_seconds=time.perf_counter() - t0,
                                 tag=tag)
+
+    # -- telemetry ------------------------------------------------------
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The merged fleet-wide metrics view.
+
+        Sums, deduplicating shared registries by identity: the
+        server's own registry (serving counters, per-plan solve
+        histograms, plan-store and disk-tier instruments), the
+        process-wide plan cache, and — per warm runner — the
+        coordinator-side registry plus the latest snapshot each worker
+        process piggybacked on its state/heartbeat frames.
+        """
+        registries: list = []
+
+        def _add(reg) -> None:
+            if reg is not None and all(reg is not r for r in registries):
+                registries.append(reg)
+
+        _add(self.obs)
+        _add(getattr(self.store, "obs", None))
+        disk = getattr(self.store, "disk", None)
+        if disk is not None:
+            _add(disk.obs)
+        _add(default_plan_cache().obs)
+        snaps = []
+        with self._lock:
+            runners = list(self._runners.values())
+        for runner in runners:
+            _add(getattr(runner, "obs", None))
+            snaps.extend(runner.worker_metrics_snapshots())
+        snaps = [r.snapshot() for r in registries] + snaps
+        return merge_snapshots(snaps)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

@@ -247,6 +247,37 @@ class TestChaosQuick:
         faults = FaultPlan({1: ShardFaults(close_peers_at_sweep=15)})
         _chaos_solve(plan, faults)
 
+    def test_injected_drops_visible_in_merged_metrics(self, plan):
+        # the chaos harness and the telemetry must agree: scripted
+        # frame drops in the worker processes show up in the
+        # coordinator's merged snapshot at the scripted fraction
+        frac = 0.25
+        faults = FaultPlan({
+            0: ShardFaults(drop_fraction=frac),
+            2: ShardFaults(delay_fraction=0.2, delay_s=0.005),
+        })
+        with MultiprocDtmRunner(plan, shards=4, transport="mesh",
+                                faults=faults, obs=True) as r:
+            res = r.solve(stopping=ResidualRule(tol=REC_TOL),
+                          wall_budget=120.0)
+            snap = r.metrics_snapshot()
+        assert res.converged
+        frames = snap.value("repro_mesh_frames_total", shard="0")
+        dropped = snap.value("repro_mesh_frames_dropped_total",
+                             shard="0")
+        assert frames and dropped >= 1
+        # the injector meets its fraction per destination stream
+        # (Bresenham quota, within 1 per stream), so the shard total
+        # sits within n_streams <= shards-1 of the exact count
+        assert abs(dropped - frac * frames) <= 3
+        delayed = snap.value("repro_mesh_frames_delayed_total",
+                             shard="2")
+        assert delayed >= 1
+        # shards with no drop script drop nothing
+        for shard in ("1", "2", "3"):
+            assert not snap.value("repro_mesh_frames_dropped_total",
+                                  shard=shard)
+
 
 @pytest.mark.skipif(not CHAOS_FULL,
                     reason="full chaos matrix runs nightly (CHAOS_FULL=1)")

@@ -1,0 +1,71 @@
+"""Prometheus text rendering (ISSUE 10, obs/export).
+
+Pins the exposition contract a scraper relies on: HELP/TYPE comments,
+sorted deterministic output, cumulative histogram buckets ending in
+``le="+Inf"``, and label escaping.
+"""
+
+from repro.obs import MetricRegistry, render_prometheus
+
+
+def _lines(text, prefix):
+    return [ln for ln in text.splitlines() if ln.startswith(prefix)]
+
+
+class TestRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricRegistry()
+        reg.counter("x_total", "things done", shard="0").inc(3)
+        reg.gauge("depth", "queue depth").set(2.5)
+        text = render_prometheus(reg.snapshot())
+        assert "# HELP x_total things done" in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{shard="0"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(99.0)
+        text = render_prometheus(reg.snapshot())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert _lines(text, "lat_seconds_sum")
+
+    def test_output_is_sorted_and_deterministic(self):
+        reg = MetricRegistry()
+        reg.counter("b_total", shard="1").inc()
+        reg.counter("b_total", shard="0").inc()
+        reg.counter("a_total").inc()
+        text = render_prometheus(reg.snapshot())
+        assert text == render_prometheus(reg.snapshot())
+        names = [ln.split("{")[0].split(" ")[0]
+                 for ln in text.splitlines()
+                 if not ln.startswith("#")]
+        assert names == sorted(names)
+        s0, s1 = _lines(text, "b_total{")
+        assert 'shard="0"' in s0 and 'shard="1"' in s1
+
+    def test_escaping_and_name_sanitizing(self):
+        reg = MetricRegistry()
+        reg.counter("odd-name.total", plan='p"1"\n').inc()
+        text = render_prometheus(reg.snapshot())
+        assert "odd_name_total" in text
+        assert '\\"1\\"' in text
+        assert "\\n" in text
+
+    def test_accepts_wire_form(self):
+        reg = MetricRegistry()
+        reg.counter("x_total").inc(2)
+        wire = reg.snapshot().to_jsonable()
+        assert "x_total 2" in render_prometheus(wire)
+        assert reg.snapshot().render_text() == render_prometheus(wire)
+
+    def test_empty_snapshot_renders(self):
+        assert render_prometheus(MetricRegistry().snapshot()) == "\n"

@@ -1,0 +1,80 @@
+"""Per-solve trace timelines (ISSUE 10, obs/trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import SolveTrace, resolve_trace
+
+
+class TestTimeline:
+    def test_events_and_spans_land_in_order(self):
+        tr = SolveTrace(solve_id="s1")
+        tr.event("stop_check", residual=0.5)
+        with tr.span("solve", backend="simulator") as rec:
+            rec["warm"] = True
+        assert len(tr) == 2
+        ev, sp = tr.records
+        assert ev["kind"] == "stop_check"
+        assert ev["residual"] == 0.5
+        assert sp["kind"] == "solve"
+        assert sp["warm"] is True
+        assert sp["dur"] >= 0.0
+        assert sp["t"] >= ev["t"]
+
+    def test_span_records_on_exception(self):
+        tr = SolveTrace()
+        with pytest.raises(RuntimeError):
+            with tr.span("solve"):
+                raise RuntimeError("boom")
+        assert len(tr) == 1
+        assert "dur" in tr.records[0]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = SolveTrace(solve_id="abc")
+        tr.event("stop", rule="residual")
+        path = tmp_path / "trace.jsonl"
+        tr.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["trace"] == "repro-solve-trace/1"
+        assert header["solve_id"] == "abc"
+        assert json.loads(lines[1])["rule"] == "residual"
+        # file-like targets work too
+        buf = io.StringIO()
+        tr.to_jsonl(buf)
+        assert buf.getvalue().splitlines() == lines
+
+    def test_summarize_rolls_up_per_kind(self):
+        tr = SolveTrace(solve_id="sum")
+        tr.event("stop_check")
+        tr.event("stop_check")
+        with tr.span("solve"):
+            pass
+        summary = tr.summarize()
+        assert summary["solve_id"] == "sum"
+        assert summary["kinds"]["stop_check"]["count"] == 2
+        assert summary["kinds"]["solve"]["count"] == 1
+        assert summary["kinds"]["solve"]["total_s"] >= 0.0
+        assert summary["duration"] >= 0.0
+
+
+class TestResolve:
+    def test_off_forms(self):
+        assert resolve_trace(None) is None
+        assert resolve_trace(False) is None
+
+    def test_true_makes_a_fresh_trace(self):
+        tr = resolve_trace(True)
+        assert isinstance(tr, SolveTrace)
+        assert resolve_trace(True) is not tr
+
+    def test_existing_trace_passes_through(self):
+        tr = SolveTrace()
+        assert resolve_trace(tr) is tr
+
+    def test_junk_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_trace("on")
